@@ -1,0 +1,90 @@
+//! Colimit computation cost vs diagram size and topology — the
+//! "category theory lends itself well to automation" claim (§1.1.9)
+//! quantified.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcv_core::{colimit, Diagram, SpecBuilder, SpecMorphism, SpecRef};
+use mcv_logic::Sort;
+
+fn spec(name: &str, shared_ops: usize, own_upto: usize) -> SpecRef {
+    let mut b = SpecBuilder::new(name).sort(Sort::new("E"));
+    for o in 0..shared_ops {
+        b = b.predicate(format!("P{o}"), vec![Sort::new("E")]);
+    }
+    // Cumulative own ops keep identity-extended chain morphisms total.
+    for j in 0..=own_upto {
+        b = b.predicate(format!("Own{j}"), vec![Sort::new("E")]);
+    }
+    b.build_ref().expect("static")
+}
+
+fn chain_diagram(nodes: usize, shared_ops: usize) -> Diagram {
+    let specs: Vec<SpecRef> = (0..nodes).map(|i| spec(&format!("S{i}"), shared_ops, i)).collect();
+    let mut d = Diagram::new();
+    for (i, s) in specs.iter().enumerate() {
+        d.add_node(format!("n{i}"), s.clone()).expect("fresh");
+    }
+    for i in 1..nodes {
+        let m = SpecMorphism::new(
+            format!("m{i}"),
+            specs[i - 1].clone(),
+            specs[i].clone(),
+            [],
+            [],
+        )
+        .expect("cumulative chain morphisms are total");
+        d.add_arc(format!("m{i}"), format!("n{}", i - 1), format!("n{i}"), m)
+            .expect("endpoints");
+    }
+    d
+}
+
+fn star_diagram(leaves: usize, shared_ops: usize) -> Diagram {
+    // Hub holds only the shared vocabulary; every leaf extends it.
+    let mut hb = SpecBuilder::new("HUB").sort(Sort::new("E"));
+    for o in 0..shared_ops {
+        hb = hb.predicate(format!("P{o}"), vec![Sort::new("E")]);
+    }
+    let hub = hb.build_ref().expect("static");
+    let mut d = Diagram::new();
+    d.add_node("hub", hub.clone()).expect("fresh");
+    for i in 0..leaves {
+        let leaf = spec(&format!("L{i}"), shared_ops, i);
+        d.add_node(format!("l{i}"), leaf.clone()).expect("fresh");
+        let m = SpecMorphism::new(format!("m{i}"), hub.clone(), leaf, [], [])
+            .expect("hub vocabulary is shared");
+        d.add_arc(format!("m{i}"), "hub", format!("l{i}"), m).expect("endpoints");
+    }
+    d
+}
+
+fn bench_colimit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("colimit");
+    for nodes in [2usize, 4, 8, 16] {
+        let d = chain_diagram(nodes, 20);
+        group.bench_with_input(BenchmarkId::new("chain", nodes), &d, |b, d| {
+            b.iter(|| colimit(d, "APEX").expect("non-empty"))
+        });
+    }
+    for leaves in [2usize, 4, 8] {
+        let d = star_diagram(leaves, 20);
+        group.bench_with_input(BenchmarkId::new("star", leaves), &d, |b, d| {
+            b.iter(|| colimit(d, "APEX").expect("non-empty"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_chapter5_pipeline(c: &mut Criterion) {
+    use mcv_blocks::{pipeline, SpecLibrary};
+    let lib = SpecLibrary::load();
+    c.bench_function("pipeline/sequential_division_1", |b| {
+        b.iter(|| pipeline::sequential_division_1(&lib))
+    });
+    c.bench_function("pipeline/sequential_division_2", |b| {
+        b.iter(|| pipeline::sequential_division_2(&lib))
+    });
+}
+
+criterion_group!(benches, bench_colimit, bench_chapter5_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Lock manager throughput under varying contention: the executable
+//! 2PL block's cost profile.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcv_txn::{LockManager, LockMode, TxnId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn workload(items: usize, ops: usize, seed: u64) -> Vec<(TxnId, String, LockMode)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..ops)
+        .map(|_| {
+            (
+                TxnId(rng.gen_range(1..=8)),
+                format!("X{}", rng.gen_range(0..items)),
+                if rng.gen_bool(0.3) { LockMode::Exclusive } else { LockMode::Shared },
+            )
+        })
+        .collect()
+}
+
+fn bench_acquire_release(c: &mut Criterion) {
+    let mut group = c.benchmark_group("locks");
+    for items in [1usize, 4, 64] {
+        let ops = workload(items, 500, 42);
+        group.bench_with_input(
+            BenchmarkId::new("contention", format!("{items}-items")),
+            &ops,
+            |b, ops| {
+                b.iter(|| {
+                    let mut lm = LockManager::new();
+                    for (txn, item, mode) in ops {
+                        if let Ok(mcv_txn::LockOutcome::WouldDeadlock { .. }) = lm.acquire(*txn, item.clone(), *mode) {
+                            lm.release_all(*txn);
+                        }
+                    }
+                    for t in 1..=8u64 {
+                        lm.release_all(TxnId(t));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_deadlock_detection(c: &mut Criterion) {
+    // A maximal waits-for cycle: each txn holds one item and wants the
+    // next; the final request must traverse the full cycle.
+    let mut group = c.benchmark_group("locks/deadlock-cycle");
+    for n in [4u64, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut lm = LockManager::new();
+                for t in 0..n {
+                    assert_eq!(
+                        lm.acquire(TxnId(t), format!("X{t}"), LockMode::Exclusive).expect("fresh"),
+                        mcv_txn::LockOutcome::Granted
+                    );
+                }
+                for t in 0..n - 1 {
+                    let _ = lm.acquire(TxnId(t), format!("X{}", t + 1), LockMode::Exclusive);
+                }
+                // The closing edge must detect the cycle.
+                let out = lm
+                    .acquire(TxnId(n - 1), "X0", LockMode::Exclusive)
+                    .expect("fresh");
+                assert!(matches!(out, mcv_txn::LockOutcome::WouldDeadlock { .. }));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_acquire_release, bench_deadlock_detection);
+criterion_main!(benches);

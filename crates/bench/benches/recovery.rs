@@ -1,0 +1,65 @@
+//! Recovery cost: WAL replay time vs log length and checkpoint
+//! frequency (the exp.rec experiment under Criterion's statistics).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcv_txn::{SiteDb, TxnId, Wal};
+
+fn loaded_wal(updates: usize, ckpt_every: usize) -> Wal {
+    let mut wal = Wal::new();
+    let mut state = std::collections::BTreeMap::new();
+    for i in 0..updates {
+        let t = TxnId(i as u64 + 1);
+        let item = format!("X{}", i % 16);
+        wal.log_update(t, item.clone(), 0, i as i64);
+        wal.log_commit(t);
+        state.insert(item, i as i64);
+        if ckpt_every > 0 && i % ckpt_every == ckpt_every - 1 {
+            wal.log_checkpoint(state.clone());
+        }
+    }
+    wal
+}
+
+fn bench_wal_recover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery/wal");
+    for updates in [100usize, 1_000, 10_000] {
+        for ckpt in [0usize, 100] {
+            let wal = loaded_wal(updates, ckpt);
+            let label = format!("{updates}-updates-ckpt-{}", if ckpt == 0 { "never".into() } else { ckpt.to_string() });
+            group.bench_with_input(BenchmarkId::from_parameter(label), &wal, |b, wal| {
+                b.iter(|| {
+                    let state = wal.recover();
+                    assert!(!state.is_empty());
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_site_crash_recover(c: &mut Criterion) {
+    c.bench_function("recovery/site-crash-recover", |b| {
+        b.iter_batched(
+            || {
+                let mut db = SiteDb::new();
+                for i in 0..200u64 {
+                    let t = TxnId(i + 1);
+                    db.begin(t);
+                    db.write(t, &format!("X{}", i % 8), i as i64).expect("fresh lock");
+                    db.commit(t).expect("active");
+                }
+                db.crash();
+                db
+            },
+            |mut db| {
+                db.recover();
+                assert!(db.is_up());
+                db
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_wal_recover, bench_site_crash_recover);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Reproduction driver: regenerates every table and figure of the
+//! thesis, plus the added quantitative experiments.
+//!
+//! ```text
+//! repro all          # everything, in DESIGN.md order
+//! repro list         # available artifact ids
+//! repro fig3.2 ch5   # specific artifacts
+//! ```
+
+use mcv_bench::artifacts;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let known = artifacts();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: repro <artifact-id>... | all | list");
+        eprintln!("artifact ids:");
+        for (id, _) in &known {
+            eprintln!("  {id}");
+        }
+        std::process::exit(2);
+    }
+    if args[0] == "list" {
+        for (id, _) in &known {
+            println!("{id}");
+        }
+        return;
+    }
+    let selected: Vec<&mcv_bench::Artifact> = if args[0] == "all" {
+        known.iter().collect()
+    } else {
+        let mut v = Vec::new();
+        for a in &args {
+            match known.iter().find(|(id, _)| id == a) {
+                Some(found) => v.push(found),
+                None => {
+                    eprintln!("unknown artifact {a:?}; try `repro list`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        v
+    };
+    for (id, gen) in selected {
+        println!("==================== {id} ====================");
+        println!("{}", gen());
+    }
+}

@@ -1,0 +1,687 @@
+//! The module-level compositions of Chapter 4 (Figures 4.3–4.28):
+//! each building block as an algebraic module `(PAR, EXP, IMP, BOD)`
+//! with the four mapping morphisms, composed pairwise per Figure 2.4
+//! with machine-checked certificates.
+//!
+//! Interfaces follow the thesis' figures: a module's *export* carries
+//! the properties it guarantees (`AgreeBroad`, `Storevalues`,
+//! `Writelock`, …), its *import* the properties it assumes from the
+//! block below, and the common *parameter* part holds the shared sorts
+//! (processors, messages, clock values).
+
+use crate::specs::SpecLibrary;
+use mcv_core::{SpecBuilder, SpecMorphism, SpecRef};
+use mcv_logic::{Sort, Sym};
+use mcv_module::{CompositionCertificate, Module};
+
+/// Builds every module and the Chapter 4 composition chains.
+#[derive(Debug)]
+pub struct ModuleFactory {
+    lib: SpecLibrary,
+    par: SpecRef,
+}
+
+/// A labeled composition result (one of Figures 4.4–4.28).
+#[derive(Debug)]
+pub struct ComposedStep {
+    /// Figure label, e.g. "Fig 4.4 CONTROLLER".
+    pub label: String,
+    /// The composed module.
+    pub module: Module,
+    /// The certificate of Figure 2.4's conditions.
+    pub certificate: CompositionCertificate,
+}
+
+impl ModuleFactory {
+    /// A factory over a parsed spec library.
+    pub fn new(lib: SpecLibrary) -> Self {
+        let par = SpecBuilder::new("BASEPARAMS")
+            .sort(Sort::new("Processors"))
+            .sort(Sort::new("Messages"))
+            .sort_alias(Sort::new("Clockvalues"), Sort::new("Nat"))
+            .build_ref()
+            .expect("static spec");
+        ModuleFactory { lib, par }
+    }
+
+    /// The shared parameter spec (Figure 2.3's `R`).
+    pub fn parameters(&self) -> &SpecRef {
+        &self.par
+    }
+
+    fn base_sorts(&self, b: SpecBuilder) -> SpecBuilder {
+        b.sort(Sort::new("Processors"))
+            .sort(Sort::new("Messages"))
+            .sort_alias(Sort::new("Clockvalues"), Sort::new("Nat"))
+    }
+
+    /// Builds a module from an export interface, an import interface,
+    /// and the block's own axioms (copied from the Chapter 5 spec named
+    /// `axiom_source`).
+    fn module(
+        &self,
+        name: &str,
+        exp: SpecRef,
+        imp: SpecRef,
+        axiom_source: &SpecRef,
+        own_axioms: &[&str],
+    ) -> Module {
+        let mut bod = SpecBuilder::new(format!("{name}_BOD")).import(&imp).import(&exp);
+        for ax in own_axioms {
+            let p = axiom_source
+                .property(&Sym::new(*ax))
+                .unwrap_or_else(|| panic!("{name}: axiom {ax} not in {}", axiom_source.name));
+            bod = bod.property(p.clone());
+        }
+        let bod = bod.build_ref().unwrap_or_else(|e| panic!("{name} body: {e:?}"));
+        let f = SpecMorphism::new("f", self.par.clone(), exp.clone(), [], [])
+            .unwrap_or_else(|e| panic!("{name} f: {e}"));
+        let g = SpecMorphism::new("g", self.par.clone(), imp.clone(), [], [])
+            .unwrap_or_else(|e| panic!("{name} g: {e}"));
+        let h = SpecMorphism::new("h", exp.clone(), bod.clone(), [], [])
+            .unwrap_or_else(|e| panic!("{name} h: {e}"));
+        let k = SpecMorphism::new("k", imp.clone(), bod.clone(), [], [])
+            .unwrap_or_else(|e| panic!("{name} k: {e}"));
+        Module::new(name, self.par.clone(), exp, imp, bod, f, g, h, k)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+    }
+
+    /// The broadcast module (Figure 4.3 left): exports the reliable-
+    /// broadcast properties, imports the Time/Failure/Communication/
+    /// Model primitives.
+    pub fn broadcast(&self) -> Module {
+        let exp = self
+            .base_sorts(SpecBuilder::new("A_BROADCAST"))
+            .sort_alias(Sort::new("BroadcastDelay"), Sort::new("Clockvalues"))
+            .sort_alias(Sort::new("BroadcastBound"), Sort::new("Clockvalues"))
+            .predicate("Correct", vec![Sort::new("Processors")])
+            .predicate(
+                "Broadcast",
+                vec![Sort::new("Processors"), Sort::new("Messages"), Sort::new("Clockvalues")],
+            )
+            .predicate(
+                "Deliver",
+                vec![Sort::new("Processors"), Sort::new("Messages"), Sort::new("Clockvalues")],
+            )
+            .op(
+                "Clockdelay",
+                vec![Sort::new("Clockvalues"), Sort::new("BroadcastDelay")],
+                Sort::new("Clockvalues"),
+            )
+            .op(
+                "Clockbound",
+                vec![
+                    Sort::new("Clockvalues"),
+                    Sort::new("BroadcastDelay"),
+                    Sort::new("BroadcastBound"),
+                ],
+                Sort::new("Clockvalues"),
+            )
+            .predicate(
+                "TermBroad",
+                vec![Sort::new("Processors"), Sort::new("Messages"), Sort::new("Clockvalues")],
+            )
+            .predicate(
+                "ValiBroad",
+                vec![Sort::new("Processors"), Sort::new("Messages"), Sort::new("Clockvalues")],
+            )
+            .predicate(
+                "AgreeBroad",
+                vec![Sort::new("Processors"), Sort::new("Messages"), Sort::new("Clockvalues")],
+            )
+            .build_ref()
+            .expect("static spec");
+        let imp = self
+            .base_sorts(SpecBuilder::new("B_BROADCAST"))
+            .predicate("Time", vec![Sort::new("Clockvalues")])
+            .predicate("Failure", vec![Sort::new("Processors")])
+            .predicate("Communication", vec![Sort::new("Processors"), Sort::new("Processors")])
+            .predicate("Model", vec![])
+            .build_ref()
+            .expect("static spec");
+        self.module(
+            "BROADCAST",
+            exp,
+            imp,
+            &self.lib.reliable_broadcast,
+            &["Broadcast", "Deliver", "Termbroad", "Valibroad", "Agreebroad"],
+        )
+    }
+
+    /// The consensus module (Figure 4.3 right): exports the consensus
+    /// properties, imports the broadcast properties.
+    pub fn consensus(&self) -> Module {
+        let exp = self
+            .base_sorts(SpecBuilder::new("A_CONSENSUS"))
+            .sort_alias(Sort::new("ProcDeci"), Sort::new("Boolean"))
+            .predicate(
+                "Decision",
+                vec![Sort::new("Processors"), Sort::new("ProcDeci"), Sort::new("Clockvalues")],
+            )
+            .predicate(
+                "Proposal",
+                vec![Sort::new("Processors"), Sort::new("ProcDeci"), Sort::new("Clockvalues")],
+            )
+            .predicate(
+                "Valiconsensus",
+                vec![Sort::new("Processors"), Sort::new("ProcDeci"), Sort::new("Clockvalues")],
+            )
+            .predicate(
+                "Agreeconsensus",
+                vec![Sort::new("Processors"), Sort::new("ProcDeci"), Sort::new("Clockvalues")],
+            )
+            .build_ref()
+            .expect("static spec");
+        let imp = self
+            .base_sorts(SpecBuilder::new("B_CONSENSUS"))
+            .sort_alias(Sort::new("BroadcastDelay"), Sort::new("Clockvalues"))
+            .sort_alias(Sort::new("BroadcastBound"), Sort::new("Clockvalues"))
+            .predicate(
+                "ValiBroad",
+                vec![Sort::new("Processors"), Sort::new("Messages"), Sort::new("Clockvalues")],
+            )
+            .predicate(
+                "AgreeBroad",
+                vec![Sort::new("Processors"), Sort::new("Messages"), Sort::new("Clockvalues")],
+            )
+            .build_ref()
+            .expect("static spec");
+        self.module(
+            "CONSENSUS",
+            exp,
+            imp,
+            &self.lib.consensus,
+            &["Proposal", "Decision", "Valiconsensus", "Agreeconsensus"],
+        )
+    }
+
+    /// The undo/redo logging module (Figure 4.5 right).
+    pub fn undoredo(&self) -> Module {
+        let exp = self
+            .base_sorts(SpecBuilder::new("A_UNDOREDO"))
+            .sort_alias(Sort::new("ProcDeci"), Sort::new("Boolean"))
+            .sort_alias(Sort::new("Transactions"), Sort::new("Boolean"))
+            .sort_alias(Sort::new("Valstabstorage"), Sort::new("Boolean"))
+            .sort_alias(Sort::new("Currentstatevalue"), Sort::new("Nat"))
+            .sort_alias(Sort::new("Newstatevalue"), Sort::new("Nat"))
+            .predicate(
+                "Log",
+                vec![Sort::new("Transactions"), Sort::new("Valstabstorage"), Sort::new("Newstatevalue")],
+            )
+            .predicate(
+                "Undo",
+                vec![
+                    Sort::new("Transactions"),
+                    Sort::new("ProcDeci"),
+                    Sort::new("Valstabstorage"),
+                    Sort::new("Currentstatevalue"),
+                ],
+            )
+            .predicate(
+                "Redo",
+                vec![
+                    Sort::new("Transactions"),
+                    Sort::new("ProcDeci"),
+                    Sort::new("Valstabstorage"),
+                    Sort::new("Newstatevalue"),
+                ],
+            )
+            .predicate(
+                "Storevalues",
+                vec![Sort::new("Transactions"), Sort::new("Valstabstorage"), Sort::new("ProcDeci")],
+            )
+            .build_ref()
+            .expect("static spec");
+        let imp = self
+            .base_sorts(SpecBuilder::new("B_UNDOREDO"))
+            .sort_alias(Sort::new("ProcDeci"), Sort::new("Boolean"))
+            .predicate(
+                "Decision",
+                vec![Sort::new("Processors"), Sort::new("ProcDeci"), Sort::new("Clockvalues")],
+            )
+            .predicate(
+                "Agreeconsensus",
+                vec![Sort::new("Processors"), Sort::new("ProcDeci"), Sort::new("Clockvalues")],
+            )
+            .build_ref()
+            .expect("static spec");
+        self.module(
+            "UNDOREDO",
+            exp,
+            imp,
+            &self.lib.undoredo,
+            &["Undo", "Redo", "Log", "Storevalues"],
+        )
+    }
+
+    /// The two-phase-locking module (Figure 4.7 right).
+    pub fn two_phase_lock(&self) -> Module {
+        let exp = self
+            .base_sorts(SpecBuilder::new("A_TWOPHASELOCK"))
+            .sort_alias(Sort::new("Transactions"), Sort::new("Boolean"))
+            .sort_alias(Sort::new("Valstabstorage"), Sort::new("Boolean"))
+            .sort_alias(Sort::new("Newstatevalue"), Sort::new("Nat"))
+            .sort(Sort::new("Transactionid"))
+            .sort(Sort::new("CurrentData"))
+            .sort(Sort::new("PreviousData"))
+            .predicate(
+                "Read",
+                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+            )
+            .predicate(
+                "Write",
+                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+            )
+            .predicate("Locking", vec![Sort::new("Transactionid"), Sort::new("CurrentData")])
+            .predicate("Unlock", vec![Sort::new("Transactionid"), Sort::new("PreviousData")])
+            .predicate(
+                "Readlock",
+                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+            )
+            .predicate(
+                "Writelock",
+                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+            )
+            .build_ref()
+            .expect("static spec");
+        let imp = self
+            .base_sorts(SpecBuilder::new("B_TWOPHASELOCK"))
+            .sort_alias(Sort::new("ProcDeci"), Sort::new("Boolean"))
+            .sort_alias(Sort::new("Transactions"), Sort::new("Boolean"))
+            .sort_alias(Sort::new("Valstabstorage"), Sort::new("Boolean"))
+            .sort_alias(Sort::new("Newstatevalue"), Sort::new("Nat"))
+            .predicate(
+                "Log",
+                vec![Sort::new("Transactions"), Sort::new("Valstabstorage"), Sort::new("Newstatevalue")],
+            )
+            .predicate(
+                "Storevalues",
+                vec![Sort::new("Transactions"), Sort::new("Valstabstorage"), Sort::new("ProcDeci")],
+            )
+            .build_ref()
+            .expect("static spec");
+        self.module(
+            "TWOPHASELOCK",
+            exp,
+            imp,
+            &self.lib.two_phase_lock,
+            &["Read", "Write", "Locking", "Unlock", "Readlock", "Writelock"],
+        )
+    }
+
+    /// The snapshot module (Figure 4.13 right).
+    pub fn snapshot(&self) -> Module {
+        let exp = self
+            .base_sorts(SpecBuilder::new("A_SNAPSHOT"))
+            .sort(Sort::new("States"))
+            .sort(Sort::new("Channel"))
+            .sort_alias(Sort::new("Statestabstorage"), Sort::new("Boolean"))
+            .predicate(
+                "sending",
+                vec![
+                    Sort::new("Processors"),
+                    Sort::new("Messages"),
+                    Sort::new("Channel"),
+                    Sort::new("Processors"),
+                    Sort::new("Clockvalues"),
+                ],
+            )
+            .predicate(
+                "reception",
+                vec![
+                    Sort::new("Processors"),
+                    Sort::new("Messages"),
+                    Sort::new("Channel"),
+                    Sort::new("Processors"),
+                    Sort::new("Clockvalues"),
+                ],
+            )
+            .predicate(
+                "record",
+                vec![
+                    Sort::new("Processors"),
+                    Sort::new("States"),
+                    Sort::new("Messages"),
+                    Sort::new("Statestabstorage"),
+                ],
+            )
+            .build_ref()
+            .expect("static spec");
+        let imp = self
+            .base_sorts(SpecBuilder::new("B_SNAPSHOT"))
+            .sort_alias(Sort::new("ProcDeci"), Sort::new("Boolean"))
+            .predicate(
+                "Agreeconsensus",
+                vec![Sort::new("Processors"), Sort::new("ProcDeci"), Sort::new("Clockvalues")],
+            )
+            .build_ref()
+            .expect("static spec");
+        self.module(
+            "SNAPSHOT",
+            exp,
+            imp,
+            &self.lib.snapshot,
+            &["sending", "reception", "record", "Globprocstateinfo"],
+        )
+    }
+
+    /// The decision-making module (Figure 4.15 right).
+    pub fn decision_making(&self) -> Module {
+        let exp = self
+            .base_sorts(SpecBuilder::new("A_DECISIONMAKING"))
+            .sort_alias(Sort::new("ProcDeci"), Sort::new("Boolean"))
+            .predicate("next", vec![Sort::new("ProcDeci"), Sort::new("ProcDeci")])
+            .predicate("adjacent", vec![Sort::new("ProcDeci"), Sort::new("ProcDeci")])
+            .predicate("inconsistent", vec![Sort::new("ProcDeci"), Sort::new("ProcDeci")])
+            .op("neg", vec![Sort::new("ProcDeci")], Sort::new("ProcDeci"))
+            .build_ref()
+            .expect("static spec");
+        let imp = self
+            .base_sorts(SpecBuilder::new("B_DECISIONMAKING"))
+            .sort(Sort::new("States"))
+            .sort_alias(Sort::new("Statestabstorage"), Sort::new("Boolean"))
+            .predicate(
+                "record",
+                vec![
+                    Sort::new("Processors"),
+                    Sort::new("States"),
+                    Sort::new("Messages"),
+                    Sort::new("Statestabstorage"),
+                ],
+            )
+            .build_ref()
+            .expect("static spec");
+        self.module(
+            "DECISIONMAKING",
+            exp,
+            imp,
+            &self.lib.decision_making,
+            &["next", "adjacent", "inconsistent", "Constateinfo"],
+        )
+    }
+
+    /// The checkpointing module (Figure 4.25 right).
+    pub fn checkpointing(&self) -> Module {
+        let exp = self
+            .base_sorts(SpecBuilder::new("A_CHECKPOINTING"))
+            .sort_alias(Sort::new("LocalClockvals"), Sort::new("Clockvalues"))
+            .sort_alias(Sort::new("Index"), Sort::new("Nat"))
+            .op(
+                "C",
+                vec![Sort::new("Processors"), Sort::new("Clockvalues")],
+                Sort::new("LocalClockvals"),
+            )
+            .predicate("log", vec![Sort::new("Processors"), Sort::new("Messages"), Sort::new("Clockvalues")])
+            .predicate("Ckpt", vec![Sort::new("Processors"), Sort::new("LocalClockvals")])
+            .predicate("ckpt", vec![Sort::new("Processors"), Sort::new("Clockvalues")])
+            .predicate("Store", vec![Sort::new("Processors"), Sort::new("LocalClockvals")])
+            .predicate("store", vec![Sort::new("Processors"), Sort::new("Clockvalues")])
+            .predicate("Pi", vec![Sort::new("Processors"), Sort::new("Clockvalues")])
+            .predicate("PI", vec![Sort::new("Processors"), Sort::new("LocalClockvals")])
+            .predicate("Checkpoint", vec![Sort::new("Processors"), Sort::new("Clockvalues")])
+            .build_ref()
+            .expect("static spec");
+        let imp = self
+            .base_sorts(SpecBuilder::new("B_CHECKPOINTING"))
+            .sort_alias(Sort::new("Transactions"), Sort::new("Boolean"))
+            .sort_alias(Sort::new("Valstabstorage"), Sort::new("Boolean"))
+            .sort(Sort::new("CurrentData"))
+            .predicate(
+                "Readlock",
+                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+            )
+            .predicate(
+                "Writelock",
+                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+            )
+            .build_ref()
+            .expect("static spec");
+        // `receive`/`send` live in the block's own axioms; declare them
+        // in the export so the body is closed.
+        let exp = {
+            let mut b = SpecBuilder::new("A_CHECKPOINTING2").import(&exp);
+            b = b
+                .sort_alias(Sort::new("BroadcastDelay"), Sort::new("Clockvalues"))
+                .sort_alias(Sort::new("BroadcastBound"), Sort::new("Clockvalues"))
+                .predicate(
+                    "receive",
+                    vec![
+                        Sort::new("Processors"),
+                        Sort::new("Messages"),
+                        Sort::new("Processors"),
+                        Sort::new("Clockvalues"),
+                    ],
+                )
+                .predicate(
+                    "send",
+                    vec![
+                        Sort::new("Processors"),
+                        Sort::new("Messages"),
+                        Sort::new("Processors"),
+                        Sort::new("Clockvalues"),
+                    ],
+                );
+            b.build_ref().expect("static spec")
+        };
+        self.module(
+            "CHECKPOINTING",
+            exp,
+            imp,
+            &self.lib.checkpointing,
+            &[
+                "receive", "send", "log", "Ckpt", "ckpt", "Store", "store", "Pi", "PI",
+                "Logging", "Checkpoint",
+            ],
+        )
+    }
+
+    /// The rollback-recovery module (Figure 4.27 right).
+    pub fn recovery(&self) -> Module {
+        let exp = self
+            .base_sorts(SpecBuilder::new("A_RECOVERY"))
+            .sort_alias(Sort::new("Index"), Sort::new("Nat"))
+            .sort_alias(Sort::new("LocalClockvals"), Sort::new("Clockvalues"))
+            .predicate("CorrecttoFailure", vec![Sort::new("Processors"), Sort::new("Clockvalues")])
+            .predicate("Rollback", vec![Sort::new("Index"), Sort::new("Clockvalues")])
+            .predicate("Restore", vec![Sort::new("Index"), Sort::new("Clockvalues")])
+            .predicate("Recover", vec![Sort::new("Index"), Sort::new("Clockvalues")])
+            .predicate("rollback", vec![Sort::new("Index"), Sort::new("LocalClockvals")])
+            .predicate("restore", vec![Sort::new("Index"), Sort::new("LocalClockvals")])
+            .predicate("recover", vec![Sort::new("Index"), Sort::new("LocalClockvals")])
+            .predicate("Correct", vec![Sort::new("Processors")])
+            .build_ref()
+            .expect("static spec");
+        let imp = self
+            .base_sorts(SpecBuilder::new("B_RECOVERY"))
+            .sort_alias(Sort::new("LocalClockvals"), Sort::new("Clockvalues"))
+            .sort_alias(Sort::new("BroadcastDelay"), Sort::new("Clockvalues"))
+            .sort_alias(Sort::new("BroadcastBound"), Sort::new("Clockvalues"))
+            .op(
+                "C",
+                vec![Sort::new("Processors"), Sort::new("Clockvalues")],
+                Sort::new("LocalClockvals"),
+            )
+            .predicate("Checkpoint", vec![Sort::new("Processors"), Sort::new("Clockvalues")])
+            .predicate("ckpt", vec![Sort::new("Processors"), Sort::new("Clockvalues")])
+            .predicate("Ckpt", vec![Sort::new("Processors"), Sort::new("LocalClockvals")])
+            .build_ref()
+            .expect("static spec");
+        self.module(
+            "RECOVERY",
+            exp,
+            imp,
+            &self.lib.rollback_recovery,
+            &[
+                "CorrecttoFailure", "Rollback", "Restore", "rollback", "restore",
+                "Recover", "recover",
+            ],
+        )
+    }
+
+    fn connect(
+        &self,
+        label: &str,
+        consumer: &Module,
+        provider: &Module,
+    ) -> ComposedStep {
+        let s = SpecMorphism::new_lenient(
+            "s",
+            consumer.imp.clone(),
+            provider.exp.clone(),
+            [],
+            [],
+        )
+        .unwrap_or_else(|e| panic!("{label} s: {e}"));
+        let t = SpecMorphism::new("t", consumer.par.clone(), provider.par.clone(), [], [])
+            .unwrap_or_else(|e| panic!("{label} t: {e}"));
+        let (module, certificate) =
+            Module::compose(label_to_name(label), consumer, provider, &s, &t)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+        ComposedStep { label: label.to_owned(), module, certificate }
+    }
+
+    /// Figures 4.3/4.4 (= 4.11/4.12 = 4.19/4.20): the controller.
+    pub fn controller(&self) -> ComposedStep {
+        self.connect("Fig 4.4 CONTROLLER", &self.consensus(), &self.broadcast())
+    }
+
+    /// Figures 4.2–4.8: the serializability chain `PR1`, `PR2`.
+    pub fn serializability_chain(&self) -> Vec<ComposedStep> {
+        let controller = self.controller();
+        let pr1 = self.connect("Fig 4.6 PR1", &self.undoredo(), &controller.module);
+        let pr2 = self.connect("Fig 4.8 PR2", &self.two_phase_lock(), &pr1.module);
+        vec![controller, pr1, pr2]
+    }
+
+    /// Figures 4.9–4.16: the consistent-state chain `PR5`, `PR6`.
+    pub fn consistent_state_chain(&self) -> Vec<ComposedStep> {
+        let controller = self.controller();
+        let pr5 = self.connect("Fig 4.14 PR5", &self.snapshot(), &controller.module);
+        let pr6 = self.connect("Fig 4.16 PR6", &self.decision_making(), &pr5.module);
+        vec![controller, pr5, pr6]
+    }
+
+    /// Figures 4.17–4.28: the roll-back recovery chain `PR1`–`PR4`.
+    pub fn rollback_chain(&self) -> Vec<ComposedStep> {
+        let controller = self.controller();
+        let pr1 = self.connect("Fig 4.22 PR1", &self.undoredo(), &controller.module);
+        let pr2 = self.connect("Fig 4.24 PR2", &self.two_phase_lock(), &pr1.module);
+        let pr3 = self.connect("Fig 4.26 PR3", &self.checkpointing(), &pr2.module);
+        let pr4 = self.connect("Fig 4.28 PR4", &self.recovery(), &pr3.module);
+        vec![controller, pr1, pr2, pr3, pr4]
+    }
+}
+
+fn label_to_name(label: &str) -> String {
+    label.split_whitespace().last().unwrap_or("COMPOSED").to_owned()
+}
+
+/// Renders a chain of composed steps.
+pub fn render_chain(steps: &[ComposedStep]) -> String {
+    let mut out = String::new();
+    for s in steps {
+        out.push_str(&format!(
+            "{:<20} {}\n  compat: {}  body-pushout commutes: {}  composed commutes: {}\n",
+            s.label,
+            s.module.summary(),
+            s.certificate.compatibility_holds,
+            s.certificate.body_pushout_commutes,
+            s.certificate.composed_commutes,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn factory() -> ModuleFactory {
+        ModuleFactory::new(SpecLibrary::load())
+    }
+
+    #[test]
+    fn every_block_module_commutes() {
+        let f = factory();
+        for m in [
+            f.broadcast(),
+            f.consensus(),
+            f.undoredo(),
+            f.two_phase_lock(),
+            f.snapshot(),
+            f.decision_making(),
+            f.checkpointing(),
+            f.recovery(),
+        ] {
+            assert!(m.commutes(), "{} does not commute", m.name);
+        }
+    }
+
+    #[test]
+    fn controller_composition_certificate_holds() {
+        let f = factory();
+        let c = f.controller();
+        assert!(c.certificate.all_hold(), "{:?}", c.certificate);
+        // Composed module: (R, A_CONSENSUS, B_BROADCAST, P12) per Fig 4.4.
+        assert_eq!(c.module.exp.name.as_str(), "A_CONSENSUS");
+        assert_eq!(c.module.imp.name.as_str(), "B_BROADCAST");
+    }
+
+    #[test]
+    fn controller_body_has_both_blocks_properties() {
+        let f = factory();
+        let c = f.controller();
+        assert!(c.module.bod.property(&"Agreebroad".into()).is_some());
+        assert!(c.module.bod.property(&"Agreeconsensus".into()).is_some());
+    }
+
+    #[test]
+    fn serializability_chain_certificates_hold() {
+        let f = factory();
+        let chain = f.serializability_chain();
+        assert_eq!(chain.len(), 3);
+        for s in &chain {
+            assert!(s.certificate.all_hold(), "{}: {:?}", s.label, s.certificate);
+        }
+        // PR2's body stacks locking over logging over agreement.
+        let pr2 = &chain[2].module;
+        for p in ["Agreebroad", "Agreeconsensus", "Storevalues", "Readlock", "Writelock"] {
+            assert!(pr2.bod.property(&Sym::new(p)).is_some(), "PR2 body missing {p}");
+        }
+    }
+
+    #[test]
+    fn consistent_state_chain_certificates_hold() {
+        let f = factory();
+        let chain = f.consistent_state_chain();
+        for s in &chain {
+            assert!(s.certificate.all_hold(), "{}: {:?}", s.label, s.certificate);
+        }
+        let pr6 = &chain[2].module;
+        for p in ["Globprocstateinfo", "Constateinfo"] {
+            assert!(pr6.bod.property(&Sym::new(p)).is_some(), "PR6 body missing {p}");
+        }
+    }
+
+    #[test]
+    fn rollback_chain_certificates_hold() {
+        let f = factory();
+        let chain = f.rollback_chain();
+        assert_eq!(chain.len(), 5);
+        for s in &chain {
+            assert!(s.certificate.all_hold(), "{}: {:?}", s.label, s.certificate);
+        }
+        let pr4 = &chain[4].module;
+        for p in ["Checkpoint", "Recover", "recover"] {
+            assert!(pr4.bod.property(&Sym::new(p)).is_some(), "PR4 body missing {p}");
+        }
+    }
+
+    #[test]
+    fn render_includes_certificates() {
+        let f = factory();
+        let text = render_chain(&f.serializability_chain());
+        assert!(text.contains("CONTROLLER"));
+        assert!(text.contains("composed commutes: true"));
+    }
+}

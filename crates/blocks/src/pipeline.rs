@@ -1,0 +1,290 @@
+//! The colimit composition pipelines of Chapter 5, realizing the
+//! modular-dependency chains of Figures 3.4 and 3.5:
+//!
+//! - sequential division 1 (recovery of a failed site):
+//!   `CONTROLLER → PR1 → PR2 → PR3 → PR4`;
+//! - sequential division 2 (electing a backup coordinator):
+//!   `CONTROLLER → PR5 → PR6 → PR7 → PR8 → PR9`.
+//!
+//! Steps with Chapter 5 scripts replay the script's exact diagram
+//! (two named specs + the listed morphism); the thesis stops at PR6,
+//! and the remaining steps compose over a shared-ancestor span.
+
+use crate::specs::SpecLibrary;
+use mcv_core::{colimit, Colimit, Diagram, SpecMorphism, SpecRef};
+use mcv_logic::Sym;
+
+/// One composition step (one colimit of Figure 3.4/3.5).
+#[derive(Debug)]
+pub struct PipelineStep {
+    /// Name of the resulting protocol (`CONTROLLER`, `PR1`, …).
+    pub name: String,
+    /// What was composed with what, over which interaction.
+    pub description: String,
+    /// The computed colimit.
+    pub colimit: Colimit,
+    /// Whether the cone commutes (Chapter 2's correctness criterion).
+    pub commutes: bool,
+    /// Unresolved morphism proof obligations across all arcs (axioms
+    /// that do not translate to target theorems syntactically). Zero
+    /// for the import-chained Chapter 5 scripts.
+    pub open_obligations: usize,
+}
+
+fn chain_step(
+    name: &str,
+    description: &str,
+    from: &SpecRef,
+    to: &SpecRef,
+    ops: &[&str],
+) -> PipelineStep {
+    let m = SpecMorphism::new(
+        "i",
+        from.clone(),
+        to.clone(),
+        [],
+        ops.iter().map(|o| (Sym::new(*o), Sym::new(*o))),
+    )
+    .unwrap_or_else(|e| panic!("{name}: morphism failed: {e}"));
+    let open_obligations = m.obligations().len();
+    let mut d = Diagram::new();
+    d.add_node("a", from.clone()).expect("fresh diagram");
+    d.add_node("b", to.clone()).expect("fresh diagram");
+    d.add_arc("i", "a", "b", m).expect("endpoints match");
+    let c = colimit(&d, name).unwrap_or_else(|e| panic!("{name}: colimit failed: {e}"));
+    let commutes = c.verify_commutes();
+    PipelineStep {
+        name: name.to_owned(),
+        description: description.to_owned(),
+        colimit: c,
+        commutes,
+        open_obligations,
+    }
+}
+
+fn span_step(
+    name: &str,
+    description: &str,
+    shared: &SpecRef,
+    left: &SpecRef,
+    right: &SpecRef,
+) -> PipelineStep {
+    let f = SpecMorphism::new_lenient("f", shared.clone(), left.clone(), [], [])
+        .unwrap_or_else(|e| panic!("{name}: span left morphism failed: {e}"));
+    let g = SpecMorphism::new_lenient("g", shared.clone(), right.clone(), [], [])
+        .unwrap_or_else(|e| panic!("{name}: span right morphism failed: {e}"));
+    let open_obligations = f.obligations().len() + g.obligations().len();
+    let mut d = Diagram::new();
+    d.add_node("s", shared.clone()).expect("fresh diagram");
+    d.add_node("a", left.clone()).expect("fresh diagram");
+    d.add_node("b", right.clone()).expect("fresh diagram");
+    d.add_arc("f", "s", "a", f).expect("endpoints match");
+    d.add_arc("g", "s", "b", g).expect("endpoints match");
+    let c = colimit(&d, name).unwrap_or_else(|e| panic!("{name}: colimit failed: {e}"));
+    let commutes = c.verify_commutes();
+    PipelineStep {
+        name: name.to_owned(),
+        description: description.to_owned(),
+        colimit: c,
+        commutes,
+        open_obligations,
+    }
+}
+
+/// The controller: colimit of broadcast and consensus (Figures 4.3/4.4;
+/// Chapter 5's `CONSENT = colimit CONSEN`).
+pub fn controller(lib: &SpecLibrary) -> PipelineStep {
+    chain_step(
+        "CONTROLLER",
+        "RELIABLEBROADCAST ⊔ CONSENSUS over {Broadcast, Deliver, TermBroad, ValiBroad, AgreeBroad}",
+        &lib.reliable_broadcast,
+        &lib.consensus,
+        &["Broadcast", "Deliver", "TermBroad", "ValiBroad", "AgreeBroad"],
+    )
+}
+
+/// Sequential division 1 (Figure 3.4): controller, undo/redo, 2PL,
+/// checkpointing, recovery — the chain whose apex `PR4` carries the
+/// roll-back recovery property.
+pub fn sequential_division_1(lib: &SpecLibrary) -> Vec<PipelineStep> {
+    vec![
+        controller(lib),
+        chain_step(
+            "PR1",
+            "CONTROLLER ∘ UNDOREDO over coordinator/participant information (Fig 4.5/4.6)",
+            &lib.consensus,
+            &lib.undoredo,
+            &["Valiconsensus", "Agreeconsensus", "Decision", "Proposal"],
+        ),
+        chain_step(
+            "PR2",
+            "PR1 ∘ TWOPHASELOCK over transaction details (Fig 4.7/4.8)",
+            &lib.undoredo,
+            &lib.two_phase_lock,
+            &["Undo", "Redo", "Storevalues"],
+        ),
+        chain_step(
+            "PR3",
+            "PR2 ∘ CHECKPOINTING over site state data (Fig 4.25/4.26)",
+            &lib.two_phase_lock,
+            &lib.checkpointing,
+            &["Read", "Write", "Locking", "Unlock", "Readlock", "Writelock"],
+        ),
+        chain_step(
+            "PR4",
+            "PR3 ∘ ROLLBACKRECOVERY over stored state information (Fig 4.27/4.28)",
+            &lib.checkpointing,
+            &lib.rollback_recovery,
+            &["receive", "log", "Ckpt", "ckpt", "Store", "store", "Pi", "PI", "Checkpoint"],
+        ),
+    ]
+}
+
+/// Sequential division 2 (Figure 3.5): controller, snapshot, decision
+/// making, termination, voting/election, failure/time-out — the chain
+/// whose apex `PR9` supports electing a backup coordinator.
+pub fn sequential_division_2(lib: &SpecLibrary) -> Vec<PipelineStep> {
+    let d1 = chain_step(
+        "PR5",
+        "CONTROLLER ∘ SNAPSHOT over decision information (Fig 4.13/4.14)",
+        &lib.consensus,
+        &lib.snapshot,
+        &["Decision", "Proposal", "Valiconsensus", "Agreeconsensus"],
+    );
+    let d2 = chain_step(
+        "PR6",
+        "PR5 ∘ DECISIONMAKING over recorded state information (Fig 4.15/4.16)",
+        &lib.snapshot,
+        &lib.decision_making,
+        &["sending", "reception", "record"],
+    );
+    let d3 = span_step(
+        "PR7",
+        "PR6 ∘ TERMINATION over the decision-making rules (Fig 3.5; no Ch.5 script)",
+        &lib.decision_making,
+        &d2.colimit.apex,
+        &lib.termination,
+    );
+    let d4 = span_step(
+        "PR8",
+        "PR7 ∘ VOTING over the consensus vocabulary (Fig 3.5; no Ch.5 script)",
+        &lib.consensus,
+        &d3.colimit.apex,
+        &lib.voting,
+    );
+    let d5 = span_step(
+        "PR9",
+        "PR8 ∘ FAILURETIMEOUT over the basic primitives (Fig 3.5; no Ch.5 script)",
+        &lib.bbb,
+        &d4.colimit.apex,
+        &lib.failure_timeout,
+    );
+    vec![controller(lib), d1, d2, d3, d4, d5]
+}
+
+/// Renders a pipeline as the Figure 3.4/3.5 chain.
+pub fn render(steps: &[PipelineStep]) -> String {
+    let mut out = String::new();
+    for s in steps {
+        out.push_str(&format!(
+            "{:<10} = {}\n             apex: {} sorts, {} ops, {} axioms, {} theorems; commutes: {}; open obligations: {}\n",
+            s.name,
+            s.description,
+            s.colimit.apex.signature.sort_count(),
+            s.colimit.apex.signature.op_count(),
+            s.colimit.apex.axioms().count(),
+            s.colimit.apex.theorems().count(),
+            s.commutes,
+            s.open_obligations,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn division_1_composes_and_commutes() {
+        let lib = SpecLibrary::load();
+        let steps = sequential_division_1(&lib);
+        assert_eq!(steps.len(), 5);
+        for s in &steps {
+            assert!(s.commutes, "{} does not commute", s.name);
+            assert_eq!(s.open_obligations, 0, "{} has open obligations", s.name);
+        }
+    }
+
+    #[test]
+    fn division_2_composes_and_commutes() {
+        let lib = SpecLibrary::load();
+        let steps = sequential_division_2(&lib);
+        assert_eq!(steps.len(), 6);
+        for s in &steps {
+            assert!(s.commutes, "{} does not commute", s.name);
+        }
+    }
+
+    #[test]
+    fn controller_has_broadcast_and_consensus_properties() {
+        let lib = SpecLibrary::load();
+        let c = controller(&lib);
+        let apex = &c.colimit.apex;
+        assert!(apex.property(&"Agreebroad".into()).is_some());
+        assert!(apex.property(&"Agreeconsensus".into()).is_some());
+    }
+
+    #[test]
+    fn pr2_stacks_the_serializability_dependencies() {
+        // Figure 4.1: serializability needs 2PL over undo/redo over
+        // consensus over broadcast.
+        let lib = SpecLibrary::load();
+        let steps = sequential_division_1(&lib);
+        let pr2 = &steps[2].colimit.apex;
+        for prop in ["Agreebroad", "Agreeconsensus", "Storevalues", "Readlock", "Writelock"] {
+            assert!(pr2.property(&Sym::new(prop)).is_some(), "PR2 missing {prop}");
+        }
+        assert!(pr2.property(&"Serialize".into()).is_some());
+    }
+
+    #[test]
+    fn pr4_stacks_the_recovery_dependencies() {
+        let lib = SpecLibrary::load();
+        let steps = sequential_division_1(&lib);
+        let pr4 = &steps[4].colimit.apex;
+        for prop in ["Checkpoint", "Recover", "recover", "RBR"] {
+            assert!(pr4.property(&Sym::new(prop)).is_some(), "PR4 missing {prop}");
+        }
+    }
+
+    #[test]
+    fn pr6_stacks_the_consistent_state_dependencies() {
+        let lib = SpecLibrary::load();
+        let steps = sequential_division_2(&lib);
+        let pr6 = &steps[2].colimit.apex;
+        for prop in ["Agreebroad", "Agreeconsensus", "Globprocstateinfo", "Constateinfo", "CSM"] {
+            assert!(pr6.property(&Sym::new(prop)).is_some(), "PR6 missing {prop}");
+        }
+    }
+
+    #[test]
+    fn pr9_accumulates_the_whole_division() {
+        let lib = SpecLibrary::load();
+        let steps = sequential_division_2(&lib);
+        let pr9 = &steps[5].colimit.apex;
+        // Something from each block along the chain.
+        for op in ["record", "next", "NonBlockingRule", "ElectBackup", "TimeoutAt"] {
+            assert!(pr9.signature.op(&Sym::new(op)).is_some(), "PR9 missing op {op}");
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_step() {
+        let lib = SpecLibrary::load();
+        let text = render(&sequential_division_1(&lib));
+        for name in ["CONTROLLER", "PR1", "PR2", "PR3", "PR4"] {
+            assert!(text.contains(name));
+        }
+    }
+}

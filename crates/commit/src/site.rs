@@ -1,0 +1,699 @@
+//! A site of the distributed transaction system: coordinator (master)
+//! or cohort, running 2PC or 3PC over the simulator, with the
+//! termination, election, snapshot, decision-making, and recovery
+//! building blocks wired in (Figure 3.3).
+
+use crate::decision::{termination_decision, GlobalState};
+use crate::msg::{CrashPoint, LocalState, Msg, Protocol};
+use mcv_sim::{Ctx, ProcId, Process, SimTime, TimerToken};
+use mcv_txn::{Item, SiteDb, TxnId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Timer phases multiplexed into a token with the transaction id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    WorkDone = 0,
+    Votes = 1,
+    PrepareWait = 2,
+    CommitWait = 3,
+    AckWait = 4,
+    Election = 5,
+    BackupWait = 6,
+    BlockedProbe = 7,
+    DecisionReqWait = 8,
+}
+
+fn token(txn: TxnId, phase: Phase) -> TimerToken {
+    txn.0 * 16 + phase as u64
+}
+
+fn untoken(t: TimerToken) -> (TxnId, u64) {
+    (TxnId(t / 16), t % 16)
+}
+
+/// The work a transaction performs at each cohort.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TxnPlan {
+    /// The transaction id.
+    pub txn: TxnId,
+    /// Per-cohort writes: `(cohort, [(item, value)])`.
+    pub writes: Vec<(ProcId, Vec<(Item, Value)>)>,
+}
+
+/// Per-site configuration.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// Which protocol everyone runs.
+    pub protocol: Protocol,
+    /// The initially assigned coordinator.
+    pub coordinator: ProcId,
+    /// Per-phase timeout in ticks (> 2δ per the thesis' failure model).
+    pub timeout: u64,
+    /// Fault injection point for *this* site.
+    pub crash_at: Option<CrashPoint>,
+    /// This cohort votes no.
+    pub vote_no: bool,
+    /// Transactions to run (coordinator only).
+    pub plans: Vec<TxnPlan>,
+    /// Use the naive Figure 3.2 timeout transitions (w2→abort, p2→commit
+    /// independently) instead of the election + termination protocol.
+    /// Safe for a single cohort, demonstrably unsafe for several.
+    pub naive_timeouts: bool,
+    /// Quorum-based termination (the partition-tolerant extension the
+    /// thesis leaves to future work): the elected backup decides only
+    /// with state reports from a strict majority of all sites; minority
+    /// partitions stay blocked until they can reach a quorum.
+    pub quorum_termination: bool,
+}
+
+impl Default for SiteConfig {
+    fn default() -> Self {
+        SiteConfig {
+            protocol: Protocol::ThreePhase,
+            coordinator: ProcId(0),
+            timeout: 50,
+            crash_at: None,
+            vote_no: false,
+            plans: Vec::new(),
+            naive_timeouts: false,
+            quorum_termination: false,
+        }
+    }
+}
+
+/// Volatile per-transaction protocol state.
+#[derive(Debug, Clone, Default)]
+struct TxnState {
+    state: Option<LocalState>,
+    work_ok: bool,
+    workdone: BTreeSet<ProcId>,
+    work_failed: bool,
+    votes: BTreeSet<ProcId>,
+    acks: BTreeSet<ProcId>,
+    election_running: bool,
+    is_backup: bool,
+    collected: GlobalState,
+}
+
+/// Observability: when and how each transaction was decided locally,
+/// and blocking intervals (metrics only — not protocol state, so it is
+/// not wiped on crash).
+#[derive(Debug, Clone, Default)]
+pub struct SiteMetrics {
+    /// First durable local decision: `txn → (time, committed)`.
+    pub decisions: BTreeMap<TxnId, (SimTime, bool)>,
+    /// When the site first found itself blocked per transaction.
+    pub blocked_since: BTreeMap<TxnId, SimTime>,
+    /// Accumulated blocked duration (filled when the block resolves).
+    pub blocked_for: BTreeMap<TxnId, SimTime>,
+}
+
+impl SiteMetrics {
+    /// Whether the site is still blocked on `txn` (blocked and never
+    /// decided).
+    pub fn is_blocked(&self, txn: TxnId) -> bool {
+        self.blocked_since.contains_key(&txn) && !self.decisions.contains_key(&txn)
+    }
+}
+
+/// A site process: one of the networked participants of Figure 3.3.
+#[derive(Debug)]
+pub struct Site {
+    cfg: SiteConfig,
+    /// The site's transactional database (stable + volatile halves).
+    pub db: SiteDb,
+    /// Stable protocol-state log (assumption 4: logging on stable
+    /// storage). Survives crashes.
+    stable_state: BTreeMap<TxnId, LocalState>,
+    /// Volatile per-transaction state. Wiped on crash.
+    tstate: BTreeMap<TxnId, TxnState>,
+    /// Metrics (observer-only).
+    pub metrics: SiteMetrics,
+    me: Option<ProcId>,
+}
+
+impl Site {
+    /// A new site with the given configuration.
+    pub fn new(cfg: SiteConfig) -> Self {
+        Site {
+            cfg,
+            db: SiteDb::new(),
+            stable_state: BTreeMap::new(),
+            tstate: BTreeMap::new(),
+            metrics: SiteMetrics::default(),
+            me: None,
+        }
+    }
+
+    /// This site's current protocol state for `txn`.
+    pub fn local_state(&self, txn: TxnId) -> Option<LocalState> {
+        self.tstate
+            .get(&txn)
+            .and_then(|t| t.state)
+            .or_else(|| self.stable_state.get(&txn).copied())
+    }
+
+    /// The site's configuration.
+    pub fn config(&self) -> &SiteConfig {
+        &self.cfg
+    }
+
+    fn is_coordinator(&self, ctx: &Ctx<Msg>) -> bool {
+        ctx.id() == self.cfg.coordinator
+    }
+
+    fn cohorts(&self, ctx: &Ctx<Msg>) -> Vec<ProcId> {
+        (0..ctx.n_procs())
+            .map(ProcId)
+            .filter(|p| *p != self.cfg.coordinator)
+            .collect()
+    }
+
+    fn set_state(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, s: LocalState) {
+        self.tstate.entry(txn).or_default().state = Some(s);
+        self.stable_state.insert(txn, s);
+        ctx.note(format!("state {txn} {s}"));
+    }
+
+    fn decide(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, commit: bool) {
+        let final_state = if commit { LocalState::Committed } else { LocalState::Aborted };
+        if self
+            .local_state(txn)
+            .is_some_and(|s| s.is_final())
+        {
+            return;
+        }
+        // Apply to the database: commit/abort active work, or resolve
+        // an in-doubt transaction after recovery.
+        if commit {
+            if self.db.commit(txn).is_err() {
+                self.db.resolve(txn, true);
+            }
+        } else if self.db.abort(txn).is_err() {
+            self.db.resolve(txn, false);
+        }
+        self.set_state(ctx, txn, final_state);
+        ctx.note(format!("decide {txn} {}", if commit { "commit" } else { "abort" }));
+        if let std::collections::btree_map::Entry::Vacant(e) = self.metrics.decisions.entry(txn) {
+            e.insert((ctx.now(), commit));
+            if let Some(since) = self.metrics.blocked_since.get(&txn) {
+                self.metrics
+                    .blocked_for
+                    .insert(txn, ctx.now().saturating_sub(*since));
+            }
+        }
+        // Decisions cancel all pending timers of this transaction.
+        for phase in [
+            Phase::WorkDone,
+            Phase::Votes,
+            Phase::PrepareWait,
+            Phase::CommitWait,
+            Phase::AckWait,
+            Phase::Election,
+            Phase::BackupWait,
+            Phase::BlockedProbe,
+            Phase::DecisionReqWait,
+        ] {
+            ctx.cancel_timer(token(txn, phase));
+        }
+    }
+
+    fn broadcast_decision(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, commit: bool) {
+        let msg = if commit { Msg::Commit { txn } } else { Msg::Abort { txn } };
+        ctx.broadcast(msg);
+        self.decide(ctx, txn, commit);
+    }
+
+    fn timeout(&self) -> SimTime {
+        SimTime::from_ticks(self.cfg.timeout)
+    }
+
+    fn maybe_crash(&mut self, ctx: &mut Ctx<Msg>, here: CrashPoint) {
+        if self.cfg.crash_at == Some(here) {
+            ctx.note(format!("crashing at {here:?}"));
+            ctx.crash_self();
+        }
+    }
+
+    fn start_election(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId) {
+        let me = ctx.id();
+        let t = self.tstate.entry(txn).or_default();
+        if t.election_running || t.state.is_some_and(|s| s.is_final()) {
+            return;
+        }
+        t.election_running = true;
+        ctx.note(format!("election {txn} candidate {me}"));
+        // Bully with lowest-id-wins: challenge all lower-id sites except
+        // the failed coordinator.
+        let lower: Vec<ProcId> = (0..me.0)
+            .map(ProcId)
+            .filter(|p| *p != self.cfg.coordinator)
+            .collect();
+        if lower.is_empty() {
+            // Nobody outranks us: declare immediately.
+            self.become_backup(ctx, txn);
+        } else {
+            for p in lower {
+                ctx.send(p, Msg::Election { txn, candidate: me });
+            }
+            ctx.set_timer(self.timeout(), token(txn, Phase::Election));
+        }
+    }
+
+    fn become_backup(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId) {
+        let me = ctx.id();
+        ctx.note(format!("backup-coordinator {txn} {me}"));
+        let t = self.tstate.entry(txn).or_default();
+        t.is_backup = true;
+        t.collected = GlobalState::new();
+        if let Some(s) = self.local_state(txn) {
+            let t = self.tstate.entry(txn).or_default();
+            t.collected.record(me, s);
+        }
+        ctx.broadcast(Msg::Coordinator { txn, elected: me });
+        ctx.broadcast(Msg::StateReq { txn });
+        ctx.set_timer(self.timeout(), token(txn, Phase::BackupWait));
+        self.maybe_crash(ctx, CrashPoint::AsBackupAfterAnnounce);
+    }
+
+    fn finish_termination(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId) {
+        let quorum = ctx.n_procs() / 2 + 1;
+        let t = self.tstate.entry(txn).or_default();
+        if !t.is_backup {
+            return;
+        }
+        if self.cfg.quorum_termination && t.collected.len() < quorum {
+            // Not enough of the system is reachable: stay blocked, keep
+            // collecting (the price of partition tolerance).
+            ctx.note(format!(
+                "termination {txn} deferred: {}/{} states < quorum {quorum}",
+                t.collected.len(),
+                ctx.n_procs()
+            ));
+            ctx.broadcast(Msg::StateReq { txn });
+            ctx.set_timer(self.timeout(), token(txn, Phase::BackupWait));
+            return;
+        }
+        t.is_backup = false;
+        let decision = termination_decision(&t.collected);
+        let vector = t.collected.to_string();
+        ctx.note(format!("termination {txn} vector {vector} -> {}",
+            if decision { "commit" } else { "abort" }));
+        self.broadcast_decision(ctx, txn, decision);
+    }
+
+    // ----- coordinator handlers -----
+
+    fn coord_start(&mut self, ctx: &mut Ctx<Msg>) {
+        for plan in self.cfg.plans.clone() {
+            let txn = plan.txn;
+            self.db.begin(txn);
+            self.set_state(ctx, txn, LocalState::Initial);
+            for (cohort, writes) in &plan.writes {
+                ctx.send(*cohort, Msg::StartWork { txn, writes: writes.clone() });
+            }
+            ctx.set_timer(self.timeout(), token(txn, Phase::WorkDone));
+        }
+    }
+
+    fn coord_on_workdone(&mut self, ctx: &mut Ctx<Msg>, from: ProcId, txn: TxnId, ok: bool) {
+        let n_cohorts = self.cohorts(ctx).len();
+        let t = self.tstate.entry(txn).or_default();
+        if t.state.is_some_and(|s| s != LocalState::Initial) {
+            return;
+        }
+        if !ok {
+            t.work_failed = true;
+        }
+        t.workdone.insert(from);
+        let all = t.workdone.len() == n_cohorts;
+        let failed = t.work_failed;
+        if all {
+            ctx.cancel_timer(token(txn, Phase::WorkDone));
+            if failed {
+                self.broadcast_decision(ctx, txn, false);
+            } else {
+                // Commit request: phase 1.
+                for c in self.cohorts(ctx) {
+                    ctx.send(c, Msg::VoteReq { txn });
+                }
+                self.set_state(ctx, txn, LocalState::Wait);
+                ctx.set_timer(self.timeout(), token(txn, Phase::Votes));
+                self.maybe_crash(ctx, CrashPoint::AfterVoteReq);
+            }
+        }
+    }
+
+    fn coord_on_vote(&mut self, ctx: &mut Ctx<Msg>, from: ProcId, txn: TxnId, yes: bool) {
+        let n_cohorts = self.cohorts(ctx).len();
+        if self.local_state(txn).is_some_and(|s| s.is_final()) {
+            return;
+        }
+        if !yes {
+            ctx.cancel_timer(token(txn, Phase::Votes));
+            self.broadcast_decision(ctx, txn, false);
+            return;
+        }
+        let t = self.tstate.entry(txn).or_default();
+        t.votes.insert(from);
+        if t.votes.len() == n_cohorts {
+            ctx.cancel_timer(token(txn, Phase::Votes));
+            self.maybe_crash(ctx, CrashPoint::AfterVotes);
+            if self.cfg.crash_at == Some(CrashPoint::AfterVotes) {
+                return; // crashed before releasing any decision
+            }
+            match self.cfg.protocol {
+                Protocol::TwoPhase => {
+                    // Decide commit directly (no prepared buffer state).
+                    self.broadcast_decision(ctx, txn, true);
+                }
+                Protocol::ThreePhase => {
+                    let cohorts = self.cohorts(ctx);
+                    if self.cfg.crash_at == Some(CrashPoint::AfterPartialPrepare) {
+                        // Send prepare to the first cohort only, then die:
+                        // the asymmetric-knowledge window.
+                        if let Some(first) = cohorts.first() {
+                            ctx.send(*first, Msg::Prepare { txn });
+                        }
+                        self.set_state(ctx, txn, LocalState::Prepared);
+                        ctx.note("crashing at AfterPartialPrepare".to_string());
+                        ctx.crash_self();
+                        return;
+                    }
+                    for c in cohorts {
+                        ctx.send(c, Msg::Prepare { txn });
+                    }
+                    self.set_state(ctx, txn, LocalState::Prepared);
+                    ctx.set_timer(self.timeout(), token(txn, Phase::AckWait));
+                    self.maybe_crash(ctx, CrashPoint::AfterPrepare);
+                }
+            }
+        }
+    }
+
+    fn coord_on_ack(&mut self, ctx: &mut Ctx<Msg>, from: ProcId, txn: TxnId) {
+        let n_cohorts = self.cohorts(ctx).len();
+        if self.local_state(txn).is_some_and(|s| s.is_final()) {
+            return;
+        }
+        let t = self.tstate.entry(txn).or_default();
+        t.acks.insert(from);
+        if t.acks.len() == n_cohorts {
+            ctx.cancel_timer(token(txn, Phase::AckWait));
+            self.broadcast_decision(ctx, txn, true);
+        }
+    }
+
+    // ----- cohort handlers -----
+
+    fn cohort_on_startwork(
+        &mut self,
+        ctx: &mut Ctx<Msg>,
+        master: ProcId,
+        txn: TxnId,
+        writes: Vec<(Item, Value)>,
+    ) {
+        self.db.begin(txn);
+        self.set_state(ctx, txn, LocalState::Initial);
+        let mut ok = true;
+        for (item, value) in &writes {
+            if self.db.write(txn, item, *value).is_err() {
+                ok = false;
+                break;
+            }
+        }
+        let t = self.tstate.entry(txn).or_default();
+        t.work_ok = ok;
+        ctx.send(master, Msg::WorkDone { txn, ok });
+    }
+
+    fn cohort_on_votereq(&mut self, ctx: &mut Ctx<Msg>, coord: ProcId, txn: TxnId) {
+        if self.cfg.vote_no || !self.tstate.entry(txn).or_default().work_ok {
+            ctx.send(coord, Msg::VoteNo { txn });
+            self.decide(ctx, txn, false);
+            return;
+        }
+        ctx.send(coord, Msg::VoteYes { txn });
+        self.set_state(ctx, txn, LocalState::Wait);
+        self.maybe_crash(ctx, CrashPoint::AfterVoteYes);
+        let phase = match self.cfg.protocol {
+            Protocol::ThreePhase => Phase::PrepareWait,
+            Protocol::TwoPhase => Phase::CommitWait,
+        };
+        ctx.set_timer(self.timeout(), token(txn, phase));
+    }
+
+    fn cohort_on_prepare(&mut self, ctx: &mut Ctx<Msg>, coord: ProcId, txn: TxnId) {
+        if self.local_state(txn).is_some_and(|s| s.is_final()) {
+            return;
+        }
+        ctx.cancel_timer(token(txn, Phase::PrepareWait));
+        self.set_state(ctx, txn, LocalState::Prepared);
+        ctx.send(coord, Msg::PrepareAck { txn });
+        ctx.set_timer(self.timeout(), token(txn, Phase::CommitWait));
+    }
+
+    // ----- shared handlers -----
+
+    fn on_state_req(&mut self, ctx: &mut Ctx<Msg>, from: ProcId, txn: TxnId) {
+        if let Some(s) = self.local_state(txn) {
+            ctx.send(from, Msg::StateResp { txn, state: s });
+        }
+    }
+
+    fn on_state_resp(&mut self, ctx: &mut Ctx<Msg>, from: ProcId, txn: TxnId, s: LocalState) {
+        let n = ctx.n_procs();
+        let t = self.tstate.entry(txn).or_default();
+        if !t.is_backup {
+            return;
+        }
+        t.collected.record(from, s);
+        // All operational sites reported (conservatively: everyone but
+        // the failed coordinator).
+        if t.collected.len() >= n - 1 {
+            ctx.cancel_timer(token(txn, Phase::BackupWait));
+            self.finish_termination(ctx, txn);
+        }
+    }
+}
+
+impl Process<Msg> for Site {
+    fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
+        self.me = Some(ctx.id());
+        if self.is_coordinator(ctx) {
+            self.coord_start(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Msg>, from: ProcId, msg: Msg) {
+        self.me = Some(ctx.id());
+        let txn = msg.txn();
+        match msg {
+            Msg::StartWork { writes, .. } => self.cohort_on_startwork(ctx, from, txn, writes),
+            Msg::WorkDone { ok, .. } => self.coord_on_workdone(ctx, from, txn, ok),
+            Msg::VoteReq { .. } => self.cohort_on_votereq(ctx, from, txn),
+            Msg::VoteYes { .. } => self.coord_on_vote(ctx, from, txn, true),
+            Msg::VoteNo { .. } => self.coord_on_vote(ctx, from, txn, false),
+            Msg::Prepare { .. } => self.cohort_on_prepare(ctx, from, txn),
+            Msg::PrepareAck { .. } => self.coord_on_ack(ctx, from, txn),
+            Msg::Commit { .. } => self.decide(ctx, txn, true),
+            Msg::Abort { .. } => self.decide(ctx, txn, false),
+            Msg::Election { candidate, .. } => {
+                // Lowest id wins: veto and run our own election.
+                if ctx.id().0 < candidate.0 {
+                    ctx.send(from, Msg::ElectionAck { txn });
+                    self.start_election(ctx, txn);
+                }
+            }
+            Msg::ElectionAck { .. } => {
+                // Someone lower is alive; await their announcement.
+                ctx.cancel_timer(token(txn, Phase::Election));
+                ctx.set_timer(self.timeout(), token(txn, Phase::BackupWait));
+            }
+            Msg::Coordinator { elected, .. } => {
+                ctx.cancel_timer(token(txn, Phase::Election));
+                ctx.cancel_timer(token(txn, Phase::BackupWait));
+                ctx.note(format!("accept-backup {txn} {elected}"));
+                // Watchdog: if the backup dies before releasing a
+                // decision, re-run the election.
+                ctx.set_timer(self.timeout(), token(txn, Phase::BackupWait));
+            }
+            Msg::StateReq { .. } => self.on_state_req(ctx, from, txn),
+            Msg::StateResp { state, .. } => self.on_state_resp(ctx, from, txn, state),
+            Msg::DecisionReq { .. } => {
+                if let Some(s) = self.local_state(txn) {
+                    match s {
+                        LocalState::Committed => {
+                            ctx.send(from, Msg::DecisionResp { txn, commit: true })
+                        }
+                        LocalState::Aborted => {
+                            ctx.send(from, Msg::DecisionResp { txn, commit: false })
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            Msg::DecisionResp { commit, .. } => {
+                if !self.local_state(txn).is_some_and(|s| s.is_final()) {
+                    ctx.cancel_timer(token(txn, Phase::DecisionReqWait));
+                    self.decide(ctx, txn, commit);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Msg>, t: TimerToken) {
+        self.me = Some(ctx.id());
+        let (txn, phase) = untoken(t);
+        if self.local_state(txn).is_some_and(|s| s.is_final()) {
+            return;
+        }
+        match phase {
+            x if x == Phase::WorkDone as u64 => {
+                // Some cohort never finished its work: abort.
+                self.broadcast_decision(ctx, txn, false);
+            }
+            x if x == Phase::Votes as u64 => {
+                // Missing votes: abort (first-phase timeout transition).
+                self.broadcast_decision(ctx, txn, false);
+            }
+            x if x == Phase::AckWait as u64 => {
+                // Coordinator in p1 missing acks. The thesis' Figure 3.2
+                // aborts here; standard (safe) 3PC commits, because every
+                // operational site is already prepared. We implement the
+                // safe variant and flag the difference in EXPERIMENTS.md.
+                self.broadcast_decision(ctx, txn, true);
+            }
+            x if x == Phase::PrepareWait as u64 => {
+                // Cohort in w2, no prepare: coordinator failed.
+                if self.cfg.naive_timeouts {
+                    self.decide(ctx, txn, false); // Figure 3.2 timeout transition
+                } else {
+                    self.start_election(ctx, txn);
+                }
+            }
+            x if x == Phase::CommitWait as u64 => {
+                match self.cfg.protocol {
+                    Protocol::ThreePhase => {
+                        // Cohort in p2, no commit.
+                        if self.cfg.naive_timeouts {
+                            self.decide(ctx, txn, true); // Figure 3.2 timeout transition
+                        } else {
+                            self.start_election(ctx, txn);
+                        }
+                    }
+                    Protocol::TwoPhase => {
+                        // Voted yes, no decision: BLOCKED. Hold locks and
+                        // keep waiting — the defining 2PC weakness.
+                        if let std::collections::btree_map::Entry::Vacant(e) = self.metrics.blocked_since.entry(txn) {
+                            e.insert(ctx.now());
+                            ctx.note(format!("blocked {txn}"));
+                        }
+                        ctx.set_timer(self.timeout(), token(txn, Phase::BlockedProbe));
+                    }
+                }
+            }
+            x if x == Phase::BlockedProbe as u64 => {
+                // Still blocked; keep probing.
+                ctx.set_timer(self.timeout(), token(txn, Phase::BlockedProbe));
+            }
+            x if x == Phase::Election as u64 => {
+                // No lower-id site vetoed: we are the backup.
+                self.become_backup(ctx, txn);
+            }
+            x if x == Phase::BackupWait as u64 => {
+                let st = self.tstate.entry(txn).or_default();
+                if st.is_backup {
+                    // Not all states collected; decide from what we have.
+                    self.finish_termination(ctx, txn);
+                } else {
+                    // The announced backup went silent; retry election.
+                    st.election_running = false;
+                    self.start_election(ctx, txn);
+                }
+            }
+            x if x == Phase::DecisionReqWait as u64 => {
+                // Nobody answered our decision request: apply the stable
+                // failure transition (thesis: fail in w2 → abort; fail in
+                // p → commit-side is resolved by peers, so default abort
+                // only from w2/q).
+                match self.stable_state.get(&txn).copied() {
+                    Some(LocalState::Wait) | Some(LocalState::Initial) => {
+                        self.decide(ctx, txn, false)
+                    }
+                    Some(LocalState::Prepared) => {
+                        // Keep asking: a prepared site must not guess.
+                        ctx.broadcast(Msg::DecisionReq { txn });
+                        ctx.set_timer(self.timeout(), token(txn, Phase::DecisionReqWait));
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_crash(&mut self) {
+        // Volatile halves die; stable_state and the WAL survive.
+        self.db.crash();
+        self.tstate.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<Msg>) {
+        self.me = Some(ctx.id());
+        ctx.note("recovering".to_string());
+        self.db.recover();
+        let pending: Vec<(TxnId, LocalState)> = self
+            .stable_state
+            .iter()
+            .filter(|(_, s)| !s.is_final())
+            .map(|(t, s)| (*t, *s))
+            .collect();
+        for (txn, s) in pending {
+            if ctx.id() == self.cfg.coordinator {
+                // Failure transitions of Figure 3.2: w1 → abort on
+                // recovery; p1 → commit on recovery.
+                match s {
+                    LocalState::Initial | LocalState::Wait => {
+                        self.broadcast_decision(ctx, txn, false)
+                    }
+                    LocalState::Prepared => self.broadcast_decision(ctx, txn, true),
+                    _ => {}
+                }
+            } else {
+                // Cohort: ask the others for the outcome first.
+                ctx.broadcast(Msg::DecisionReq { txn });
+                ctx.set_timer(self.timeout(), token(txn, Phase::DecisionReqWait));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trip() {
+        let t = token(TxnId(5), Phase::AckWait);
+        let (txn, phase) = untoken(t);
+        assert_eq!(txn, TxnId(5));
+        assert_eq!(phase, Phase::AckWait as u64);
+    }
+
+    #[test]
+    fn default_config_is_3pc_with_election() {
+        let c = SiteConfig::default();
+        assert_eq!(c.protocol, Protocol::ThreePhase);
+        assert!(!c.naive_timeouts);
+    }
+
+    #[test]
+    fn metrics_blocked_logic() {
+        let mut m = SiteMetrics::default();
+        m.blocked_since.insert(TxnId(1), SimTime::from_ticks(10));
+        assert!(m.is_blocked(TxnId(1)));
+        m.decisions.insert(TxnId(1), (SimTime::from_ticks(20), true));
+        assert!(!m.is_blocked(TxnId(1)));
+    }
+}

@@ -1,0 +1,213 @@
+//! Structural diffs between specifications — the mechanical basis for
+//! the thesis' specification-evolution story (§1.1.8: "support for
+//! traceability as a specification evolves … and to support tracing of
+//! the impacts of change").
+
+use crate::spec::Spec;
+use mcv_logic::{Sort, Sym};
+use std::fmt;
+
+/// What changed between two versions of a specification.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpecDiff {
+    /// Sorts only in the new version.
+    pub added_sorts: Vec<Sort>,
+    /// Sorts only in the old version.
+    pub removed_sorts: Vec<Sort>,
+    /// Ops only in the new version.
+    pub added_ops: Vec<Sym>,
+    /// Ops only in the old version.
+    pub removed_ops: Vec<Sym>,
+    /// Ops present in both with different profiles.
+    pub changed_ops: Vec<Sym>,
+    /// Properties only in the new version.
+    pub added_properties: Vec<Sym>,
+    /// Properties only in the old version.
+    pub removed_properties: Vec<Sym>,
+    /// Properties present in both with different formulas or kinds.
+    pub changed_properties: Vec<Sym>,
+}
+
+impl SpecDiff {
+    /// Whether the two versions are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.added_sorts.is_empty()
+            && self.removed_sorts.is_empty()
+            && self.added_ops.is_empty()
+            && self.removed_ops.is_empty()
+            && self.changed_ops.is_empty()
+            && self.added_properties.is_empty()
+            && self.removed_properties.is_empty()
+            && self.changed_properties.is_empty()
+    }
+
+    /// Names of all properties whose meaning may have changed (changed,
+    /// added or removed) — the set whose dependent proofs must be
+    /// re-checked.
+    pub fn impacted_properties(&self) -> Vec<Sym> {
+        let mut out = Vec::new();
+        out.extend(self.changed_properties.iter().cloned());
+        out.extend(self.added_properties.iter().cloned());
+        out.extend(self.removed_properties.iter().cloned());
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+impl fmt::Display for SpecDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no structural changes");
+        }
+        let section = |f: &mut fmt::Formatter<'_>, label: &str, items: &[Sym]| {
+            if items.is_empty() {
+                Ok(())
+            } else {
+                let names: Vec<&str> = items.iter().map(Sym::as_str).collect();
+                writeln!(f, "  {label}: {}", names.join(", "))
+            }
+        };
+        writeln!(f, "spec diff:")?;
+        if !self.added_sorts.is_empty() {
+            let names: Vec<String> = self.added_sorts.iter().map(Sort::to_string).collect();
+            writeln!(f, "  + sorts: {}", names.join(", "))?;
+        }
+        if !self.removed_sorts.is_empty() {
+            let names: Vec<String> = self.removed_sorts.iter().map(Sort::to_string).collect();
+            writeln!(f, "  - sorts: {}", names.join(", "))?;
+        }
+        section(f, "+ ops", &self.added_ops)?;
+        section(f, "- ops", &self.removed_ops)?;
+        section(f, "~ ops", &self.changed_ops)?;
+        section(f, "+ properties", &self.added_properties)?;
+        section(f, "- properties", &self.removed_properties)?;
+        section(f, "~ properties", &self.changed_properties)?;
+        Ok(())
+    }
+}
+
+/// Computes the structural diff from `old` to `new`.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_core::{diff_specs, SpecBuilder};
+/// use mcv_logic::Sort;
+/// let v1 = SpecBuilder::new("S")
+///     .sort(Sort::new("E"))
+///     .predicate("P", vec![Sort::new("E")])
+///     .axiom("total", "fa(x:E) P(x)")
+///     .build().unwrap();
+/// let v2 = SpecBuilder::new("S")
+///     .sort(Sort::new("E"))
+///     .predicate("P", vec![Sort::new("E")])
+///     .axiom("total", "fa(x:E) (P(x) or ~(P(x)))") // weakened!
+///     .build().unwrap();
+/// let d = diff_specs(&v1, &v2);
+/// assert_eq!(d.changed_properties.len(), 1);
+/// ```
+pub fn diff_specs(old: &Spec, new: &Spec) -> SpecDiff {
+    let mut d = SpecDiff::default();
+    for sd in new.signature.sorts() {
+        if old.signature.sort_decl(&sd.sort).is_none() {
+            d.added_sorts.push(sd.sort.clone());
+        }
+    }
+    for sd in old.signature.sorts() {
+        if new.signature.sort_decl(&sd.sort).is_none() {
+            d.removed_sorts.push(sd.sort.clone());
+        }
+    }
+    for op in new.signature.ops() {
+        match old.signature.op(&op.name) {
+            None => d.added_ops.push(op.name.clone()),
+            Some(prev) if prev != op => d.changed_ops.push(op.name.clone()),
+            Some(_) => {}
+        }
+    }
+    for op in old.signature.ops() {
+        if new.signature.op(&op.name).is_none() {
+            d.removed_ops.push(op.name.clone());
+        }
+    }
+    for p in &new.properties {
+        match old.property(&p.name) {
+            None => d.added_properties.push(p.name.clone()),
+            Some(prev) if prev.formula != p.formula || prev.kind != p.kind => {
+                d.changed_properties.push(p.name.clone())
+            }
+            Some(_) => {}
+        }
+    }
+    for p in &old.properties {
+        if new.property(&p.name).is_none() {
+            d.removed_properties.push(p.name.clone());
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    fn v1() -> Spec {
+        SpecBuilder::new("S")
+            .sort(Sort::new("E"))
+            .predicate("P", vec![Sort::new("E")])
+            .predicate("Gone", vec![Sort::new("E")])
+            .axiom("total", "fa(x:E) P(x)")
+            .axiom("legacy", "fa(x:E) Gone(x)")
+            .build()
+            .unwrap()
+    }
+
+    fn v2() -> Spec {
+        SpecBuilder::new("S")
+            .sort(Sort::new("E"))
+            .sort(Sort::new("F"))
+            .predicate("P", vec![Sort::new("E"), Sort::new("F")]) // profile change
+            .predicate("Q", vec![Sort::new("E")])
+            .axiom("total", "fa(x:E, y:F) P(x, y)") // changed formula
+            .axiom("fresh", "fa(x:E) Q(x)")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_specs_diff_empty() {
+        let d = diff_specs(&v1(), &v1());
+        assert!(d.is_empty());
+        assert_eq!(d.to_string(), "no structural changes");
+    }
+
+    #[test]
+    fn all_change_kinds_detected() {
+        let d = diff_specs(&v1(), &v2());
+        assert_eq!(d.added_sorts, vec![Sort::new("F")]);
+        assert_eq!(d.added_ops, vec![Sym::new("Q")]);
+        assert_eq!(d.removed_ops, vec![Sym::new("Gone")]);
+        assert_eq!(d.changed_ops, vec![Sym::new("P")]);
+        assert_eq!(d.added_properties, vec![Sym::new("fresh")]);
+        assert_eq!(d.removed_properties, vec![Sym::new("legacy")]);
+        assert_eq!(d.changed_properties, vec![Sym::new("total")]);
+    }
+
+    #[test]
+    fn impacted_properties_union() {
+        let d = diff_specs(&v1(), &v2());
+        let impacted = d.impacted_properties();
+        assert!(impacted.contains(&Sym::new("total")));
+        assert!(impacted.contains(&Sym::new("fresh")));
+        assert!(impacted.contains(&Sym::new("legacy")));
+    }
+
+    #[test]
+    fn display_renders_all_sections() {
+        let text = diff_specs(&v1(), &v2()).to_string();
+        assert!(text.contains("+ sorts: F"));
+        assert!(text.contains("~ properties: total"));
+    }
+}

@@ -1,0 +1,322 @@
+//! The category **FinSet** of finite sets and functions.
+//!
+//! A second, elementary instance of the categorical machinery: used to
+//! demonstrate Figure 2.1's pushout (with an explicit witness of the
+//! universal property's *unique mediating morphism*) and to property-test
+//! the category laws independently of the specification category.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A finite set of named elements.
+pub type FinSet = BTreeSet<String>;
+
+/// A function between finite sets, given by its graph.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_core::finset::{FinMap, fin_set};
+/// let f = FinMap::new(
+///     fin_set(["a"]),
+///     fin_set(["x", "y"]),
+///     [("a", "x")],
+/// ).unwrap();
+/// assert_eq!(f.apply("a"), Some("x"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinMap {
+    /// Domain.
+    pub dom: FinSet,
+    /// Codomain.
+    pub cod: FinSet,
+    map: BTreeMap<String, String>,
+}
+
+/// Convenience constructor for finite sets.
+pub fn fin_set<const N: usize>(elems: [&str; N]) -> FinSet {
+    elems.iter().map(|s| s.to_string()).collect()
+}
+
+impl FinMap {
+    /// A total function from `dom` to `cod` with the given graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the graph is not a total function into `cod`.
+    pub fn new<'a>(
+        dom: FinSet,
+        cod: FinSet,
+        graph: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> Result<Self, String> {
+        let map: BTreeMap<String, String> =
+            graph.into_iter().map(|(a, b)| (a.to_string(), b.to_string())).collect();
+        for d in &dom {
+            match map.get(d) {
+                None => return Err(format!("no image for {d}")),
+                Some(img) if !cod.contains(img) => {
+                    return Err(format!("image {img} of {d} not in codomain"))
+                }
+                Some(_) => {}
+            }
+        }
+        for k in map.keys() {
+            if !dom.contains(k) {
+                return Err(format!("graph mentions {k} outside the domain"));
+            }
+        }
+        Ok(FinMap { dom, cod, map })
+    }
+
+    /// The identity function on `s`.
+    pub fn identity(s: &FinSet) -> Self {
+        FinMap {
+            dom: s.clone(),
+            cod: s.clone(),
+            map: s.iter().map(|e| (e.clone(), e.clone())).collect(),
+        }
+    }
+
+    /// Image of an element.
+    pub fn apply(&self, x: &str) -> Option<&str> {
+        self.map.get(x).map(String::as_str)
+    }
+
+    /// Composition `other ∘ self` (first `self`, then `other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if `self.cod != other.dom`.
+    pub fn then(&self, other: &FinMap) -> Result<FinMap, String> {
+        if self.cod != other.dom {
+            return Err("composition endpoint mismatch".into());
+        }
+        let map = self
+            .map
+            .iter()
+            .map(|(a, b)| (a.clone(), other.map[b].clone()))
+            .collect();
+        Ok(FinMap { dom: self.dom.clone(), cod: other.cod.clone(), map })
+    }
+}
+
+impl fmt::Display for FinMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, b)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}↦{b}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A pushout square in FinSet with its injections.
+#[derive(Debug, Clone)]
+pub struct FinPushout {
+    /// The pushout object `D = (B ⊎ C) / ~` with elements named by
+    /// representative.
+    pub object: FinSet,
+    /// Injection `p : B → D`.
+    pub p: FinMap,
+    /// Injection `q : C → D`.
+    pub q: FinMap,
+}
+
+/// Computes the pushout of `f : A → B` and `g : A → C` in FinSet:
+/// the disjoint union `B ⊎ C` quotiented by `f(a) ~ g(a)`.
+///
+/// # Errors
+///
+/// Returns a message if `f` and `g` have different domains.
+pub fn fin_pushout(f: &FinMap, g: &FinMap) -> Result<FinPushout, String> {
+    if f.dom != g.dom {
+        return Err("pushout requires a common source".into());
+    }
+    // Tag elements to form the disjoint union.
+    let tagged_b: Vec<String> = f.cod.iter().map(|e| format!("b.{e}")).collect();
+    let tagged_c: Vec<String> = g.cod.iter().map(|e| format!("c.{e}")).collect();
+    let mut parent: BTreeMap<String, String> = BTreeMap::new();
+    for e in tagged_b.iter().chain(&tagged_c) {
+        parent.insert(e.clone(), e.clone());
+    }
+    fn find(parent: &mut BTreeMap<String, String>, x: &str) -> String {
+        let p = parent[x].clone();
+        if p == x {
+            return p;
+        }
+        let root = find(parent, &p);
+        parent.insert(x.to_string(), root.clone());
+        root
+    }
+    for a in &f.dom {
+        let fb = format!("b.{}", f.apply(a).expect("total"));
+        let gc = format!("c.{}", g.apply(a).expect("total"));
+        let (ra, rb) = (find(&mut parent, &fb), find(&mut parent, &gc));
+        if ra != rb {
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            parent.insert(hi, lo);
+        }
+    }
+    let mut object = FinSet::new();
+    let mut rep = |e: &str| -> String { find(&mut parent, e) };
+    let mut p_graph = Vec::new();
+    for e in &f.cod {
+        let r = rep(&format!("b.{e}"));
+        object.insert(r.clone());
+        p_graph.push((e.clone(), r));
+    }
+    let mut q_graph = Vec::new();
+    for e in &g.cod {
+        let r = rep(&format!("c.{e}"));
+        object.insert(r.clone());
+        q_graph.push((e.clone(), r));
+    }
+    let p = FinMap {
+        dom: f.cod.clone(),
+        cod: object.clone(),
+        map: p_graph.into_iter().collect(),
+    };
+    let q = FinMap {
+        dom: g.cod.clone(),
+        cod: object.clone(),
+        map: q_graph.into_iter().collect(),
+    };
+    Ok(FinPushout { object, p, q })
+}
+
+/// The *unique mediating morphism* of the pushout's universal property:
+/// given a competing cocone `p' : B → D'`, `q' : C → D'` with
+/// `p' ∘ f = q' ∘ g`, returns the unique `u : D → D'` with `u ∘ p = p'`
+/// and `u ∘ q = q'` (Figure 2.1's universal condition).
+///
+/// # Errors
+///
+/// Returns a message if the competing square does not commute (no
+/// mediating morphism exists) or the cocone is inconsistent.
+pub fn mediating(
+    po: &FinPushout,
+    f: &FinMap,
+    g: &FinMap,
+    p2: &FinMap,
+    q2: &FinMap,
+) -> Result<FinMap, String> {
+    // Check p' ∘ f = q' ∘ g.
+    for a in &f.dom {
+        let left = p2.apply(f.apply(a).expect("total")).ok_or("p' not total")?;
+        let right = q2.apply(g.apply(a).expect("total")).ok_or("q' not total")?;
+        if left != right {
+            return Err(format!("competing square does not commute at {a}"));
+        }
+    }
+    let mut graph: BTreeMap<String, String> = BTreeMap::new();
+    for b in &po.p.dom {
+        let d = po.p.apply(b).expect("total").to_string();
+        let img = p2.apply(b).ok_or("p' not total")?.to_string();
+        if let Some(prev) = graph.get(&d) {
+            if prev != &img {
+                return Err(format!("no well-defined mediating morphism at {d}"));
+            }
+        }
+        graph.insert(d, img);
+    }
+    for c in &po.q.dom {
+        let d = po.q.apply(c).expect("total").to_string();
+        let img = q2.apply(c).ok_or("q' not total")?.to_string();
+        if let Some(prev) = graph.get(&d) {
+            if prev != &img {
+                return Err(format!("no well-defined mediating morphism at {d}"));
+            }
+        }
+        graph.insert(d, img);
+    }
+    Ok(FinMap { dom: po.object.clone(), cod: p2.cod.clone(), map: graph })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span() -> (FinMap, FinMap) {
+        // A = {s}, B = {s, l}, C = {s, r}: the classic gluing.
+        let a = fin_set(["s"]);
+        let b = fin_set(["s", "l"]);
+        let c = fin_set(["s", "r"]);
+        let f = FinMap::new(a.clone(), b, [("s", "s")]).unwrap();
+        let g = FinMap::new(a, c, [("s", "s")]).unwrap();
+        (f, g)
+    }
+
+    #[test]
+    fn pushout_glues_along_shared_part() {
+        let (f, g) = span();
+        let po = fin_pushout(&f, &g).unwrap();
+        assert_eq!(po.object.len(), 3); // shared s + l + r
+    }
+
+    #[test]
+    fn pushout_square_commutes() {
+        let (f, g) = span();
+        let po = fin_pushout(&f, &g).unwrap();
+        let left = f.then(&po.p).unwrap();
+        let right = g.then(&po.q).unwrap();
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn mediating_morphism_satisfies_triangles() {
+        let (f, g) = span();
+        let po = fin_pushout(&f, &g).unwrap();
+        // Competing cocone: D' collapses l and r.
+        let dprime = fin_set(["z", "w"]);
+        let p2 = FinMap::new(f.cod.clone(), dprime.clone(), [("s", "z"), ("l", "w")]).unwrap();
+        let q2 = FinMap::new(g.cod.clone(), dprime, [("s", "z"), ("r", "w")]).unwrap();
+        let u = mediating(&po, &f, &g, &p2, &q2).unwrap();
+        assert_eq!(po.p.then(&u).unwrap(), p2);
+        assert_eq!(po.q.then(&u).unwrap(), q2);
+    }
+
+    #[test]
+    fn mediating_rejects_noncommuting_cocone() {
+        let (f, g) = span();
+        let po = fin_pushout(&f, &g).unwrap();
+        let dprime = fin_set(["z", "w"]);
+        let p2 = FinMap::new(f.cod.clone(), dprime.clone(), [("s", "z"), ("l", "w")]).unwrap();
+        let q2 = FinMap::new(g.cod.clone(), dprime, [("s", "w"), ("r", "w")]).unwrap();
+        assert!(mediating(&po, &f, &g, &p2, &q2).is_err());
+    }
+
+    #[test]
+    fn identity_and_composition_laws() {
+        let s = fin_set(["a", "b"]);
+        let t = fin_set(["x"]);
+        let f = FinMap::new(s.clone(), t.clone(), [("a", "x"), ("b", "x")]).unwrap();
+        let id_s = FinMap::identity(&s);
+        let id_t = FinMap::identity(&t);
+        assert_eq!(id_s.then(&f).unwrap(), f);
+        assert_eq!(f.then(&id_t).unwrap(), f);
+    }
+
+    #[test]
+    fn non_total_graph_rejected() {
+        let s = fin_set(["a", "b"]);
+        let t = fin_set(["x"]);
+        assert!(FinMap::new(s, t, [("a", "x")]).is_err());
+    }
+
+    #[test]
+    fn pushout_identifying_two_elements() {
+        // f sends both a1, a2 into distinct b's; g sends both to one c:
+        // pushout must identify the two b's.
+        let a = fin_set(["a1", "a2"]);
+        let b = fin_set(["b1", "b2"]);
+        let c = fin_set(["c"]);
+        let f = FinMap::new(a.clone(), b, [("a1", "b1"), ("a2", "b2")]).unwrap();
+        let g = FinMap::new(a, c, [("a1", "c"), ("a2", "c")]).unwrap();
+        let po = fin_pushout(&f, &g).unwrap();
+        assert_eq!(po.object.len(), 1);
+        assert_eq!(po.p.apply("b1"), po.p.apply("b2"));
+    }
+}

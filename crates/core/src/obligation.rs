@@ -1,0 +1,121 @@
+//! Proof obligations and their discharge.
+
+use mcv_logic::{Formula, NamedFormula, ProofResult, Prover};
+use std::fmt;
+
+/// A proof obligation: a goal to establish from a context of axioms.
+///
+/// Produced by [`crate::SpecMorphism::obligations`] (axioms must
+/// translate to theorems) and by theorem declarations in specs.
+#[derive(Debug, Clone)]
+pub struct Obligation {
+    /// Human-readable description of where the obligation came from.
+    pub description: String,
+    /// The formula to prove.
+    pub goal: Formula,
+    /// The axioms available for the proof.
+    pub axioms: Vec<NamedFormula>,
+}
+
+impl Obligation {
+    /// A new obligation.
+    pub fn new(description: impl Into<String>, goal: Formula, axioms: Vec<NamedFormula>) -> Self {
+        Obligation { description: description.into(), goal, axioms }
+    }
+
+    /// Attempts to discharge the obligation with `prover`.
+    pub fn discharge(&self, prover: &Prover) -> ProofResult {
+        prover.prove(&self.axioms, &self.goal)
+    }
+}
+
+impl fmt::Display for Obligation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: |- {}", self.description, self.goal)
+    }
+}
+
+/// Result of discharging a batch of obligations.
+#[derive(Debug)]
+pub struct DischargeReport {
+    /// Each obligation with its proof outcome.
+    pub outcomes: Vec<(Obligation, ProofResult)>,
+}
+
+impl DischargeReport {
+    /// Discharges all `obligations` with `prover`.
+    pub fn run(prover: &Prover, obligations: Vec<Obligation>) -> Self {
+        let outcomes = obligations
+            .into_iter()
+            .map(|o| {
+                let r = o.discharge(prover);
+                (o, r)
+            })
+            .collect();
+        DischargeReport { outcomes }
+    }
+
+    /// Whether every obligation was proved.
+    pub fn all_proved(&self) -> bool {
+        self.outcomes.iter().all(|(_, r)| r.is_proved())
+    }
+
+    /// Number of obligations.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether there were no obligations.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Descriptions of failed obligations.
+    pub fn failures(&self) -> Vec<&str> {
+        self.outcomes
+            .iter()
+            .filter(|(_, r)| !r.is_proved())
+            .map(|(o, _)| o.description.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for DischargeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}/{} obligations proved", self.outcomes.len() - self.failures().len(), self.outcomes.len())?;
+        for (o, r) in &self.outcomes {
+            let status = if r.is_proved() { "ok " } else { "FAIL" };
+            writeln!(f, "  [{status}] {}", o.description)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcv_logic::formula;
+
+    #[test]
+    fn discharge_proves_simple_goal() {
+        let o = Obligation::new(
+            "test",
+            formula("Q(c())"),
+            vec![
+                NamedFormula::new("imp", formula("fa(x) (P(x) => Q(x))")),
+                NamedFormula::new("base", formula("P(c())")),
+            ],
+        );
+        assert!(o.discharge(&Prover::new()).is_proved());
+    }
+
+    #[test]
+    fn report_counts_failures() {
+        let good = Obligation::new("good", formula("P(c())"), vec![NamedFormula::new("p", formula("P(c())"))]);
+        let bad = Obligation::new("bad", formula("Q(c())"), vec![NamedFormula::new("p", formula("P(c())"))]);
+        let report = DischargeReport::run(&Prover::new(), vec![good, bad]);
+        assert!(!report.all_proved());
+        assert_eq!(report.failures(), vec!["bad"]);
+        assert!(report.to_string().contains("1/2 obligations proved"));
+    }
+}

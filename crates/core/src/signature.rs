@@ -1,0 +1,271 @@
+//! Signatures: the sort and operation vocabulary of a specification.
+//!
+//! Mirrors the thesis' Chapter 2 definition: *a signature `SIG = (S, OP)`
+//! consists of a set `S` of sorts and a set `OP` of constant and
+//! operation symbols.*
+
+use mcv_logic::{Sort, Sym};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Declaration of an operation (or predicate: result sort `Boolean`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OpDecl {
+    /// Operation symbol.
+    pub name: Sym,
+    /// Argument sorts, in order. Empty for constants.
+    pub args: Vec<Sort>,
+    /// Result sort. `Boolean` marks a predicate.
+    pub result: Sort,
+}
+
+impl OpDecl {
+    /// A new operation declaration.
+    pub fn new(name: impl Into<Sym>, args: Vec<Sort>, result: Sort) -> Self {
+        OpDecl { name: name.into(), args, result }
+    }
+
+    /// Whether the operation is a predicate (`Boolean`-valued).
+    pub fn is_predicate(&self) -> bool {
+        self.result.name().as_str() == "Boolean"
+    }
+
+    /// Arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+impl fmt::Display for OpDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op {} : ", self.name)?;
+        if self.args.is_empty() {
+            write!(f, "{}", self.result)
+        } else {
+            let args: Vec<String> = self.args.iter().map(|s| s.to_string()).collect();
+            write!(f, "{}->{}", args.join("*"), self.result)
+        }
+    }
+}
+
+/// Declaration of a sort, optionally with a definitional alias
+/// (`sort Clockvalues = Nat`).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SortDecl {
+    /// The declared sort.
+    pub sort: Sort,
+    /// Definitional alias, if any.
+    pub definition: Option<Sort>,
+}
+
+impl SortDecl {
+    /// An abstract sort.
+    pub fn new(sort: Sort) -> Self {
+        SortDecl { sort, definition: None }
+    }
+
+    /// A sort defined as an alias of another.
+    pub fn aliased(sort: Sort, definition: Sort) -> Self {
+        SortDecl { sort, definition: Some(definition) }
+    }
+}
+
+impl fmt::Display for SortDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.definition {
+            Some(d) => write!(f, "sort {} = {}", self.sort, d),
+            None => write!(f, "sort {}", self.sort),
+        }
+    }
+}
+
+/// A signature: declared sorts and operations.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_core::Signature;
+/// use mcv_logic::Sort;
+/// let mut sig = Signature::new();
+/// sig.add_sort(Sort::new("Processors"));
+/// sig.add_predicate("Correct", vec![Sort::new("Processors")]);
+/// assert!(sig.has_sort(&Sort::new("Processors")));
+/// assert!(sig.op(&"Correct".into()).is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Signature {
+    sorts: BTreeMap<Sort, SortDecl>,
+    ops: BTreeMap<Sym, OpDecl>,
+}
+
+impl Signature {
+    /// An empty signature.
+    pub fn new() -> Self {
+        Signature::default()
+    }
+
+    /// Declares an abstract sort. Re-declaration is idempotent.
+    pub fn add_sort(&mut self, sort: Sort) {
+        self.sorts.entry(sort.clone()).or_insert_with(|| SortDecl::new(sort));
+    }
+
+    /// Declares a sort with a definitional alias.
+    pub fn add_sort_alias(&mut self, sort: Sort, definition: Sort) {
+        self.sorts.insert(sort.clone(), SortDecl::aliased(sort, definition));
+    }
+
+    /// Declares an operation; replaces an existing declaration of the
+    /// same name.
+    pub fn add_op(&mut self, op: OpDecl) {
+        self.ops.insert(op.name.clone(), op);
+    }
+
+    /// Declares a `Boolean`-valued operation (predicate).
+    pub fn add_predicate(&mut self, name: impl Into<Sym>, args: Vec<Sort>) {
+        self.add_op(OpDecl::new(name, args, Sort::new("Boolean")));
+    }
+
+    /// Whether `sort` is declared.
+    pub fn has_sort(&self, sort: &Sort) -> bool {
+        self.sorts.contains_key(sort)
+    }
+
+    /// The declaration of `sort`, if declared.
+    pub fn sort_decl(&self, sort: &Sort) -> Option<&SortDecl> {
+        self.sorts.get(sort)
+    }
+
+    /// The declaration of the operation `name`, if declared.
+    pub fn op(&self, name: &Sym) -> Option<&OpDecl> {
+        self.ops.get(name)
+    }
+
+    /// Iterates over sort declarations in name order.
+    pub fn sorts(&self) -> impl Iterator<Item = &SortDecl> {
+        self.sorts.values()
+    }
+
+    /// Iterates over operation declarations in name order.
+    pub fn ops(&self) -> impl Iterator<Item = &OpDecl> {
+        self.ops.values()
+    }
+
+    /// Number of declared sorts.
+    pub fn sort_count(&self) -> usize {
+        self.sorts.len()
+    }
+
+    /// Number of declared operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Merges `other` into `self` (set union; conflicting op declarations
+    /// with the same name must agree).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending symbol if `other` declares an op of the same
+    /// name with a different profile.
+    pub fn merge(&mut self, other: &Signature) -> Result<(), Sym> {
+        for sd in other.sorts.values() {
+            match self.sorts.get(&sd.sort) {
+                Some(existing) if existing.definition.is_some() && sd.definition.is_some()
+                    && existing.definition != sd.definition =>
+                {
+                    return Err(sd.sort.name().clone());
+                }
+                Some(existing) if existing.definition.is_none() => {
+                    self.sorts.insert(sd.sort.clone(), sd.clone());
+                }
+                Some(_) => {}
+                None => {
+                    self.sorts.insert(sd.sort.clone(), sd.clone());
+                }
+            }
+        }
+        for op in other.ops.values() {
+            match self.ops.get(&op.name) {
+                Some(existing) if existing != op => return Err(op.name.clone()),
+                Some(_) => {}
+                None => {
+                    self.ops.insert(op.name.clone(), op.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in self.sorts.values() {
+            writeln!(f, "{s}")?;
+        }
+        for o in self.ops.values() {
+            writeln!(f, "{o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        let mut s = Signature::new();
+        s.add_sort(Sort::new("Processors"));
+        s.add_sort_alias(Sort::new("Clockvalues"), Sort::new("Nat"));
+        s.add_predicate("Correct", vec![Sort::new("Processors")]);
+        s.add_op(OpDecl::new(
+            "Clockdelay",
+            vec![Sort::new("Clockvalues"), Sort::new("BroadcastDelay")],
+            Sort::new("Clockvalues"),
+        ));
+        s
+    }
+
+    #[test]
+    fn lookup_finds_declarations() {
+        let s = sig();
+        assert!(s.has_sort(&Sort::new("Processors")));
+        assert!(!s.has_sort(&Sort::new("Nope")));
+        assert!(s.op(&"Correct".into()).unwrap().is_predicate());
+        assert!(!s.op(&"Clockdelay".into()).unwrap().is_predicate());
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = sig();
+        let mut b = Signature::new();
+        b.add_sort(Sort::new("Messages"));
+        b.add_predicate("Deliver", vec![Sort::new("Processors"), Sort::new("Messages")]);
+        a.merge(&b).unwrap();
+        assert!(a.has_sort(&Sort::new("Messages")));
+        assert_eq!(a.op_count(), 3);
+    }
+
+    #[test]
+    fn merge_rejects_conflicting_op_profiles() {
+        let mut a = sig();
+        let mut b = Signature::new();
+        b.add_predicate("Correct", vec![Sort::new("Messages")]);
+        assert_eq!(a.merge(&b), Err(Sym::new("Correct")));
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = sig();
+        let b = sig();
+        a.merge(&b).unwrap();
+        assert_eq!(a, sig());
+    }
+
+    #[test]
+    fn display_lists_everything() {
+        let text = sig().to_string();
+        assert!(text.contains("sort Clockvalues = Nat"));
+        assert!(text.contains("op Correct : Processors->Boolean"));
+    }
+}

@@ -1,0 +1,306 @@
+//! A second, independent proof method: Herbrand instantiation plus
+//! propositional DPLL (the classic Davis–Putnam procedure). Used to
+//! cross-validate the resolution prover's verdicts on the Chapter 5
+//! goals — two different decision procedures agreeing is a stronger
+//! artifact than one.
+//!
+//! Method: clausify axioms ∧ ¬goal; build the Herbrand universe in
+//! levels (level 0 = constants, level k+1 adds one function
+//! application); ground every clause over the current level's terms;
+//! if the ground set is propositionally unsatisfiable, the goal is
+//! proved. Sound always; complete in the limit (we bound the level).
+
+use crate::clause::{Clause, Literal};
+use crate::cnf::clausify;
+use crate::formula::Formula;
+use crate::prover::NamedFormula;
+use crate::subst::{FreshVars, Subst};
+use crate::sym::Sym;
+use crate::term::{Term, Var};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Limits for the Herbrand search.
+#[derive(Debug, Clone)]
+pub struct HerbrandConfig {
+    /// Maximum Herbrand level (0 = constants only).
+    pub max_level: usize,
+    /// Cap on ground clause instances per level (skip deeper levels
+    /// that would exceed it).
+    pub max_instances: usize,
+}
+
+impl Default for HerbrandConfig {
+    fn default() -> Self {
+        HerbrandConfig { max_level: 1, max_instances: 200_000 }
+    }
+}
+
+/// Result of a Herbrand proof attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HerbrandResult {
+    /// The ground instantiation is propositionally unsatisfiable: the
+    /// goal is proved. Carries the level and instance count used.
+    Proved {
+        /// Herbrand level at which unsatisfiability appeared.
+        level: usize,
+        /// Ground clause instances in the refuting set.
+        instances: usize,
+    },
+    /// Satisfiable at every level tried (or budget exceeded): unknown.
+    Unknown,
+}
+
+impl HerbrandResult {
+    /// Whether the goal was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, HerbrandResult::Proved { .. })
+    }
+}
+
+/// Attempts to prove `goal` from `axioms` by Herbrand instantiation.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_logic::{prove_by_herbrand, HerbrandConfig, NamedFormula, parse_formula};
+/// let axioms = vec![
+///     NamedFormula::new("imp", parse_formula("fa(x) (P(x) => Q(x))").unwrap()),
+///     NamedFormula::new("base", parse_formula("P(c())").unwrap()),
+/// ];
+/// let goal = parse_formula("Q(c())").unwrap();
+/// assert!(prove_by_herbrand(&axioms, &goal, &HerbrandConfig::default()).is_proved());
+/// ```
+pub fn prove_by_herbrand(
+    axioms: &[NamedFormula],
+    goal: &Formula,
+    config: &HerbrandConfig,
+) -> HerbrandResult {
+    let mut fresh = FreshVars::new();
+    let mut clauses: Vec<Clause> = Vec::new();
+    for ax in axioms {
+        clauses.extend(clausify(&ax.formula, &mut fresh));
+    }
+    let negated = Formula::not(goal.clone().close_universally());
+    clauses.extend(clausify(&negated, &mut fresh));
+    if clauses.iter().any(Clause::is_empty) {
+        return HerbrandResult::Proved { level: 0, instances: 0 };
+    }
+    // Function symbols by arity; constants seed the universe.
+    let mut funs: BTreeMap<(Sym, usize), ()> = BTreeMap::new();
+    for c in &clauses {
+        for l in &c.literals {
+            for t in &l.args {
+                collect_funs(t, &mut funs);
+            }
+        }
+    }
+    let constants: Vec<Term> = funs
+        .keys()
+        .filter(|(_, k)| *k == 0)
+        .map(|(f, _)| Term::App(f.clone(), Vec::new()))
+        .collect();
+    let proper: Vec<(Sym, usize)> = funs
+        .keys()
+        .filter(|(_, k)| *k > 0)
+        .cloned()
+        .collect();
+    // A dummy constant if the universe would otherwise be empty.
+    let mut universe: Vec<Term> = if constants.is_empty() {
+        vec![Term::constant("h0")]
+    } else {
+        constants
+    };
+    for level in 0..=config.max_level {
+        if level > 0 {
+            // Extend the universe by one application layer.
+            let base = universe.clone();
+            let mut next = universe.clone();
+            for (f, k) in &proper {
+                for args in cartesian(&base, *k) {
+                    let t = Term::App(f.clone(), args);
+                    if !next.contains(&t) {
+                        next.push(t);
+                    }
+                }
+            }
+            universe = next;
+        }
+        // Ground all clauses; respect the instance budget.
+        let mut ground: Vec<Vec<(bool, usize)>> = Vec::new();
+        let mut atom_ids: BTreeMap<String, usize> = BTreeMap::new();
+        let mut over_budget = false;
+        for c in &clauses {
+            let vars = clause_vars(c);
+            let combos = (universe.len() as u64).saturating_pow(vars.len() as u32);
+            if combos as usize > config.max_instances
+                || ground.len() + combos as usize > config.max_instances
+            {
+                over_budget = true;
+                break;
+            }
+            for assignment in cartesian(&universe, vars.len()) {
+                let mut s = Subst::new();
+                for (v, t) in vars.iter().zip(assignment) {
+                    s.bind(v.clone(), t);
+                }
+                let gc = c.apply(&s);
+                if gc.is_tautology() {
+                    continue;
+                }
+                let mut lits = Vec::new();
+                for l in &gc.literals {
+                    let rendered = render_ground(l);
+                    let next_id = atom_ids.len();
+                    let id = *atom_ids.entry(rendered).or_insert(next_id);
+                    lits.push((l.positive, id));
+                }
+                lits.sort();
+                lits.dedup();
+                ground.push(lits);
+            }
+        }
+        if over_budget {
+            return HerbrandResult::Unknown;
+        }
+        if crate::model::dpll_public(&ground, atom_ids.len()).is_none() {
+            return HerbrandResult::Proved { level, instances: ground.len() };
+        }
+    }
+    HerbrandResult::Unknown
+}
+
+fn collect_funs(t: &Term, out: &mut BTreeMap<(Sym, usize), ()>) {
+    if let Term::App(f, args) = t {
+        out.insert((f.clone(), args.len()), ());
+        for a in args {
+            collect_funs(a, out);
+        }
+    }
+}
+
+fn clause_vars(c: &Clause) -> Vec<Var> {
+    let mut out = Vec::new();
+    let mut seen = BTreeSet::new();
+    for l in &c.literals {
+        for t in &l.args {
+            for v in t.vars() {
+                if seen.insert(v.name().clone()) {
+                    out.push(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn cartesian(universe: &[Term], k: usize) -> Vec<Vec<Term>> {
+    let mut out = vec![Vec::new()];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for tup in &out {
+            for t in universe {
+                let mut t2 = tup.clone();
+                t2.push(t.clone());
+                next.push(t2);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+fn render_ground(l: &Literal) -> String {
+    let args: Vec<String> = l.args.iter().map(|t| t.to_string()).collect();
+    if args.is_empty() {
+        l.pred.to_string()
+    } else {
+        format!("{}({})", l.pred, args.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::formula;
+    use crate::prover::Prover;
+
+    fn ax(name: &str, src: &str) -> NamedFormula {
+        NamedFormula::new(name, formula(src))
+    }
+
+    #[test]
+    fn proves_modus_ponens_at_level_0() {
+        let axioms = vec![
+            ax("imp", "fa(x) (P(x) => Q(x))"),
+            ax("base", "P(c())"),
+        ];
+        let r = prove_by_herbrand(&axioms, &formula("Q(c())"), &HerbrandConfig::default());
+        assert_eq!(r, HerbrandResult::Proved { level: 0, instances: 3 });
+    }
+
+    #[test]
+    fn unprovable_goal_is_unknown() {
+        let axioms = vec![ax("imp", "fa(x) (P(x) => Q(x))")];
+        let r = prove_by_herbrand(&axioms, &formula("Q(c())"), &HerbrandConfig::default());
+        assert_eq!(r, HerbrandResult::Unknown);
+    }
+
+    #[test]
+    fn needs_a_function_level() {
+        // P(c) and ∀x (P(x) ⇒ P(f(x))) entail P(f(f(c))): x must range
+        // over f(c), which only enters the universe at level 1. (P(f(c))
+        // itself already falls out at level 0 via x := c.)
+        let axioms = vec![
+            ax("base", "P(c())"),
+            ax("step", "fa(x) (P(x) => P(f(x)))"),
+        ];
+        let depth1 = prove_by_herbrand(
+            &axioms,
+            &formula("P(f(c()))"),
+            &HerbrandConfig { max_level: 0, max_instances: 10_000 },
+        );
+        assert!(depth1.is_proved());
+        let goal = formula("P(f(f(c())))");
+        let l0 = prove_by_herbrand(
+            &axioms,
+            &goal,
+            &HerbrandConfig { max_level: 0, max_instances: 10_000 },
+        );
+        assert_eq!(l0, HerbrandResult::Unknown);
+        let l1 = prove_by_herbrand(&axioms, &goal, &HerbrandConfig::default());
+        assert!(l1.is_proved());
+    }
+
+    #[test]
+    fn agrees_with_resolution_on_a_problem_battery() {
+        let battery: Vec<(Vec<NamedFormula>, Formula, bool)> = vec![
+            (
+                vec![ax("a", "fa(x) (P(x) => Q(x))"), ax("b", "P(c())")],
+                formula("Q(c())"),
+                true,
+            ),
+            (
+                vec![ax("a", "A or B"), ax("l", "A => C"), ax("r", "B => C")],
+                formula("C"),
+                true,
+            ),
+            (
+                vec![ax("a", "fa(x) (P(x) => Q(x))")],
+                formula("Q(c())"),
+                false,
+            ),
+            (
+                vec![ax("a", "fa(x, y) (R(x, y) => R(y, x))"), ax("b", "R(a(), b())")],
+                formula("R(b(), a())"),
+                true,
+            ),
+        ];
+        for (axioms, goal, expected) in battery {
+            let resolution = Prover::new().prove(&axioms, &goal).is_proved();
+            let herbrand =
+                prove_by_herbrand(&axioms, &goal, &HerbrandConfig::default()).is_proved();
+            assert_eq!(resolution, expected, "resolution on {goal}");
+            assert_eq!(herbrand, expected, "herbrand on {goal}");
+        }
+    }
+}

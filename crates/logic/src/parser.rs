@@ -1,0 +1,620 @@
+//! Parser for the Specware-like surface syntax used in the thesis'
+//! Chapter 5 scripts.
+//!
+//! Grammar (informally):
+//!
+//! ```text
+//! formula  := iff
+//! iff      := implies ( "<=>" implies )*
+//! implies  := or ( "=>" implies )?            // right associative
+//! or       := and ( "or" and )*
+//! and      := unary ( "&" unary )*
+//! unary    := "~" unary
+//!           | "fa" "(" binders ")" formula
+//!           | "ex" "(" binders ")" formula
+//!           | "if" formula "then" formula ( "else" formula )?
+//!           | "true" | "false"
+//!           | atom
+//! atom     := term ( ("=" | "<" | "<=") term )?   // relational atom
+//!           | "(" formula ")"                     // on term-parse failure
+//! term     := factor ( ("+" | "-") factor )*
+//! factor   := ident ( "(" term-args ")" )? | "(" term ")" | number
+//!           | "~" "(" term ")"                    // only in argument position
+//! binders  := ident (":" ident)? ("," ident (":" ident)?)*
+//! ```
+//!
+//! Variables may omit sorts (`ex(p, m, T)`); they then carry the wildcard
+//! sort. Bare identifiers in formula position are nullary predicates;
+//! bare identifiers in term position are variables.
+
+use crate::formula::Formula;
+use crate::sort::Sort;
+use crate::term::{Term, Var};
+use std::fmt;
+
+/// A parse error with byte position and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the source where the error was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Number(String),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Amp,
+    Tilde,
+    Plus,
+    Minus,
+    Eq,
+    Lt,
+    Le,
+    Arrow,    // =>
+    IffArrow, // <=>
+    KwOr,
+    KwFa,
+    KwEx,
+    KwIf,
+    KwThen,
+    KwElse,
+    KwTrue,
+    KwFalse,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '%' => {
+                // comment to end of line (Specware scripts use %)
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            ':' => {
+                toks.push((Tok::Colon, i));
+                i += 1;
+            }
+            '&' => {
+                toks.push((Tok::Amp, i));
+                i += 1;
+            }
+            '~' => {
+                toks.push((Tok::Tilde, i));
+                i += 1;
+            }
+            '+' => {
+                toks.push((Tok::Plus, i));
+                i += 1;
+            }
+            '-' => {
+                toks.push((Tok::Minus, i));
+                i += 1;
+            }
+            '=' => {
+                if src[i..].starts_with("=>") {
+                    toks.push((Tok::Arrow, i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Eq, i));
+                    i += 1;
+                }
+            }
+            '<' => {
+                if src[i..].starts_with("<=>") {
+                    toks.push((Tok::IffArrow, i));
+                    i += 3;
+                } else if src[i..].starts_with("<=") {
+                    toks.push((Tok::Le, i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Lt, i));
+                    i += 1;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let d = bytes[i] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' || d == '\'' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..i];
+                let tok = match word {
+                    "or" => Tok::KwOr,
+                    "fa" => Tok::KwFa,
+                    "ex" => Tok::KwEx,
+                    "if" => Tok::KwIf,
+                    "then" => Tok::KwThen,
+                    "else" => Tok::KwElse,
+                    "true" => Tok::KwTrue,
+                    "false" => Tok::KwFalse,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                toks.push((tok, start));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                toks.push((Tok::Number(src[start..i].to_owned()), start));
+            }
+            other => {
+                return Err(ParseError {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.toks.get(self.pos).map_or(self.src_len, |(_, p)| *p)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}")))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError { position: self.here(), message }
+    }
+
+    // formula := iff
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.implies()?;
+        while self.eat(&Tok::IffArrow) {
+            let rhs = self.implies()?;
+            f = Formula::iff(f, rhs);
+        }
+        Ok(f)
+    }
+
+    fn implies(&mut self) -> Result<Formula, ParseError> {
+        let lhs = self.or()?;
+        if self.eat(&Tok::Arrow) {
+            let rhs = self.implies()?; // right associative
+            Ok(Formula::implies(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn or(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.and()?;
+        while self.eat(&Tok::KwOr) {
+            let rhs = self.and()?;
+            f = Formula::or(f, rhs);
+        }
+        Ok(f)
+    }
+
+    fn and(&mut self) -> Result<Formula, ParseError> {
+        let mut f = self.unary()?;
+        while self.eat(&Tok::Amp) {
+            let rhs = self.unary()?;
+            f = Formula::and(f, rhs);
+        }
+        Ok(f)
+    }
+
+    fn unary(&mut self) -> Result<Formula, ParseError> {
+        match self.peek() {
+            Some(Tok::Tilde) => {
+                self.bump();
+                Ok(Formula::not(self.unary()?))
+            }
+            Some(Tok::KwFa) | Some(Tok::KwEx) => {
+                let is_fa = matches!(self.peek(), Some(Tok::KwFa));
+                self.bump();
+                let mut vars = Vec::new();
+                // Specware allows chained binder groups: fa(a, b) fa(c) body
+                self.expect(&Tok::LParen, "( after quantifier")?;
+                self.binders(&mut vars)?;
+                self.expect(&Tok::RParen, ") after binders")?;
+                let body = self.formula()?;
+                Ok(if is_fa {
+                    Formula::forall(vars, body)
+                } else {
+                    Formula::exists(vars, body)
+                })
+            }
+            Some(Tok::KwIf) => {
+                self.bump();
+                let c = self.formula_until_kw()?;
+                self.expect(&Tok::KwThen, "then")?;
+                let t = self.formula_until_kw()?;
+                let e = if self.eat(&Tok::KwElse) {
+                    self.formula_until_kw()?
+                } else {
+                    Formula::True
+                };
+                Ok(Formula::ite(c, t, e))
+            }
+            Some(Tok::KwTrue) => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Some(Tok::KwFalse) => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            _ => self.atom(),
+        }
+    }
+
+    // A formula that naturally stops before `then` / `else` keywords (they
+    // are never valid formula continuations, so plain `formula` works).
+    fn formula_until_kw(&mut self) -> Result<Formula, ParseError> {
+        self.formula()
+    }
+
+    fn binders(&mut self, out: &mut Vec<Var>) -> Result<(), ParseError> {
+        loop {
+            let name = match self.bump() {
+                Some(Tok::Ident(n)) => n,
+                _ => return Err(self.err("expected variable name in binder".into())),
+            };
+            // A group `T,i,j:Clockvalues` sorts all preceding unsorted vars?
+            // In the scripts each var is annotated individually or not at
+            // all; a trailing `:S` applies to the immediately preceding var.
+            if self.eat(&Tok::Colon) {
+                let sort = match self.bump() {
+                    Some(Tok::Ident(s)) => Sort::new(s),
+                    _ => return Err(self.err("expected sort name after ':'".into())),
+                };
+                out.push(Var::new(name, sort));
+            } else {
+                out.push(Var::unsorted(name));
+            }
+            if !self.eat(&Tok::Comma) {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Relational atom, predicate application, or parenthesized formula.
+    fn atom(&mut self) -> Result<Formula, ParseError> {
+        let save = self.pos;
+        // First try the term route (covers relational atoms and
+        // predicate applications).
+        if let Ok(t) = self.term(false) {
+            match self.peek() {
+                Some(Tok::Eq) => {
+                    self.bump();
+                    let r = self.term(false)?;
+                    return Ok(Formula::Eq(t, r));
+                }
+                Some(Tok::Lt) => {
+                    self.bump();
+                    let r = self.term(false)?;
+                    return Ok(Formula::pred("lt", vec![t, r]));
+                }
+                Some(Tok::Le) => {
+                    self.bump();
+                    let r = self.term(false)?;
+                    return Ok(Formula::pred("le", vec![t, r]));
+                }
+                _ => {
+                    // Plain term in formula position: a predicate.
+                    if let Some(f) = term_as_predicate(&t) {
+                        return Ok(f);
+                    }
+                    // else fall through to formula reparse
+                }
+            }
+        }
+        // Backtrack: parenthesized formula.
+        self.pos = save;
+        if self.eat(&Tok::LParen) {
+            let f = self.formula()?;
+            self.expect(&Tok::RParen, ") to close formula")?;
+            Ok(f)
+        } else {
+            Err(self.err("expected an atom, quantifier, or '('".into()))
+        }
+    }
+
+    /// Terms. `in_args` permits `~(t)` as the function `neg` (the thesis
+    /// writes `adjacent(~(commit), commit)` with term-level negation).
+    fn term(&mut self, in_args: bool) -> Result<Term, ParseError> {
+        let mut t = self.factor(in_args)?;
+        loop {
+            if self.eat(&Tok::Plus) {
+                let r = self.factor(in_args)?;
+                t = Term::app("plus", vec![t, r]);
+            } else if self.eat(&Tok::Minus) {
+                let r = self.factor(in_args)?;
+                t = Term::app("minus", vec![t, r]);
+            } else {
+                return Ok(t);
+            }
+        }
+    }
+
+    fn factor(&mut self, in_args: bool) -> Result<Term, ParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(name)) => {
+                self.bump();
+                if self.eat(&Tok::LParen) {
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.term(true)?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma, ", or ) in argument list")?;
+                        }
+                    }
+                    Ok(Term::app(name, args))
+                } else {
+                    Ok(Term::var(Var::unsorted(name)))
+                }
+            }
+            Some(Tok::Number(n)) => {
+                self.bump();
+                Ok(Term::constant(n))
+            }
+            Some(Tok::LParen) => {
+                self.bump();
+                let t = self.term(in_args)?;
+                self.expect(&Tok::RParen, ") to close term")?;
+                Ok(t)
+            }
+            Some(Tok::Tilde) if in_args => {
+                self.bump();
+                let t = self.factor(true)?;
+                Ok(Term::app("neg", vec![t]))
+            }
+            _ => Err(self.err("expected a term".into())),
+        }
+    }
+}
+
+/// Parses a formula from the Specware-like surface syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the byte position of the first offending
+/// token when the input is not a well-formed formula.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_logic::parse_formula;
+/// let f = parse_formula(
+///     "ex(p, m, T) Correct(p) & Broadcast(p, m, T) => \
+///      (fa (q, i:BroadcastDelay) Correct(q) & Deliver(q, m, (Clockdelay(T, i))))",
+/// ).unwrap();
+/// assert!(f.to_string().contains("Clockdelay"));
+/// ```
+pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, src_len: src.len() };
+    let f = p.formula()?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after formula".into()));
+    }
+    Ok(f)
+}
+
+/// Parses a term from the surface syntax.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] if the input is not a single well-formed term.
+pub fn parse_term(src: &str) -> Result<Term, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, src_len: src.len() };
+    let t = p.term(true)?;
+    if p.peek().is_some() {
+        return Err(p.err("trailing input after term".into()));
+    }
+    Ok(t)
+}
+
+/// Interprets a parsed term as a predicate atom, if possible.
+fn term_as_predicate(t: &Term) -> Option<Formula> {
+    match t {
+        Term::App(p, args) => Some(Formula::Pred(p.clone(), args.clone())),
+        // A bare identifier in formula position is a nullary predicate.
+        Term::Var(v) => Some(Formula::Pred(v.name().clone(), Vec::new())),
+    }
+}
+
+/// Convenience: parse, panicking with a location on failure. For tests
+/// and statically known spec text.
+///
+/// # Panics
+///
+/// Panics if `src` fails to parse.
+pub fn formula(src: &str) -> Formula {
+    match parse_formula(src) {
+        Ok(f) => f,
+        Err(e) => panic!("bad formula {src:?}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_axiom_from_thesis() {
+        let f = formula("fa(p:Processors, m:Messages, T:Clockvalues) ~(Deliver(p, m, T)) & Broadcast(p, m, T)");
+        assert_eq!(
+            f.to_string(),
+            "fa(p:Processors, m:Messages, T:Clockvalues) (~(Deliver(p, m, T)) & Broadcast(p, m, T))"
+        );
+    }
+
+    #[test]
+    fn parses_termbroad_axiom() {
+        let f = formula(
+            "ex(p, m, T) Correct(p) & Broadcast(p, m, T) => \
+             (fa (q, i:BroadcastDelay) Correct(q) & Deliver(q, m, (Clockdelay(T, i))))",
+        );
+        // The existential scopes over the implication.
+        assert!(matches!(f, Formula::Exists(..)));
+    }
+
+    #[test]
+    fn parses_relational_atoms() {
+        let f = formula("fa(i, j) Deliver(q, m, Clockbound(T, i, j)) & i < j");
+        assert!(f.to_string().contains("lt(i, j)"));
+        let g = formula("C(p, T) <= S");
+        assert!(g.to_string().contains("le(C(p, T), S)"));
+    }
+
+    #[test]
+    fn parses_arithmetic_terms() {
+        let f = formula("PI(p, S) = n + 1");
+        assert_eq!(f.to_string(), "PI(p, S) = plus(n, 1)");
+        let g = formula("(S - i - e) < (C(p, T))");
+        assert_eq!(g.to_string(), "lt(minus(minus(S, i), e), C(p, T))");
+    }
+
+    #[test]
+    fn parses_term_level_negation_in_args() {
+        let f = formula("adjacent(~(commit), commit)");
+        assert_eq!(f.to_string(), "adjacent(neg(commit), commit)");
+    }
+
+    #[test]
+    fn parses_if_then_else() {
+        let f = formula("if (A & B) then C(x) else ~(D)");
+        assert!(matches!(f, Formula::Ite(..)));
+    }
+
+    #[test]
+    fn if_without_else_defaults_to_true() {
+        let f = formula("if A then B");
+        match f {
+            Formula::Ite(_, _, e) => assert_eq!(*e, Formula::True),
+            other => panic!("expected ite, got {other}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_formula_backtracks_from_term_parse() {
+        let f = formula("(Correct(p) & Broadcast(p, m, T)) => Deliver(q, m, T)");
+        assert!(matches!(f, Formula::Implies(..)));
+    }
+
+    #[test]
+    fn implication_is_right_associative() {
+        let f = formula("A => B => C");
+        match f {
+            Formula::Implies(_, rhs) => assert!(matches!(*rhs, Formula::Implies(..))),
+            other => panic!("expected implies, got {other}"),
+        }
+    }
+
+    #[test]
+    fn mixed_sorted_and_unsorted_binders() {
+        let f = formula("fa(p, q:Processors, v:ProcDeci, T, i, j:Clockvalues, m:Messages) Decision(p, v, T) => Decision(q, v, T)");
+        match &f {
+            Formula::Forall(vs, _) => {
+                assert_eq!(vs.len(), 7);
+                assert!(vs[0].sort().is_unknown());
+                assert_eq!(vs[1].sort().name().as_str(), "Processors");
+            }
+            other => panic!("expected forall, got {other}"),
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let f = formula("% leading comment\nA & B");
+        assert_eq!(f.to_string(), "(A & B)");
+    }
+
+    #[test]
+    fn error_has_position() {
+        let e = parse_formula("A & ").unwrap_err();
+        assert!(e.position >= 3);
+        let e2 = parse_formula("A @ B").unwrap_err();
+        assert!(e2.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn trailing_input_is_an_error() {
+        assert!(parse_formula("A B").is_err());
+    }
+
+    #[test]
+    fn term_parser_round_trips() {
+        let t = parse_term("Clockbound(T, i, j)").unwrap();
+        assert_eq!(t.to_string(), "Clockbound(T, i, j)");
+    }
+}

@@ -1,0 +1,105 @@
+//! Sorts of the many-sorted logic.
+//!
+//! A [`Sort`] is a name for a carrier set (`Processors`, `Messages`,
+//! `Clockvalues`, …). The thesis' Specware scripts frequently leave
+//! variables unannotated (`ex(p, m, T) …`); such variables receive the
+//! distinguished *unknown* sort, which unifies with anything. Sort
+//! *definitions* (`sort Clockvalues = Nat`) are kept at the signature
+//! level in `mcv-core`; here a sort is just an identity.
+
+use crate::sym::Sym;
+use std::fmt;
+
+/// A sort (type) name in the many-sorted logic.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_logic::Sort;
+/// let s = Sort::new("Processors");
+/// assert_eq!(s.name().as_str(), "Processors");
+/// assert!(!s.is_unknown());
+/// assert!(Sort::unknown().is_unknown());
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Sort(Sym);
+
+/// Name reserved for the wildcard sort of unannotated variables.
+const UNKNOWN: &str = "?";
+
+impl Sort {
+    /// A named sort.
+    pub fn new(name: impl Into<Sym>) -> Self {
+        Sort(name.into())
+    }
+
+    /// The wildcard sort: compatible with every sort during unification.
+    pub fn unknown() -> Self {
+        Sort(Sym::new(UNKNOWN))
+    }
+
+    /// Whether this is the wildcard sort.
+    pub fn is_unknown(&self) -> bool {
+        self.0.as_str() == UNKNOWN
+    }
+
+    /// The sort's name.
+    pub fn name(&self) -> &Sym {
+        &self.0
+    }
+
+    /// Whether two sorts may denote the same carrier: equal, or either is
+    /// the wildcard.
+    pub fn compatible(&self, other: &Sort) -> bool {
+        self.is_unknown() || other.is_unknown() || self == other
+    }
+
+    /// The more informative of two compatible sorts.
+    pub fn join(&self, other: &Sort) -> Sort {
+        if self.is_unknown() {
+            other.clone()
+        } else {
+            self.clone()
+        }
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sort {}", self.0)
+    }
+}
+
+impl From<&str> for Sort {
+    fn from(s: &str) -> Self {
+        Sort::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_is_compatible_with_everything() {
+        let nat = Sort::new("Nat");
+        assert!(Sort::unknown().compatible(&nat));
+        assert!(nat.compatible(&Sort::unknown()));
+        assert!(nat.compatible(&nat));
+        assert!(!nat.compatible(&Sort::new("Bool")));
+    }
+
+    #[test]
+    fn join_prefers_known() {
+        let nat = Sort::new("Nat");
+        assert_eq!(Sort::unknown().join(&nat), nat);
+        assert_eq!(nat.join(&Sort::unknown()), nat);
+        assert_eq!(nat.join(&nat), nat);
+    }
+}

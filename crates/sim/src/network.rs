@@ -1,0 +1,127 @@
+//! Network model: message delay, loss, and partitions.
+//!
+//! The thesis' assumption set (Section 3.4) is the default
+//! configuration: FIFO channels, reliable network without partitioning,
+//! bounded delay. Loss and partitions can be switched on to exercise
+//! the failure/timeout machinery.
+
+use crate::time::{ProcId, SimTime};
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Message delay distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum DelayModel {
+    /// Every message takes exactly this many ticks.
+    Fixed(u64),
+    /// Uniform in `[min, max]` ticks (`max` is the δ bound).
+    Uniform {
+        /// Minimum delay.
+        min: u64,
+        /// Maximum delay (the δ upper bound of the thesis).
+        max: u64,
+    },
+}
+
+impl DelayModel {
+    /// Samples a delay.
+    pub fn sample(self, rng: &mut impl Rng) -> SimTime {
+        match self {
+            DelayModel::Fixed(d) => SimTime::from_ticks(d),
+            DelayModel::Uniform { min, max } => {
+                SimTime::from_ticks(rng.gen_range(min..=max))
+            }
+        }
+    }
+
+    /// The worst-case delay δ.
+    pub fn upper_bound(self) -> SimTime {
+        match self {
+            DelayModel::Fixed(d) => SimTime::from_ticks(d),
+            DelayModel::Uniform { max, .. } => SimTime::from_ticks(max),
+        }
+    }
+}
+
+/// Network configuration.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkConfig {
+    /// Message delay distribution.
+    pub delay: DelayModel,
+    /// Probability a message is silently dropped (0.0 = reliable).
+    pub loss_probability: f64,
+    /// Whether per-channel FIFO order is enforced (thesis assumption 1).
+    pub fifo: bool,
+}
+
+impl Default for NetworkConfig {
+    /// The thesis' assumptions: reliable FIFO network, uniform delay
+    /// 1..=5 ticks.
+    fn default() -> Self {
+        NetworkConfig {
+            delay: DelayModel::Uniform { min: 1, max: 5 },
+            loss_probability: 0.0,
+            fifo: true,
+        }
+    }
+}
+
+/// A (symmetric) network partition: messages between the two sides are
+/// dropped while the partition is active.
+#[derive(Debug, Clone, Default)]
+pub struct Partition {
+    side_a: BTreeSet<ProcId>,
+}
+
+impl Partition {
+    /// A partition isolating `side_a` from everyone else.
+    pub fn isolate(side_a: impl IntoIterator<Item = ProcId>) -> Self {
+        Partition { side_a: side_a.into_iter().collect() }
+    }
+
+    /// Whether a message from `a` to `b` crosses the cut.
+    pub fn separates(&self, a: ProcId, b: ProcId) -> bool {
+        self.side_a.contains(&a) != self.side_a.contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_delay_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = DelayModel::Fixed(3);
+        assert_eq!(d.sample(&mut rng).ticks(), 3);
+        assert_eq!(d.upper_bound().ticks(), 3);
+    }
+
+    #[test]
+    fn uniform_delay_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let d = DelayModel::Uniform { min: 2, max: 7 };
+        for _ in 0..100 {
+            let s = d.sample(&mut rng).ticks();
+            assert!((2..=7).contains(&s));
+        }
+        assert_eq!(d.upper_bound().ticks(), 7);
+    }
+
+    #[test]
+    fn partition_separates_sides() {
+        let p = Partition::isolate([ProcId(0), ProcId(1)]);
+        assert!(p.separates(ProcId(0), ProcId(2)));
+        assert!(!p.separates(ProcId(0), ProcId(1)));
+        assert!(!p.separates(ProcId(2), ProcId(3)));
+    }
+
+    #[test]
+    fn default_is_reliable_fifo() {
+        let c = NetworkConfig::default();
+        assert_eq!(c.loss_probability, 0.0);
+        assert!(c.fifo);
+    }
+}

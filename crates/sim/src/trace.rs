@@ -1,0 +1,154 @@
+//! Execution traces: an ordered record of everything observable that
+//! happened in a run. Used by the property monitors in `mcv-commit`
+//! (e.g. "no two concurrent local states hold commit and abort") and by
+//! the reproduction harness to render Figure 3.1's execution.
+
+use crate::time::{ProcId, SimTime};
+use std::fmt;
+
+/// One observable event.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TraceEvent {
+    /// A message was delivered.
+    Deliver {
+        /// Sender.
+        from: ProcId,
+        /// Receiver.
+        to: ProcId,
+    },
+    /// A message was dropped (loss, partition, or dead receiver).
+    Dropped {
+        /// Sender.
+        from: ProcId,
+        /// Intended receiver.
+        to: ProcId,
+    },
+    /// A timer fired.
+    Timer {
+        /// Owner.
+        proc: ProcId,
+        /// Token passed at [`crate::Ctx::set_timer`].
+        token: u64,
+    },
+    /// A process crashed.
+    Crash {
+        /// The crashed process.
+        proc: ProcId,
+    },
+    /// A process recovered.
+    Recover {
+        /// The recovered process.
+        proc: ProcId,
+    },
+    /// A free-form note from [`crate::Ctx::note`] — protocols use these
+    /// to expose state transitions to the monitors.
+    Note {
+        /// The noting process.
+        proc: ProcId,
+        /// The text.
+        text: String,
+    },
+}
+
+/// A timestamped trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub time: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// The ordered trace of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, time: SimTime, event: TraceEvent) {
+        self.entries.push(TraceEntry { time, event });
+    }
+
+    /// All entries in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the notes of one process, in order.
+    pub fn notes_of(&self, proc: ProcId) -> impl Iterator<Item = (&SimTime, &str)> {
+        self.entries.iter().filter_map(move |e| match &e.event {
+            TraceEvent::Note { proc: p, text } if *p == proc => Some((&e.time, text.as_str())),
+            _ => None,
+        })
+    }
+
+    /// All notes of all processes, in order.
+    pub fn notes(&self) -> impl Iterator<Item = (&SimTime, ProcId, &str)> {
+        self.entries.iter().filter_map(|e| match &e.event {
+            TraceEvent::Note { proc, text } => Some((&e.time, *proc, text.as_str())),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.entries {
+            match &e.event {
+                TraceEvent::Deliver { from, to } => {
+                    writeln!(f, "{} deliver {from} -> {to}", e.time)?
+                }
+                TraceEvent::Dropped { from, to } => {
+                    writeln!(f, "{} DROP {from} -> {to}", e.time)?
+                }
+                TraceEvent::Timer { proc, token } => {
+                    writeln!(f, "{} timer {proc} #{token}", e.time)?
+                }
+                TraceEvent::Crash { proc } => writeln!(f, "{} CRASH {proc}", e.time)?,
+                TraceEvent::Recover { proc } => writeln!(f, "{} RECOVER {proc}", e.time)?,
+                TraceEvent::Note { proc, text } => writeln!(f, "{} {proc}: {text}", e.time)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn notes_filter_by_process() {
+        let mut t = Trace::new();
+        t.push(SimTime::from_ticks(1), TraceEvent::Note { proc: ProcId(0), text: "a".into() });
+        t.push(SimTime::from_ticks(2), TraceEvent::Note { proc: ProcId(1), text: "b".into() });
+        t.push(SimTime::from_ticks(3), TraceEvent::Note { proc: ProcId(0), text: "c".into() });
+        let of0: Vec<&str> = t.notes_of(ProcId(0)).map(|(_, s)| s).collect();
+        assert_eq!(of0, ["a", "c"]);
+        assert_eq!(t.notes().count(), 3);
+    }
+
+    #[test]
+    fn display_is_line_per_entry() {
+        let mut t = Trace::new();
+        t.push(SimTime::from_ticks(1), TraceEvent::Crash { proc: ProcId(2) });
+        assert_eq!(t.to_string(), "t1 CRASH p2\n");
+    }
+}

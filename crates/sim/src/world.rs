@@ -1,0 +1,633 @@
+//! The simulation world: deterministic discrete-event execution of a
+//! set of processes over the configured network, with crash/recover
+//! fault injection.
+
+use crate::network::{NetworkConfig, Partition};
+use crate::process::{Ctx, Process, TimerToken};
+use crate::time::{ProcId, SimTime};
+use crate::trace::{Trace, TraceEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+type LiveTimers = std::collections::BTreeSet<(ProcId, TimerToken, u64)>;
+
+/// World configuration.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Network model.
+    pub network: NetworkConfig,
+    /// RNG seed: equal seeds give identical executions.
+    pub seed: u64,
+    /// Hard cap on processed events (runaway guard).
+    pub max_events: u64,
+    /// Per-process clock drift rates ρ (the thesis' assumption 12:
+    /// local clocks run at `(1+ρ)` real speed; timeouts must be scaled
+    /// by the worst drift). Missing entries default to 0.
+    pub drift: Vec<f64>,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            network: NetworkConfig::default(),
+            seed: 0,
+            max_events: 1_000_000,
+            drift: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Start(ProcId),
+    Deliver { from: ProcId, to: ProcId, msg: M },
+    Timer { proc: ProcId, token: TimerToken, tid: u64 },
+    Crash(ProcId),
+    Recover(ProcId),
+}
+
+#[derive(Debug)]
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Summary statistics of a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunStats {
+    /// Events processed.
+    pub events: u64,
+    /// Messages submitted to the network.
+    pub messages_sent: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Messages dropped (loss, partition, or dead receiver).
+    pub messages_dropped: u64,
+    /// Final simulated time.
+    pub end_time: SimTime,
+    /// Whether a process called [`Ctx::stop_world`].
+    pub stopped_early: bool,
+}
+
+/// A deterministic discrete-event world of processes of type `P`
+/// exchanging messages of type `M`.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_sim::{World, WorldConfig, Process, Ctx, ProcId, SimTime};
+///
+/// #[derive(Default)]
+/// struct Echo { got: Option<&'static str> }
+/// impl Process<&'static str> for Echo {
+///     fn on_start(&mut self, ctx: &mut Ctx<&'static str>) {
+///         if ctx.id() == ProcId(0) { ctx.send(ProcId(1), "ping"); }
+///     }
+///     fn on_message(&mut self, _ctx: &mut Ctx<&'static str>, _from: ProcId, msg: &'static str) {
+///         self.got = Some(msg);
+///     }
+///     fn on_timer(&mut self, _ctx: &mut Ctx<&'static str>, _t: u64) {}
+/// }
+///
+/// let mut w = World::new(WorldConfig::default());
+/// w.add_process(Echo::default());
+/// w.add_process(Echo::default());
+/// w.run();
+/// assert_eq!(w.process(ProcId(1)).got, Some("ping"));
+/// ```
+pub struct World<M, P> {
+    procs: Vec<P>,
+    up: Vec<bool>,
+    queue: BinaryHeap<Reverse<Event<M>>>,
+    seq: u64,
+    tid: u64,
+    time: SimTime,
+    rng: StdRng,
+    config: WorldConfig,
+    fifo_last: std::collections::BTreeMap<(ProcId, ProcId), SimTime>,
+    live_timers: LiveTimers,
+    partitions: Vec<(Partition, SimTime, SimTime)>,
+    stats: RunStats,
+    trace: Trace,
+    started: bool,
+}
+
+impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
+    /// A new world.
+    pub fn new(config: WorldConfig) -> Self {
+        World {
+            procs: Vec::new(),
+            up: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            tid: 0,
+            time: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            fifo_last: Default::default(),
+            live_timers: Default::default(),
+            partitions: Vec::new(),
+            stats: RunStats::default(),
+            trace: Trace::new(),
+            started: false,
+        }
+    }
+
+    /// Adds a process; returns its id.
+    pub fn add_process(&mut self, p: P) -> ProcId {
+        let id = ProcId(self.procs.len());
+        self.procs.push(p);
+        self.up.push(true);
+        id
+    }
+
+    /// Immutable access to a process (for post-run inspection).
+    pub fn process(&self, id: ProcId) -> &P {
+        &self.procs[id.0]
+    }
+
+    /// Mutable access to a process (for test setup).
+    pub fn process_mut(&mut self, id: ProcId) -> &mut P {
+        &mut self.procs[id.0]
+    }
+
+    /// Number of processes.
+    pub fn n_procs(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Whether `id` is currently operational.
+    pub fn is_up(&self, id: ProcId) -> bool {
+        self.up[id.0]
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Schedules a crash of `id` at `at`.
+    pub fn schedule_crash(&mut self, id: ProcId, at: SimTime) {
+        self.push(at, EventKind::Crash(id));
+    }
+
+    /// Schedules recovery of `id` at `at`.
+    pub fn schedule_recovery(&mut self, id: ProcId, at: SimTime) {
+        self.push(at, EventKind::Recover(id));
+    }
+
+    /// Activates `partition` between `from` and `until`.
+    pub fn schedule_partition(&mut self, partition: Partition, from: SimTime, until: SimTime) {
+        self.partitions.push((partition, from, until));
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        self.seq += 1;
+        self.queue.push(Reverse(Event { time, seq: self.seq, kind }));
+    }
+
+    fn apply_ctx(&mut self, id: ProcId, ctx: Ctx<M>) -> bool {
+        let self_crash = ctx.crash;
+        for note in &ctx.notes {
+            self.trace.push(self.time, TraceEvent::Note { proc: id, text: note.clone() });
+        }
+        for (to, msg) in ctx.sends {
+            self.stats.messages_sent += 1;
+            // Loss?
+            if self.config.network.loss_probability > 0.0
+                && self.rng.gen_bool(self.config.network.loss_probability)
+            {
+                self.stats.messages_dropped += 1;
+                self.trace.push(self.time, TraceEvent::Dropped { from: id, to });
+                continue;
+            }
+            // Partition?
+            let cut = self
+                .partitions
+                .iter()
+                .any(|(p, a, b)| self.time >= *a && self.time < *b && p.separates(id, to));
+            if cut {
+                self.stats.messages_dropped += 1;
+                self.trace.push(self.time, TraceEvent::Dropped { from: id, to });
+                continue;
+            }
+            let mut deliver_at = self.time + self.config.network.delay.sample(&mut self.rng);
+            if self.config.network.fifo {
+                let last = self
+                    .fifo_last
+                    .get(&(id, to))
+                    .copied()
+                    .unwrap_or(SimTime::ZERO);
+                if deliver_at <= last {
+                    deliver_at = last + SimTime::from_ticks(1);
+                }
+                self.fifo_last.insert((id, to), deliver_at);
+            }
+            self.push(deliver_at, EventKind::Deliver { from: id, to, msg });
+        }
+        // Cancels first: they target timers that existed *before* this
+        // callback, so a timer re-armed with the same token in the same
+        // callback survives.
+        for token in ctx.cancels {
+            let dead: Vec<_> = self
+                .live_timers
+                .iter()
+                .filter(|(p, t, _)| *p == id && *t == token)
+                .cloned()
+                .collect();
+            for d in dead {
+                self.live_timers.remove(&d);
+            }
+        }
+        for (delay, token) in ctx.timers {
+            self.tid += 1;
+            let tid = self.tid;
+            self.live_timers.insert((id, token, tid));
+            self.push(self.time + delay, EventKind::Timer { proc: id, token, tid });
+        }
+        if self_crash && self.up[id.0] {
+            self.up[id.0] = false;
+            self.trace.push(self.time, TraceEvent::Crash { proc: id });
+            self.procs[id.0].on_crash();
+            let dead: Vec<_> = self
+                .live_timers
+                .iter()
+                .filter(|(p, _, _)| *p == id)
+                .cloned()
+                .collect();
+            for d in dead {
+                self.live_timers.remove(&d);
+            }
+        }
+        ctx.stop
+    }
+
+    /// Processes a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.procs.len() {
+                self.push(SimTime::ZERO, EventKind::Start(ProcId(i)));
+            }
+        }
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.time = ev.time;
+        self.stats.events += 1;
+        self.stats.end_time = self.time;
+        let n = self.procs.len();
+        let drift = |cfg: &WorldConfig, id: ProcId| cfg.drift.get(id.0).copied().unwrap_or(0.0);
+        let local = |cfg: &WorldConfig, id: ProcId, t: SimTime| {
+            SimTime::from_ticks((t.ticks() as f64 * (1.0 + drift(cfg, id))).round() as u64)
+        };
+        let stop = match ev.kind {
+            EventKind::Start(id) => {
+                let mut ctx = Ctx::new(id, n, self.time).with_local(local(&self.config, id, self.time));
+                self.procs[id.0].on_start(&mut ctx);
+                self.apply_ctx(id, ctx)
+            }
+            EventKind::Deliver { from, to, msg } => {
+                if !self.up[to.0] {
+                    self.stats.messages_dropped += 1;
+                    self.trace.push(self.time, TraceEvent::Dropped { from, to });
+                    false
+                } else {
+                    self.stats.messages_delivered += 1;
+                    self.trace.push(self.time, TraceEvent::Deliver { from, to });
+                    let mut ctx = Ctx::new(to, n, self.time)
+                        .with_local(local(&self.config, to, self.time));
+                    self.procs[to.0].on_message(&mut ctx, from, msg);
+                    self.apply_ctx(to, ctx)
+                }
+            }
+            EventKind::Timer { proc, token, tid } => {
+                if self.up[proc.0] && self.live_timers.remove(&(proc, token, tid)) {
+                    self.trace.push(self.time, TraceEvent::Timer { proc, token });
+                    let mut ctx = Ctx::new(proc, n, self.time)
+                        .with_local(local(&self.config, proc, self.time));
+                    self.procs[proc.0].on_timer(&mut ctx, token);
+                    self.apply_ctx(proc, ctx)
+                } else {
+                    false
+                }
+            }
+            EventKind::Crash(id) => {
+                if self.up[id.0] {
+                    self.up[id.0] = false;
+                    self.trace.push(self.time, TraceEvent::Crash { proc: id });
+                    self.procs[id.0].on_crash();
+                    // Pending timers of a crashed process die with it.
+                    let dead: Vec<_> = self
+                        .live_timers
+                        .iter()
+                        .filter(|(p, _, _)| *p == id)
+                        .cloned()
+                        .collect();
+                    for d in dead {
+                        self.live_timers.remove(&d);
+                    }
+                }
+                false
+            }
+            EventKind::Recover(id) => {
+                if !self.up[id.0] {
+                    self.up[id.0] = true;
+                    self.trace.push(self.time, TraceEvent::Recover { proc: id });
+                    let mut ctx = Ctx::new(id, n, self.time)
+                        .with_local(local(&self.config, id, self.time));
+                    self.procs[id.0].on_recover(&mut ctx);
+                    self.apply_ctx(id, ctx)
+                } else {
+                    false
+                }
+            }
+        };
+        if stop {
+            self.stats.stopped_early = true;
+            return false;
+        }
+        self.stats.events < self.config.max_events
+    }
+
+    /// Runs to quiescence (empty queue), stop request, or the event cap.
+    pub fn run(&mut self) -> RunStats {
+        while self.step() {}
+        self.stats.clone()
+    }
+
+    /// Runs while events remain at or before `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunStats {
+        loop {
+            if !self.started {
+                if !self.step() {
+                    break;
+                }
+                continue;
+            }
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => {
+                    if !self.step() {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Floods its peer with `count` numbered messages on start.
+    struct Flood {
+        peer: ProcId,
+        count: u64,
+        received: Vec<u64>,
+        timer_fired: bool,
+    }
+
+    impl Flood {
+        fn new(peer: ProcId, count: u64) -> Self {
+            Flood { peer, count, received: Vec::new(), timer_fired: false }
+        }
+    }
+
+    impl Process<u64> for Flood {
+        fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+            for i in 0..self.count {
+                ctx.send(self.peer, i);
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<u64>, _from: ProcId, msg: u64) {
+            self.received.push(msg);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<u64>, _token: u64) {
+            self.timer_fired = true;
+        }
+    }
+
+    fn flood_world(seed: u64) -> World<u64, Flood> {
+        let mut w = World::new(WorldConfig { seed, ..WorldConfig::default() });
+        w.add_process(Flood::new(ProcId(1), 20));
+        w.add_process(Flood::new(ProcId(0), 0));
+        w
+    }
+
+    #[test]
+    fn fifo_channels_preserve_send_order() {
+        let mut w = flood_world(7);
+        w.run();
+        let got = &w.process(ProcId(1)).received;
+        let expected: Vec<u64> = (0..20).collect();
+        assert_eq!(got, &expected);
+    }
+
+    #[test]
+    fn same_seed_same_execution() {
+        let mut a = flood_world(3);
+        let mut b = flood_world(3);
+        let sa = a.run();
+        let sb = b.run();
+        assert_eq!(sa, sb);
+        assert_eq!(a.process(ProcId(1)).received, b.process(ProcId(1)).received);
+    }
+
+    #[test]
+    fn crash_drops_in_flight_messages() {
+        let mut w = flood_world(5);
+        w.schedule_crash(ProcId(1), SimTime::from_ticks(0));
+        let stats = w.run();
+        assert_eq!(w.process(ProcId(1)).received.len(), 0);
+        assert_eq!(stats.messages_dropped, 20);
+    }
+
+    #[test]
+    fn recovery_restores_delivery() {
+        struct LateSender {
+            sent: bool,
+            received: u32,
+        }
+        impl Process<u64> for LateSender {
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                if ctx.id() == ProcId(0) {
+                    ctx.set_timer(SimTime::from_ticks(100), 1);
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Ctx<u64>, _from: ProcId, _msg: u64) {
+                self.received += 1;
+            }
+            fn on_timer(&mut self, ctx: &mut Ctx<u64>, _token: u64) {
+                if !self.sent {
+                    self.sent = true;
+                    ctx.send(ProcId(1), 42);
+                }
+            }
+        }
+        let mut w: World<u64, LateSender> = World::new(WorldConfig::default());
+        w.add_process(LateSender { sent: false, received: 0 });
+        w.add_process(LateSender { sent: false, received: 0 });
+        w.schedule_crash(ProcId(1), SimTime::from_ticks(1));
+        w.schedule_recovery(ProcId(1), SimTime::from_ticks(50));
+        w.run();
+        // Message sent at t=100, after recovery: delivered.
+        assert_eq!(w.process(ProcId(1)).received, 1);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        struct T {
+            late_fired: bool,
+        }
+        impl Process<u64> for T {
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                ctx.set_timer(SimTime::from_ticks(10), 9);
+                ctx.set_timer(SimTime::from_ticks(5), 1);
+            }
+            fn on_message(&mut self, _: &mut Ctx<u64>, _: ProcId, _: u64) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<u64>, token: u64) {
+                match token {
+                    1 => ctx.cancel_timer(9),
+                    _ => self.late_fired = true,
+                }
+            }
+        }
+        let mut w: World<u64, T> = World::new(WorldConfig::default());
+        w.add_process(T { late_fired: false });
+        w.run();
+        assert!(!w.process(ProcId(0)).late_fired);
+    }
+
+    #[test]
+    fn rearming_a_timer_in_the_cancelling_callback_survives() {
+        // Cancels target pre-existing timers only: the watchdog pattern
+        // `cancel_timer(t); set_timer(d, t)` keeps the new timer.
+        struct T {
+            fired: u32,
+        }
+        impl Process<u64> for T {
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                ctx.set_timer(SimTime::from_ticks(5), 7);
+            }
+            fn on_message(&mut self, _: &mut Ctx<u64>, _: ProcId, _: u64) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<u64>, _token: u64) {
+                self.fired += 1;
+                if self.fired == 1 {
+                    ctx.cancel_timer(7);
+                    ctx.set_timer(SimTime::from_ticks(5), 7);
+                }
+            }
+        }
+        let mut w: World<u64, T> = World::new(WorldConfig::default());
+        w.add_process(T { fired: 0 });
+        w.run();
+        assert_eq!(w.process(ProcId(0)).fired, 2);
+    }
+
+    #[test]
+    fn lossy_network_drops_some() {
+        let mut cfg = WorldConfig { seed: 5, ..WorldConfig::default() };
+        cfg.network.loss_probability = 0.5;
+        let mut w = World::new(cfg);
+        w.add_process(Flood::new(ProcId(1), 100));
+        w.add_process(Flood::new(ProcId(0), 0));
+        let stats = w.run();
+        assert!(stats.messages_dropped > 10);
+        assert!(stats.messages_delivered > 10);
+        assert_eq!(stats.messages_dropped + stats.messages_delivered, 100);
+    }
+
+    #[test]
+    fn partition_blocks_cross_traffic_during_window() {
+        let mut w = flood_world(2);
+        w.schedule_partition(
+            Partition::isolate([ProcId(0)]),
+            SimTime::ZERO,
+            SimTime::from_ticks(1_000),
+        );
+        let stats = w.run();
+        assert_eq!(stats.messages_delivered, 0);
+        assert_eq!(stats.messages_dropped, 20);
+    }
+
+    #[test]
+    fn drifted_clocks_diverge_from_real_time() {
+        struct ClockReader {
+            readings: Vec<(u64, u64)>,
+        }
+        impl Process<u64> for ClockReader {
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                ctx.set_timer(SimTime::from_ticks(100), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<u64>, _: ProcId, _: u64) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<u64>, _: u64) {
+                self.readings.push((ctx.now().ticks(), ctx.local_now().ticks()));
+            }
+        }
+        let mut w: World<u64, ClockReader> = World::new(WorldConfig {
+            drift: vec![0.0, 0.1],
+            ..WorldConfig::default()
+        });
+        w.add_process(ClockReader { readings: Vec::new() });
+        w.add_process(ClockReader { readings: Vec::new() });
+        w.run();
+        // Process 0: no drift; local == real.
+        assert_eq!(w.process(ProcId(0)).readings, vec![(100, 100)]);
+        // Process 1: 10% fast clock.
+        assert_eq!(w.process(ProcId(1)).readings, vec![(100, 110)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        struct Ticker {
+            ticks: u32,
+        }
+        impl Process<u64> for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<u64>) {
+                ctx.set_timer(SimTime::from_ticks(10), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<u64>, _: ProcId, _: u64) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<u64>, _: u64) {
+                self.ticks += 1;
+                ctx.set_timer(SimTime::from_ticks(10), 0);
+            }
+        }
+        let mut w: World<u64, Ticker> = World::new(WorldConfig::default());
+        w.add_process(Ticker { ticks: 0 });
+        w.run_until(SimTime::from_ticks(55));
+        assert_eq!(w.process(ProcId(0)).ticks, 5);
+    }
+}

@@ -1,0 +1,432 @@
+//! A crash-faithful site database integrating the building blocks:
+//! undo/redo WAL + strict 2PL + checkpointing + rollback recovery.
+//!
+//! The database is split into a *stable* half (WAL, checkpoints) that
+//! survives [`SiteDb::crash`] and a *volatile* half (current values,
+//! lock table, history) that is wiped by it — exactly the storage
+//! model the thesis' recovery reasoning assumes.
+
+use crate::checkpoint::CheckpointStore;
+use crate::ids::{Item, TxnId, TxnStatus, Value};
+use crate::locks::{LockError, LockManager, LockMode};
+use crate::schedule::{History, OpKind};
+use crate::wal::Wal;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The site is crashed; no operations are possible until recovery.
+    Crashed,
+    /// The transaction is not active.
+    NotActive(TxnId),
+    /// The required lock is held by someone else; retry later or abort.
+    Busy {
+        /// The requesting transaction.
+        txn: TxnId,
+        /// The contended item.
+        item: Item,
+    },
+    /// Locking discipline violation (2PL shrinking phase).
+    Lock(LockError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Crashed => write!(f, "site is crashed"),
+            DbError::NotActive(t) => write!(f, "{t} is not active"),
+            DbError::Busy { txn, item } => write!(f, "{txn} blocked on {item}"),
+            DbError::Lock(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<LockError> for DbError {
+    fn from(e: LockError) -> Self {
+        DbError::Lock(e)
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct Volatile {
+    data: BTreeMap<Item, Value>,
+    locks: LockManager,
+    history: History,
+    txns: BTreeMap<TxnId, TxnStatus>,
+    /// Per-transaction undo list: (item, before-image), newest last.
+    undo: BTreeMap<TxnId, Vec<(Item, Value)>>,
+}
+
+/// A single site's transactional database.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_txn::{SiteDb, TxnId};
+/// let mut db = SiteDb::new();
+/// db.begin(TxnId(1));
+/// db.write(TxnId(1), "X", 42).unwrap();
+/// db.commit(TxnId(1)).unwrap();
+/// db.crash();
+/// db.recover();
+/// assert_eq!(db.value("X"), Some(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SiteDb {
+    wal: Wal,
+    checkpoints: CheckpointStore,
+    volatile: Option<Volatile>,
+}
+
+impl Default for SiteDb {
+    fn default() -> Self {
+        SiteDb::new()
+    }
+}
+
+impl SiteDb {
+    /// A fresh, running site with an empty database.
+    pub fn new() -> Self {
+        SiteDb { wal: Wal::new(), checkpoints: CheckpointStore::new(), volatile: Some(Volatile::default()) }
+    }
+
+    /// Whether the site is operational.
+    pub fn is_up(&self) -> bool {
+        self.volatile.is_some()
+    }
+
+    fn vol(&mut self) -> Result<&mut Volatile, DbError> {
+        self.volatile.as_mut().ok_or(DbError::Crashed)
+    }
+
+    /// Starts a transaction.
+    pub fn begin(&mut self, txn: TxnId) {
+        if let Some(v) = self.volatile.as_mut() {
+            v.txns.insert(txn, TxnStatus::Active);
+        }
+    }
+
+    /// Status of a transaction, if known at this site.
+    pub fn status(&self, txn: TxnId) -> Option<TxnStatus> {
+        // Commit/abort outcomes are durable; active state is volatile.
+        if self.wal.committed().contains(&txn) {
+            return Some(TxnStatus::Committed);
+        }
+        if self.wal.aborted().contains(&txn) {
+            return Some(TxnStatus::Aborted);
+        }
+        self.volatile.as_ref().and_then(|v| v.txns.get(&txn).copied())
+    }
+
+    /// Reads `item` under a shared lock.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Busy`] when the lock is unavailable; [`DbError::Crashed`],
+    /// [`DbError::NotActive`], or a locking-discipline error otherwise.
+    pub fn read(&mut self, txn: TxnId, item: &str) -> Result<Value, DbError> {
+        let v = self.vol()?;
+        if v.txns.get(&txn) != Some(&TxnStatus::Active) {
+            return Err(DbError::NotActive(txn));
+        }
+        if !v.locks.try_acquire(txn, item, LockMode::Shared)? {
+            return Err(DbError::Busy { txn, item: item.to_string() });
+        }
+        v.history.push(txn, item, OpKind::Read);
+        Ok(v.data.get(item).copied().unwrap_or(0))
+    }
+
+    /// Writes `item` under an exclusive lock, logging undo/redo first
+    /// (write-ahead rule).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SiteDb::read`].
+    pub fn write(&mut self, txn: TxnId, item: &str, value: Value) -> Result<(), DbError> {
+        let v = self.vol()?;
+        if v.txns.get(&txn) != Some(&TxnStatus::Active) {
+            return Err(DbError::NotActive(txn));
+        }
+        if !v.locks.try_acquire(txn, item, LockMode::Exclusive)? {
+            return Err(DbError::Busy { txn, item: item.to_string() });
+        }
+        let old = v.data.get(item).copied().unwrap_or(0);
+        // Write-ahead: log before applying.
+        self.wal.log_update(txn, item, old, value);
+        let v = self.vol()?;
+        v.undo.entry(txn).or_default().push((item.to_string(), old));
+        v.data.insert(item.to_string(), value);
+        v.history.push(txn, item, OpKind::Write);
+        Ok(())
+    }
+
+    /// Commits `txn`: durable commit record, then release all locks
+    /// (strict 2PL).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Crashed`] or [`DbError::NotActive`].
+    pub fn commit(&mut self, txn: TxnId) -> Result<(), DbError> {
+        let v = self.vol()?;
+        if v.txns.get(&txn) != Some(&TxnStatus::Active) {
+            return Err(DbError::NotActive(txn));
+        }
+        self.wal.log_commit(txn);
+        let v = self.vol()?;
+        v.txns.insert(txn, TxnStatus::Committed);
+        v.undo.remove(&txn);
+        v.locks.release_all(txn);
+        Ok(())
+    }
+
+    /// Aborts `txn`: restores before-images (newest first), durable
+    /// abort record, release all locks.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Crashed`] or [`DbError::NotActive`].
+    pub fn abort(&mut self, txn: TxnId) -> Result<(), DbError> {
+        let v = self.vol()?;
+        if v.txns.get(&txn) != Some(&TxnStatus::Active) {
+            return Err(DbError::NotActive(txn));
+        }
+        if let Some(undo) = v.undo.remove(&txn) {
+            for (item, before) in undo.into_iter().rev() {
+                v.data.insert(item, before);
+            }
+        }
+        self.wal.log_abort(txn);
+        let v = self.vol()?;
+        v.txns.insert(txn, TxnStatus::Aborted);
+        v.locks.release_all(txn);
+        Ok(())
+    }
+
+    /// Takes a checkpoint of the committed state: tentative first, then
+    /// promoted to permanent and logged (the two-checkpoint scheme).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Crashed`].
+    pub fn checkpoint(&mut self) -> Result<(), DbError> {
+        if self.volatile.is_none() {
+            return Err(DbError::Crashed);
+        }
+        // The checkpointed image is the committed-prefix state, i.e.
+        // exactly what recovery would reconstruct right now.
+        let committed_state = self.wal.recover();
+        self.checkpoints.take_tentative(committed_state.clone());
+        self.checkpoints.promote();
+        self.wal.log_checkpoint(committed_state);
+        Ok(())
+    }
+
+    /// Crashes the site: all volatile state (values, locks, active
+    /// transaction table) is lost; WAL and checkpoints survive.
+    pub fn crash(&mut self) {
+        self.volatile = None;
+    }
+
+    /// Recovers the site: rebuilds values from the stable log
+    /// (checkpoint + redo committed), with a fresh lock table. In-doubt
+    /// transactions remain unresolved — ask [`SiteDb::in_doubt`] and
+    /// resolve them via the commit protocol's termination rules.
+    pub fn recover(&mut self) {
+        let mut v = Volatile { data: self.wal.recover(), ..Volatile::default() };
+        for t in self.wal.committed() {
+            v.txns.insert(t, TxnStatus::Committed);
+        }
+        for t in self.wal.aborted() {
+            v.txns.insert(t, TxnStatus::Aborted);
+        }
+        self.volatile = Some(v);
+    }
+
+    /// Transactions with logged updates but no outcome record.
+    pub fn in_doubt(&self) -> Vec<TxnId> {
+        self.wal.in_doubt().into_iter().collect()
+    }
+
+    /// Resolves an in-doubt transaction after recovery per the commit
+    /// protocol's decision.
+    pub fn resolve(&mut self, txn: TxnId, commit: bool) {
+        if commit {
+            self.wal.log_commit(txn);
+        } else {
+            self.wal.log_abort(txn);
+        }
+        if let Some(v) = self.volatile.as_mut() {
+            v.data = BTreeMap::new();
+            v.txns.insert(txn, if commit { TxnStatus::Committed } else { TxnStatus::Aborted });
+        }
+        // Rebuild values to reflect the resolution.
+        if let Some(v) = self.volatile.as_mut() {
+            v.data = self.wal.recover();
+        }
+    }
+
+    /// Committed-visible value of `item` (no locking; for inspection).
+    pub fn value(&self, item: &str) -> Option<Value> {
+        self.volatile.as_ref().and_then(|v| v.data.get(item).copied())
+    }
+
+    /// The interleaved history observed so far (volatile; for the
+    /// serializability monitors).
+    pub fn history(&self) -> Option<&History> {
+        self.volatile.as_ref().map(|v| &v.history)
+    }
+
+    /// The stable write-ahead log (for inspection).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// The checkpoint store (for inspection).
+    pub fn checkpoints(&self) -> &CheckpointStore {
+        &self.checkpoints
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn committed_writes_survive_crash() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.write(TxnId(1), "X", 10).unwrap();
+        db.commit(TxnId(1)).unwrap();
+        db.crash();
+        assert!(!db.is_up());
+        db.recover();
+        assert_eq!(db.value("X"), Some(10));
+    }
+
+    #[test]
+    fn uncommitted_writes_do_not_survive_crash() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.write(TxnId(1), "X", 10).unwrap();
+        db.crash();
+        db.recover();
+        assert_eq!(db.value("X"), None);
+        assert_eq!(db.in_doubt(), vec![TxnId(1)]);
+    }
+
+    #[test]
+    fn abort_restores_before_images() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.write(TxnId(1), "X", 5).unwrap();
+        db.commit(TxnId(1)).unwrap();
+        db.begin(TxnId(2));
+        db.write(TxnId(2), "X", 99).unwrap();
+        db.write(TxnId(2), "X", 100).unwrap();
+        db.abort(TxnId(2)).unwrap();
+        assert_eq!(db.value("X"), Some(5));
+    }
+
+    #[test]
+    fn conflicting_writers_get_busy() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.begin(TxnId(2));
+        db.write(TxnId(1), "X", 1).unwrap();
+        let err = db.write(TxnId(2), "X", 2).unwrap_err();
+        assert!(matches!(err, DbError::Busy { .. }));
+        db.commit(TxnId(1)).unwrap();
+        db.write(TxnId(2), "X", 2).unwrap();
+        db.commit(TxnId(2)).unwrap();
+        assert_eq!(db.value("X"), Some(2));
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.begin(TxnId(2));
+        db.begin(TxnId(3));
+        assert_eq!(db.read(TxnId(1), "X").unwrap(), 0);
+        assert_eq!(db.read(TxnId(2), "X").unwrap(), 0);
+        let err = db.write(TxnId(3), "X", 7).unwrap_err();
+        assert!(matches!(err, DbError::Busy { .. }));
+    }
+
+    #[test]
+    fn checkpoint_then_crash_recovers_from_checkpoint() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.write(TxnId(1), "X", 10).unwrap();
+        db.commit(TxnId(1)).unwrap();
+        db.checkpoint().unwrap();
+        db.begin(TxnId(2));
+        db.write(TxnId(2), "X", 20).unwrap();
+        db.commit(TxnId(2)).unwrap();
+        db.crash();
+        db.recover();
+        assert_eq!(db.value("X"), Some(20));
+        assert!(db.checkpoints().permanent().is_some());
+    }
+
+    #[test]
+    fn resolve_in_doubt_commit_applies_updates() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.write(TxnId(1), "X", 10).unwrap();
+        db.crash();
+        db.recover();
+        db.resolve(TxnId(1), true);
+        assert_eq!(db.value("X"), Some(10));
+        assert_eq!(db.status(TxnId(1)), Some(TxnStatus::Committed));
+    }
+
+    #[test]
+    fn resolve_in_doubt_abort_discards_updates() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.write(TxnId(1), "X", 10).unwrap();
+        db.crash();
+        db.recover();
+        db.resolve(TxnId(1), false);
+        assert_eq!(db.value("X"), None);
+        assert_eq!(db.status(TxnId(1)), Some(TxnStatus::Aborted));
+    }
+
+    #[test]
+    fn operations_on_crashed_site_fail() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.crash();
+        assert_eq!(db.read(TxnId(1), "X").unwrap_err(), DbError::Crashed);
+        assert_eq!(db.write(TxnId(1), "X", 1).unwrap_err(), DbError::Crashed);
+        assert_eq!(db.commit(TxnId(1)).unwrap_err(), DbError::Crashed);
+        assert_eq!(db.checkpoint().unwrap_err(), DbError::Crashed);
+    }
+
+    #[test]
+    fn history_records_operations() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.read(TxnId(1), "X").unwrap();
+        db.write(TxnId(1), "X", 1).unwrap();
+        db.commit(TxnId(1)).unwrap();
+        let h = db.history().unwrap();
+        assert_eq!(h.len(), 2);
+        assert!(h.is_conflict_serializable());
+    }
+
+    #[test]
+    fn status_is_durable_across_crash() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.write(TxnId(1), "X", 1).unwrap();
+        db.commit(TxnId(1)).unwrap();
+        db.crash();
+        assert_eq!(db.status(TxnId(1)), Some(TxnStatus::Committed));
+    }
+}

@@ -1,0 +1,56 @@
+//! Transaction identifiers and statuses.
+
+use std::fmt;
+
+/// A transaction identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
+    serde::Serialize, serde::Deserialize,
+)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Lifecycle status of a transaction.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum TxnStatus {
+    /// Executing; may still read/write.
+    Active,
+    /// Durably committed.
+    Committed,
+    /// Rolled back.
+    Aborted,
+}
+
+impl fmt::Display for TxnStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnStatus::Active => write!(f, "active"),
+            TxnStatus::Committed => write!(f, "committed"),
+            TxnStatus::Aborted => write!(f, "aborted"),
+        }
+    }
+}
+
+/// The value type stored in data items.
+pub type Value = i64;
+
+/// The name of a data item.
+pub type Item = String;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TxnId(3).to_string(), "T3");
+        assert_eq!(TxnStatus::Committed.to_string(), "committed");
+    }
+}

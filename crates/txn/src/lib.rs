@@ -1,0 +1,45 @@
+//! # mcv-txn
+//!
+//! The transaction-processing substrate under the thesis' 3PC case
+//! study: every local building block the commit protocol assumes,
+//! implemented executably and tested against the very axioms the
+//! formal specs in `mcv-blocks` state.
+//!
+//! - [`Wal`] — undo/redo write-ahead logging (`Storevalues`, SP6);
+//! - [`LockManager`] — strict two-phase locking (`Readlock`/`Writelock`,
+//!   SP7/SP8);
+//! - [`CheckpointStore`] — tentative/permanent checkpoints (SP9);
+//! - [`History`] — conflict-serializability checking (global property 1);
+//! - [`SiteDb`] — the crash-faithful site database integrating all of
+//!   the above with rollback recovery (SP10).
+//!
+//! # Examples
+//!
+//! ```
+//! use mcv_txn::{SiteDb, TxnId};
+//! let mut db = SiteDb::new();
+//! db.begin(TxnId(1));
+//! db.write(TxnId(1), "account_a", -100)?;
+//! db.write(TxnId(1), "account_b", 100)?;
+//! db.commit(TxnId(1))?;
+//! db.crash();
+//! db.recover();
+//! assert_eq!(db.value("account_b"), Some(100));
+//! # Ok::<(), mcv_txn::DbError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod checkpoint;
+mod db;
+mod ids;
+mod locks;
+mod schedule;
+mod wal;
+
+pub use checkpoint::{CheckpointStore, Snapshot};
+pub use db::{DbError, SiteDb};
+pub use ids::{Item, TxnId, TxnStatus, Value};
+pub use locks::{LockError, LockManager, LockMode, LockOutcome};
+pub use schedule::{History, Op, OpKind};
+pub use wal::{LogRecord, Wal};

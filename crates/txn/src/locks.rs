@@ -1,0 +1,406 @@
+//! Strict two-phase locking (the thesis' *Two Phase Locking Protocol*
+//! building block).
+//!
+//! Requirements from Section 3.5.1, enforced and tested here:
+//! - *only one transaction at a time may write-lock an object* —
+//!   exclusive locks are mutually exclusive;
+//! - *multiple transactions may read-lock an object; a read counter
+//!   holds the number* — shared locks are counted;
+//! - *if an object is write-locked, no read locks are allowed*;
+//! - *transaction must unlock all objects before finishing* —
+//!   [`LockManager::release_all`] at commit/abort (strict 2PL);
+//! - the 2PL rule proper: once a transaction has released any lock it
+//!   may not acquire another (growing/shrinking phases).
+
+use crate::ids::{Item, TxnId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LockMode {
+    /// Shared (read) lock.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// The lock was granted immediately.
+    Granted,
+    /// The request conflicts and was queued; the transaction must wait.
+    Queued,
+    /// Granting would deadlock; the requester should abort (it is the
+    /// victim).
+    WouldDeadlock {
+        /// The waits-for cycle found, as transaction ids.
+        cycle: Vec<TxnId>,
+    },
+}
+
+/// Errors violating the locking discipline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LockError {
+    /// The transaction already released a lock and is in its shrinking
+    /// phase (2PL violation).
+    ShrinkingPhase(TxnId),
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::ShrinkingPhase(t) => {
+                write!(f, "{t} attempted to lock after unlocking (2PL violation)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Debug, Default, Clone)]
+struct LockEntry {
+    /// Holders of shared locks (the "read counter" is `sharers.len()`).
+    sharers: BTreeSet<TxnId>,
+    /// Holder of the exclusive lock, if any (the "1-bit write lock flag").
+    exclusive: Option<TxnId>,
+    /// FIFO wait queue.
+    waiting: VecDeque<(TxnId, LockMode)>,
+}
+
+/// A strict two-phase lock manager.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_txn::{LockManager, LockMode, LockOutcome, TxnId};
+/// let mut lm = LockManager::new();
+/// assert_eq!(lm.acquire(TxnId(1), "X", LockMode::Exclusive).unwrap(), LockOutcome::Granted);
+/// assert_eq!(lm.acquire(TxnId(2), "X", LockMode::Shared).unwrap(), LockOutcome::Queued);
+/// let granted = lm.release_all(TxnId(1));
+/// assert_eq!(granted, vec![(TxnId(2), "X".to_string(), LockMode::Shared)]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct LockManager {
+    table: BTreeMap<Item, LockEntry>,
+    /// Transactions that have released at least one lock.
+    shrinking: BTreeSet<TxnId>,
+    /// Waits-for edges for deadlock detection.
+    waits_for: BTreeMap<TxnId, BTreeSet<TxnId>>,
+}
+
+impl LockManager {
+    /// A new, empty lock manager.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Requests `mode` on `item` for `txn`.
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::ShrinkingPhase`] if `txn` already released locks.
+    pub fn acquire(
+        &mut self,
+        txn: TxnId,
+        item: impl Into<Item>,
+        mode: LockMode,
+    ) -> Result<LockOutcome, LockError> {
+        if self.shrinking.contains(&txn) {
+            return Err(LockError::ShrinkingPhase(txn));
+        }
+        let item = item.into();
+        let entry = self.table.entry(item.clone()).or_default();
+        let compatible = match mode {
+            LockMode::Shared => {
+                entry.exclusive.is_none() || entry.exclusive == Some(txn)
+            }
+            LockMode::Exclusive => {
+                (entry.exclusive.is_none() || entry.exclusive == Some(txn))
+                    && entry.sharers.iter().all(|s| *s == txn)
+            }
+        };
+        // Respect the FIFO queue: even a compatible request waits behind
+        // earlier queued conflicting requests (no starvation of writers).
+        let must_queue = !entry.waiting.is_empty()
+            && entry.waiting.iter().any(|(t, _)| *t != txn);
+        if compatible && !must_queue {
+            match mode {
+                LockMode::Shared => {
+                    // Holding exclusive subsumes shared.
+                    if entry.exclusive != Some(txn) {
+                        entry.sharers.insert(txn);
+                    }
+                }
+                LockMode::Exclusive => {
+                    entry.sharers.remove(&txn);
+                    entry.exclusive = Some(txn);
+                }
+            }
+            return Ok(LockOutcome::Granted);
+        }
+        // Build waits-for edges to current holders.
+        let holders: BTreeSet<TxnId> = entry
+            .sharers
+            .iter()
+            .copied()
+            .chain(entry.exclusive)
+            .filter(|h| *h != txn)
+            .collect();
+        let edges = self.waits_for.entry(txn).or_default();
+        for h in &holders {
+            edges.insert(*h);
+        }
+        if let Some(cycle) = self.find_cycle(txn) {
+            // Undo the tentative edges for this request.
+            self.waits_for.remove(&txn);
+            return Ok(LockOutcome::WouldDeadlock { cycle });
+        }
+        self.table
+            .get_mut(&item)
+            .expect("entry just touched")
+            .waiting
+            .push_back((txn, mode));
+        Ok(LockOutcome::Queued)
+    }
+
+    /// Non-queuing variant of [`LockManager::acquire`]: grants the lock
+    /// if immediately compatible, otherwise returns `Ok(false)` without
+    /// enqueuing (the caller retries or aborts — how `SiteDb` models
+    /// waiting under the event-driven simulator).
+    ///
+    /// # Errors
+    ///
+    /// [`LockError::ShrinkingPhase`] if `txn` already released locks.
+    pub fn try_acquire(
+        &mut self,
+        txn: TxnId,
+        item: impl Into<Item>,
+        mode: LockMode,
+    ) -> Result<bool, LockError> {
+        if self.shrinking.contains(&txn) {
+            return Err(LockError::ShrinkingPhase(txn));
+        }
+        let item = item.into();
+        let entry = self.table.entry(item).or_default();
+        let compatible = match mode {
+            LockMode::Shared => entry.exclusive.is_none() || entry.exclusive == Some(txn),
+            LockMode::Exclusive => {
+                (entry.exclusive.is_none() || entry.exclusive == Some(txn))
+                    && entry.sharers.iter().all(|s| *s == txn)
+            }
+        };
+        let must_queue =
+            !entry.waiting.is_empty() && entry.waiting.iter().any(|(t, _)| *t != txn);
+        if compatible && !must_queue {
+            match mode {
+                LockMode::Shared => {
+                    // Holding exclusive subsumes shared.
+                    if entry.exclusive != Some(txn) {
+                        entry.sharers.insert(txn);
+                    }
+                }
+                LockMode::Exclusive => {
+                    entry.sharers.remove(&txn);
+                    entry.exclusive = Some(txn);
+                }
+            }
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Releases everything `txn` holds or waits for, marking it
+    /// shrinking (strict 2PL: called at commit/abort). Returns the
+    /// requests that became grantable, in grant order.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, Item, LockMode)> {
+        self.shrinking.insert(txn);
+        self.waits_for.remove(&txn);
+        for edges in self.waits_for.values_mut() {
+            edges.remove(&txn);
+        }
+        let mut granted = Vec::new();
+        let items: Vec<Item> = self.table.keys().cloned().collect();
+        for item in items {
+            let entry = self.table.get_mut(&item).expect("key listed");
+            entry.sharers.remove(&txn);
+            if entry.exclusive == Some(txn) {
+                entry.exclusive = None;
+            }
+            entry.waiting.retain(|(t, _)| *t != txn);
+            // Promote waiters.
+            while let Some((next, mode)) = entry.waiting.front().copied() {
+                let ok = match mode {
+                    LockMode::Shared => entry.exclusive.is_none(),
+                    LockMode::Exclusive => {
+                        entry.exclusive.is_none() && entry.sharers.is_empty()
+                    }
+                };
+                if !ok {
+                    break;
+                }
+                entry.waiting.pop_front();
+                match mode {
+                    LockMode::Shared => {
+                        entry.sharers.insert(next);
+                    }
+                    LockMode::Exclusive => entry.exclusive = Some(next),
+                }
+                self.waits_for.remove(&next);
+                granted.push((next, item.clone(), mode));
+            }
+        }
+        granted
+    }
+
+    /// Whether `txn` holds a lock on `item` at least as strong as `mode`.
+    pub fn holds(&self, txn: TxnId, item: &str, mode: LockMode) -> bool {
+        match self.table.get(item) {
+            None => false,
+            Some(e) => match mode {
+                LockMode::Shared => e.sharers.contains(&txn) || e.exclusive == Some(txn),
+                LockMode::Exclusive => e.exclusive == Some(txn),
+            },
+        }
+    }
+
+    /// Number of shared holders of `item` (the thesis' read counter).
+    pub fn read_count(&self, item: &str) -> usize {
+        self.table.get(item).map_or(0, |e| e.sharers.len())
+    }
+
+    /// Whether `item` is write-locked (the 1-bit write-lock flag).
+    pub fn write_locked(&self, item: &str) -> bool {
+        self.table.get(item).is_some_and(|e| e.exclusive.is_some())
+    }
+
+    /// DFS cycle search in the waits-for graph starting from `from`.
+    fn find_cycle(&self, from: TxnId) -> Option<Vec<TxnId>> {
+        let mut path = vec![from];
+        let mut on_path = BTreeSet::from([from]);
+        self.dfs(from, from, &mut path, &mut on_path)
+    }
+
+    fn dfs(
+        &self,
+        start: TxnId,
+        at: TxnId,
+        path: &mut Vec<TxnId>,
+        on_path: &mut BTreeSet<TxnId>,
+    ) -> Option<Vec<TxnId>> {
+        if let Some(next) = self.waits_for.get(&at) {
+            for &n in next {
+                if n == start {
+                    return Some(path.clone());
+                }
+                if on_path.insert(n) {
+                    path.push(n);
+                    if let Some(c) = self.dfs(start, n, path, on_path) {
+                        return Some(c);
+                    }
+                    path.pop();
+                    on_path.remove(&n);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_locks_are_counted() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(TxnId(1), "X", LockMode::Shared).unwrap(), LockOutcome::Granted);
+        assert_eq!(lm.acquire(TxnId(2), "X", LockMode::Shared).unwrap(), LockOutcome::Granted);
+        assert_eq!(lm.read_count("X"), 2);
+        assert!(!lm.write_locked("X"));
+    }
+
+    #[test]
+    fn write_lock_excludes_everyone() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(TxnId(1), "X", LockMode::Exclusive).unwrap(), LockOutcome::Granted);
+        assert_eq!(lm.acquire(TxnId(2), "X", LockMode::Shared).unwrap(), LockOutcome::Queued);
+        assert_eq!(lm.acquire(TxnId(3), "X", LockMode::Exclusive).unwrap(), LockOutcome::Queued);
+        assert!(lm.write_locked("X"));
+    }
+
+    #[test]
+    fn readers_block_writers_but_not_readers() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), "X", LockMode::Shared).unwrap();
+        assert_eq!(lm.acquire(TxnId(2), "X", LockMode::Exclusive).unwrap(), LockOutcome::Queued);
+        // A later reader queues behind the waiting writer (fairness).
+        assert_eq!(lm.acquire(TxnId(3), "X", LockMode::Shared).unwrap(), LockOutcome::Queued);
+    }
+
+    #[test]
+    fn release_promotes_waiters_in_order() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), "X", LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), "X", LockMode::Shared).unwrap();
+        lm.acquire(TxnId(3), "X", LockMode::Shared).unwrap();
+        let granted = lm.release_all(TxnId(1));
+        assert_eq!(granted.len(), 2);
+        assert_eq!(lm.read_count("X"), 2);
+    }
+
+    #[test]
+    fn lock_upgrade_by_sole_sharer() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), "X", LockMode::Shared).unwrap();
+        assert_eq!(lm.acquire(TxnId(1), "X", LockMode::Exclusive).unwrap(), LockOutcome::Granted);
+        assert!(lm.holds(TxnId(1), "X", LockMode::Exclusive));
+    }
+
+    #[test]
+    fn two_phase_rule_enforced() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), "X", LockMode::Shared).unwrap();
+        lm.release_all(TxnId(1));
+        let err = lm.acquire(TxnId(1), "Y", LockMode::Shared).unwrap_err();
+        assert_eq!(err, LockError::ShrinkingPhase(TxnId(1)));
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), "X", LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), "Y", LockMode::Exclusive).unwrap();
+        assert_eq!(lm.acquire(TxnId(1), "Y", LockMode::Exclusive).unwrap(), LockOutcome::Queued);
+        match lm.acquire(TxnId(2), "X", LockMode::Exclusive).unwrap() {
+            LockOutcome::WouldDeadlock { cycle } => {
+                assert!(cycle.contains(&TxnId(2)));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn victim_abort_unblocks_the_other() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), "X", LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(2), "Y", LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(1), "Y", LockMode::Exclusive).unwrap();
+        let _ = lm.acquire(TxnId(2), "X", LockMode::Exclusive).unwrap();
+        // T2 aborts; T1's request for Y should now be granted.
+        let granted = lm.release_all(TxnId(2));
+        assert!(granted.contains(&(TxnId(1), "Y".to_string(), LockMode::Exclusive)));
+    }
+
+    #[test]
+    fn holds_reflects_modes() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), "X", LockMode::Shared).unwrap();
+        assert!(lm.holds(TxnId(1), "X", LockMode::Shared));
+        assert!(!lm.holds(TxnId(1), "X", LockMode::Exclusive));
+        assert!(!lm.holds(TxnId(2), "X", LockMode::Shared));
+    }
+}

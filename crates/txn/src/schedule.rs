@@ -1,0 +1,326 @@
+//! Histories and conflict-serializability checking (the *Serializability
+//! of Transactions* global property, Section 4.1.1, made executable).
+//!
+//! A history records the interleaved read/write operations of a set of
+//! transactions. Two operations conflict when they touch the same item,
+//! come from different transactions, and at least one writes. The
+//! history is conflict-serializable iff the conflict graph is acyclic;
+//! the witness serial order is a topological sort.
+
+use crate::ids::{Item, TxnId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Kind of an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum OpKind {
+    /// A read of the item.
+    Read,
+    /// A write of the item.
+    Write,
+}
+
+/// One operation of a history.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Op {
+    /// The issuing transaction.
+    pub txn: TxnId,
+    /// The touched item.
+    pub item: Item,
+    /// Read or write.
+    pub kind: OpKind,
+}
+
+/// An interleaved execution history.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_txn::{History, OpKind, TxnId};
+/// let mut h = History::new();
+/// h.push(TxnId(1), "X", OpKind::Write);
+/// h.push(TxnId(2), "X", OpKind::Read);
+/// h.push(TxnId(2), "Y", OpKind::Write);
+/// h.push(TxnId(1), "Y", OpKind::Read);
+/// // T1 -> T2 on X, T2 -> T1 on Y: a cycle.
+/// assert!(!h.is_conflict_serializable());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct History {
+    ops: Vec<Op>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, txn: TxnId, item: impl Into<Item>, kind: OpKind) {
+        self.ops.push(Op { txn, item: item.into(), kind });
+    }
+
+    /// The operations in execution order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the history has no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The set of transactions appearing in the history.
+    pub fn transactions(&self) -> BTreeSet<TxnId> {
+        self.ops.iter().map(|o| o.txn).collect()
+    }
+
+    /// Conflict edges `a → b` (`a`'s op precedes and conflicts with
+    /// `b`'s).
+    pub fn conflict_edges(&self) -> BTreeSet<(TxnId, TxnId)> {
+        let mut edges = BTreeSet::new();
+        for (i, a) in self.ops.iter().enumerate() {
+            for b in &self.ops[i + 1..] {
+                if a.txn != b.txn
+                    && a.item == b.item
+                    && (a.kind == OpKind::Write || b.kind == OpKind::Write)
+                {
+                    edges.insert((a.txn, b.txn));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Whether the conflict graph is acyclic.
+    pub fn is_conflict_serializable(&self) -> bool {
+        self.equivalent_serial_order().is_some()
+    }
+
+    /// A serial order witnessing serializability, if one exists
+    /// (topological sort of the conflict graph; ties broken by id).
+    pub fn equivalent_serial_order(&self) -> Option<Vec<TxnId>> {
+        let txns = self.transactions();
+        let edges = self.conflict_edges();
+        let mut indegree: BTreeMap<TxnId, usize> = txns.iter().map(|t| (*t, 0)).collect();
+        for (_, b) in &edges {
+            *indegree.get_mut(b).expect("edge endpoints in txns") += 1;
+        }
+        let mut order = Vec::new();
+        let mut ready: BTreeSet<TxnId> = indegree
+            .iter()
+            .filter(|(_, d)| **d == 0)
+            .map(|(t, _)| *t)
+            .collect();
+        while let Some(&t) = ready.iter().next() {
+            ready.remove(&t);
+            order.push(t);
+            for (a, b) in &edges {
+                if *a == t {
+                    let d = indegree.get_mut(b).expect("endpoint");
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.insert(*b);
+                    }
+                }
+            }
+        }
+        if order.len() == txns.len() {
+            Some(order)
+        } else {
+            None
+        }
+    }
+}
+
+impl History {
+    /// View-serializability check by brute force over serial orders
+    /// (exponential in the number of transactions — intended for the
+    /// small histories of tests and monitors). Two histories are view
+    /// equivalent when every read reads-from the same write and final
+    /// writes coincide.
+    ///
+    /// Conflict-serializability implies view-serializability; the
+    /// converse fails only with blind writes.
+    pub fn is_view_serializable(&self) -> bool {
+        let txns: Vec<TxnId> = self.transactions().into_iter().collect();
+        if txns.len() > 8 {
+            // Guard rail: factorial blow-up.
+            return self.is_conflict_serializable();
+        }
+        let target = self.view_signature(self.ops.clone());
+        permutations(&txns).into_iter().any(|order| {
+            let serial: Vec<Op> = order
+                .iter()
+                .flat_map(|t| self.ops.iter().filter(|o| o.txn == *t).cloned())
+                .collect();
+            self.view_signature(serial) == target
+        })
+    }
+
+    /// The reads-from relation and final writes of an operation
+    /// sequence: `(reader-op-index ↦ writer txn, item ↦ final writer)`.
+    #[allow(clippy::type_complexity)]
+    fn view_signature(
+        &self,
+        ops: Vec<Op>,
+    ) -> (Vec<(TxnId, Item, usize, Option<TxnId>)>, BTreeMap<Item, TxnId>) {
+        let mut last_writer: BTreeMap<Item, TxnId> = BTreeMap::new();
+        // Reads are keyed by their occurrence index within (txn, item)
+        // so the i-th read of an item by a transaction must read from
+        // the same writer in the witness order.
+        let mut occurrence: BTreeMap<(TxnId, Item), usize> = BTreeMap::new();
+        let mut reads = Vec::new();
+        for o in &ops {
+            match o.kind {
+                OpKind::Read => {
+                    let k = occurrence
+                        .entry((o.txn, o.item.clone()))
+                        .and_modify(|c| *c += 1)
+                        .or_insert(0);
+                    reads.push((o.txn, o.item.clone(), *k, last_writer.get(&o.item).copied()));
+                }
+                OpKind::Write => {
+                    last_writer.insert(o.item.clone(), o.txn);
+                }
+            }
+        }
+        reads.sort();
+        (reads, last_writer)
+    }
+}
+
+fn permutations(items: &[TxnId]) -> Vec<Vec<TxnId>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, x) in items.iter().enumerate() {
+        let mut rest: Vec<TxnId> = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, *x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+
+impl fmt::Display for History {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, o) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            let k = match o.kind {
+                OpKind::Read => "r",
+                OpKind::Write => "w",
+            };
+            write!(f, "{k}{}[{}]", o.txn.0, o.item)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_history_is_serializable() {
+        let mut h = History::new();
+        h.push(TxnId(1), "X", OpKind::Write);
+        h.push(TxnId(1), "Y", OpKind::Write);
+        h.push(TxnId(2), "X", OpKind::Read);
+        h.push(TxnId(2), "Y", OpKind::Read);
+        assert!(h.is_conflict_serializable());
+        assert_eq!(h.equivalent_serial_order(), Some(vec![TxnId(1), TxnId(2)]));
+    }
+
+    #[test]
+    fn classic_nonserializable_interleaving() {
+        // r1[X] w2[X] w1[X]: T2 between T1's read and write.
+        let mut h = History::new();
+        h.push(TxnId(1), "X", OpKind::Read);
+        h.push(TxnId(2), "X", OpKind::Write);
+        h.push(TxnId(1), "X", OpKind::Write);
+        assert!(!h.is_conflict_serializable());
+    }
+
+    #[test]
+    fn reads_do_not_conflict() {
+        let mut h = History::new();
+        h.push(TxnId(1), "X", OpKind::Read);
+        h.push(TxnId(2), "X", OpKind::Read);
+        h.push(TxnId(1), "X", OpKind::Read);
+        assert!(h.conflict_edges().is_empty());
+        assert!(h.is_conflict_serializable());
+    }
+
+    #[test]
+    fn disjoint_items_never_conflict() {
+        let mut h = History::new();
+        h.push(TxnId(1), "X", OpKind::Write);
+        h.push(TxnId(2), "Y", OpKind::Write);
+        h.push(TxnId(1), "X", OpKind::Write);
+        assert!(h.is_conflict_serializable());
+    }
+
+    #[test]
+    fn empty_history_is_serializable() {
+        assert!(History::new().is_conflict_serializable());
+    }
+
+    #[test]
+    fn view_serializable_blind_write_history() {
+        // The classic view-but-not-conflict-serializable history:
+        // w1[X] w2[X] w2[Y] w1[Y] w3[X] w3[Y]  (all blind writes; T3
+        // overwrites everything, so T1 T2 T3 is a view-equivalent
+        // serial order, but the conflict graph has a T1/T2 cycle).
+        let mut h = History::new();
+        h.push(TxnId(1), "X", OpKind::Write);
+        h.push(TxnId(2), "X", OpKind::Write);
+        h.push(TxnId(2), "Y", OpKind::Write);
+        h.push(TxnId(1), "Y", OpKind::Write);
+        h.push(TxnId(3), "X", OpKind::Write);
+        h.push(TxnId(3), "Y", OpKind::Write);
+        assert!(!h.is_conflict_serializable());
+        assert!(h.is_view_serializable());
+    }
+
+    #[test]
+    fn conflict_serializable_implies_view_serializable() {
+        let mut h = History::new();
+        h.push(TxnId(1), "X", OpKind::Write);
+        h.push(TxnId(2), "X", OpKind::Read);
+        h.push(TxnId(2), "Y", OpKind::Write);
+        assert!(h.is_conflict_serializable());
+        assert!(h.is_view_serializable());
+    }
+
+    #[test]
+    fn non_view_serializable_interleaving() {
+        // r1[X] w2[X] r1[X] — T1 reads initial then T2's value: no
+        // serial order reproduces both reads.
+        let mut h = History::new();
+        h.push(TxnId(1), "X", OpKind::Read);
+        h.push(TxnId(2), "X", OpKind::Write);
+        h.push(TxnId(1), "X", OpKind::Read);
+        assert!(!h.is_view_serializable());
+    }
+
+    #[test]
+    fn display_uses_standard_notation() {
+        let mut h = History::new();
+        h.push(TxnId(1), "X", OpKind::Read);
+        h.push(TxnId(2), "X", OpKind::Write);
+        assert_eq!(h.to_string(), "r1[X] w2[X]");
+    }
+}

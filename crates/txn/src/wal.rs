@@ -1,0 +1,298 @@
+//! The undo/redo write-ahead log (the thesis' *Undo/Redo Logging
+//! Protocol* building block).
+//!
+//! Requirements from Section 3.5.1, enforced here:
+//! - *log must be kept in stable storage* — the log lives in the
+//!   crash-surviving half of a site;
+//! - *undo entry in stable log before writing into it / redo entry
+//!   before committing* — [`Wal::log_update`] records both the old
+//!   (undo) and new (redo) value, and [`crate::SiteDb`] refuses to
+//!   apply a write that was not logged first;
+//! - *log is a sequence of entries `[t, X, v]` plus sets of committed
+//!   and aborted transactions* — exactly [`LogRecord`]'s shape.
+
+use crate::ids::{Item, TxnId, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One record of the write-ahead log.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LogRecord {
+    /// Transaction `txn` intends to change `item` from `old` to `new`.
+    /// `old` is the undo entry, `new` the redo entry.
+    Update {
+        /// The writing transaction.
+        txn: TxnId,
+        /// The data item.
+        item: Item,
+        /// Undo value (before-image).
+        old: Value,
+        /// Redo value (after-image).
+        new: Value,
+    },
+    /// `txn` committed.
+    Commit {
+        /// The committed transaction.
+        txn: TxnId,
+    },
+    /// `txn` aborted.
+    Abort {
+        /// The aborted transaction.
+        txn: TxnId,
+    },
+    /// A checkpoint completed; `state` is the checkpointed database
+    /// image (kept inline so recovery can start here).
+    CheckpointDone {
+        /// Snapshot of all data items at the checkpoint.
+        state: BTreeMap<Item, Value>,
+    },
+}
+
+/// The write-ahead log. Append-only; lives in stable storage.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_txn::{Wal, TxnId};
+/// let mut wal = Wal::new();
+/// wal.log_update(TxnId(1), "X", 0, 10);
+/// wal.log_commit(TxnId(1));
+/// let state = wal.recover();
+/// assert_eq!(state.get("X"), Some(&10));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Wal {
+    records: Vec<LogRecord>,
+}
+
+impl Wal {
+    /// An empty log.
+    pub fn new() -> Self {
+        Wal::default()
+    }
+
+    /// Appends an update record (undo + redo entry).
+    pub fn log_update(&mut self, txn: TxnId, item: impl Into<Item>, old: Value, new: Value) {
+        self.records.push(LogRecord::Update { txn, item: item.into(), old, new });
+    }
+
+    /// Appends a commit record.
+    pub fn log_commit(&mut self, txn: TxnId) {
+        self.records.push(LogRecord::Commit { txn });
+    }
+
+    /// Appends an abort record.
+    pub fn log_abort(&mut self, txn: TxnId) {
+        self.records.push(LogRecord::Abort { txn });
+    }
+
+    /// Appends a checkpoint record with the stable database image.
+    pub fn log_checkpoint(&mut self, state: BTreeMap<Item, Value>) {
+        self.records.push(LogRecord::CheckpointDone { state });
+    }
+
+    /// All records in append order.
+    pub fn records(&self) -> &[LogRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Transactions with a commit record.
+    pub fn committed(&self) -> BTreeSet<TxnId> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Commit { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Transactions with an abort record.
+    pub fn aborted(&self) -> BTreeSet<TxnId> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Abort { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Transactions with updates but neither commit nor abort — the
+    /// in-doubt set a commit protocol must resolve after a failure.
+    pub fn in_doubt(&self) -> BTreeSet<TxnId> {
+        let committed = self.committed();
+        let aborted = self.aborted();
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                LogRecord::Update { txn, .. }
+                    if !committed.contains(txn) && !aborted.contains(txn) =>
+                {
+                    Some(*txn)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether `txn` logged an update for `item` (write-ahead check).
+    pub fn has_update(&self, txn: TxnId, item: &str) -> bool {
+        self.records.iter().any(|r| {
+            matches!(r, LogRecord::Update { txn: t, item: i, .. } if *t == txn && i == item)
+        })
+    }
+
+    /// Recovery: rebuilds the database state after a crash.
+    ///
+    /// Starts from the most recent checkpoint image (or empty), then
+    /// *redoes* updates of committed transactions and *undoes* (skips)
+    /// updates of aborted or in-doubt transactions — "the protocol
+    /// examines the log, finds the last committed values of all data
+    /// items and restores them".
+    ///
+    /// Idempotent: recovering twice yields the same state (the thesis'
+    /// "undo and redo must function even if there is a second crash
+    /// during recovery").
+    pub fn recover(&self) -> BTreeMap<Item, Value> {
+        let committed = self.committed();
+        // Find the last checkpoint.
+        let mut state: BTreeMap<Item, Value> = BTreeMap::new();
+        let mut start = 0;
+        for (i, r) in self.records.iter().enumerate() {
+            if let LogRecord::CheckpointDone { state: snap } = r {
+                state = snap.clone();
+                start = i + 1;
+            }
+        }
+        // Redo committed updates after the checkpoint; note commit
+        // records may come after the checkpoint for earlier updates, so
+        // we replay from the beginning when any committed update precedes
+        // the checkpoint but isn't reflected: the checkpoint image in this
+        // design always reflects exactly the committed prefix, making the
+        // suffix replay sufficient.
+        for r in &self.records[start..] {
+            if let LogRecord::Update { txn, item, new, .. } = r {
+                if committed.contains(txn) {
+                    state.insert(item.clone(), *new);
+                }
+            }
+        }
+        state
+    }
+}
+
+impl fmt::Display for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.records {
+            match r {
+                LogRecord::Update { txn, item, old, new } => {
+                    writeln!(f, "[{txn}, {item}, {old} -> {new}]")?
+                }
+                LogRecord::Commit { txn } => writeln!(f, "[commit {txn}]")?,
+                LogRecord::Abort { txn } => writeln!(f, "[abort {txn}]")?,
+                LogRecord::CheckpointDone { state } => {
+                    writeln!(f, "[checkpoint, {} items]", state.len())?
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_redoes_committed_only() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(1), "X", 0, 10);
+        wal.log_update(TxnId(2), "Y", 0, 20);
+        wal.log_commit(TxnId(1));
+        wal.log_abort(TxnId(2));
+        let s = wal.recover();
+        assert_eq!(s.get("X"), Some(&10));
+        assert_eq!(s.get("Y"), None);
+    }
+
+    #[test]
+    fn in_doubt_transactions_are_not_redone() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(3), "Z", 5, 50);
+        let s = wal.recover();
+        assert!(s.is_empty());
+        assert_eq!(wal.in_doubt().len(), 1);
+    }
+
+    #[test]
+    fn recovery_starts_from_checkpoint() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(1), "X", 0, 10);
+        wal.log_commit(TxnId(1));
+        let mut snap = BTreeMap::new();
+        snap.insert("X".to_string(), 10);
+        wal.log_checkpoint(snap);
+        wal.log_update(TxnId(2), "X", 10, 30);
+        wal.log_commit(TxnId(2));
+        let s = wal.recover();
+        assert_eq!(s.get("X"), Some(&30));
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(1), "X", 0, 7);
+        wal.log_commit(TxnId(1));
+        assert_eq!(wal.recover(), wal.recover());
+    }
+
+    #[test]
+    fn later_writes_win_within_committed() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(1), "X", 0, 1);
+        wal.log_commit(TxnId(1));
+        wal.log_update(TxnId(2), "X", 1, 2);
+        wal.log_commit(TxnId(2));
+        assert_eq!(wal.recover().get("X"), Some(&2));
+    }
+
+    #[test]
+    fn committed_aborted_sets() {
+        let mut wal = Wal::new();
+        wal.log_commit(TxnId(1));
+        wal.log_abort(TxnId(2));
+        assert!(wal.committed().contains(&TxnId(1)));
+        assert!(wal.aborted().contains(&TxnId(2)));
+        assert!(wal.in_doubt().is_empty());
+    }
+
+    #[test]
+    fn has_update_checks_write_ahead() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(1), "X", 0, 1);
+        assert!(wal.has_update(TxnId(1), "X"));
+        assert!(!wal.has_update(TxnId(1), "Y"));
+        assert!(!wal.has_update(TxnId(2), "X"));
+    }
+
+    #[test]
+    fn display_renders_entries() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(1), "X", 0, 1);
+        wal.log_commit(TxnId(1));
+        let text = wal.to_string();
+        assert!(text.contains("[T1, X, 0 -> 1]"));
+        assert!(text.contains("[commit T1]"));
+    }
+}

@@ -1,0 +1,50 @@
+//! # mcv — Modular Composition and Verification of Transaction Processing Protocols
+//!
+//! A Rust reproduction of Janarthanan's 2003 thesis (ICDCS 2003):
+//! category-theoretic composition of transaction-processing protocol
+//! building blocks, and compositional verification of the non-blocking
+//! three-phase commit (3PC) protocol's three global properties —
+//! serializability of transactions, consistent state maintenance, and
+//! roll-back recovery — plus an executable counterpart of every block.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! - [`logic`] — many-sorted FOL + resolution prover (stands in for SNARK);
+//! - [`core`] — the category of specifications: morphisms, diagrams,
+//!   pushouts, colimits (stands in for Specware);
+//! - [`module`] — algebraic module specifications (PAR/EXP/IMP/BOD);
+//! - [`blocks`] — the Table 3.1 building-block specs, composition
+//!   pipelines, and the Chapter 5 proofs;
+//! - [`sim`] — a deterministic discrete-event distributed-system simulator;
+//! - [`txn`] — WAL, strict 2PL, checkpointing, rollback recovery;
+//! - [`commit`] — executable 2PC/3PC with election, termination, and
+//!   failure injection, plus a Figure 3.2 model checker.
+//!
+//! # Examples
+//!
+//! ```
+//! // Prove the serializability property exactly as Chapter 5 does.
+//! use mcv::blocks::{SpecLibrary, properties};
+//! let lib = SpecLibrary::load();
+//! let outcome = properties::replay(&lib, &properties::chapter5_commands()[0]);
+//! assert!(outcome.proved());
+//! ```
+//!
+//! ```
+//! // Run 3PC with a coordinator crash: operational sites never block.
+//! use mcv::commit::{run_scenario, Scenario, CrashPoint};
+//! let r = run_scenario(&Scenario {
+//!     coordinator_crash: Some(CrashPoint::AfterVotes),
+//!     recovery_at: Some(5_000),
+//!     ..Scenario::default()
+//! });
+//! assert!(r.nonblocking && r.uniform);
+//! ```
+
+pub use mcv_blocks as blocks;
+pub use mcv_commit as commit;
+pub use mcv_core as core;
+pub use mcv_logic as logic;
+pub use mcv_module as module;
+pub use mcv_sim as sim;
+pub use mcv_txn as txn;

@@ -1,0 +1,170 @@
+//! Property tests of the categorical machinery: identity/associativity
+//! laws, pushout squares, colimit cones — over both FinSet and the
+//! category of specifications, on randomly generated inputs.
+
+use mcv::core::finset::{fin_pushout, fin_set, mediating, FinMap, FinSet};
+use mcv::core::{colimit, Diagram, SpecBuilder, SpecMorphism, SpecRef};
+use mcv::logic::{Sort, Sym};
+use proptest::prelude::*;
+
+/// Strategy: a finite set of up to 6 named elements.
+fn finset_strategy() -> impl Strategy<Value = FinSet> {
+    prop::collection::btree_set("[a-e][0-9]", 1..6)
+}
+
+/// Strategy: a random total map between two sets (by index arithmetic).
+fn map_between(dom: FinSet, cod: FinSet, seed: u64) -> FinMap {
+    let cod_vec: Vec<&String> = cod.iter().collect();
+    let graph: Vec<(&str, &str)> = dom
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            let img = cod_vec[(i as u64 + seed) as usize % cod_vec.len()];
+            (d.as_str(), img.as_str())
+        })
+        .collect();
+    FinMap::new(dom.clone(), cod.clone(), graph).expect("total by construction")
+}
+
+proptest! {
+    #[test]
+    fn finset_identity_laws(s in finset_strategy(), t in finset_strategy(), seed in 0u64..7) {
+        let f = map_between(s.clone(), t.clone(), seed);
+        let id_s = FinMap::identity(&s);
+        let id_t = FinMap::identity(&t);
+        prop_assert_eq!(id_s.then(&f).unwrap(), f.clone());
+        prop_assert_eq!(f.then(&id_t).unwrap(), f);
+    }
+
+    #[test]
+    fn finset_composition_associates(
+        a in finset_strategy(), b in finset_strategy(),
+        c in finset_strategy(), d in finset_strategy(),
+        s1 in 0u64..5, s2 in 0u64..5, s3 in 0u64..5,
+    ) {
+        let f = map_between(a, b.clone(), s1);
+        let g = map_between(b, c.clone(), s2);
+        let h = map_between(c, d, s3);
+        let left = f.then(&g).unwrap().then(&h).unwrap();
+        let right = f.then(&g.then(&h).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn finset_pushout_square_always_commutes(
+        a in finset_strategy(), b in finset_strategy(), c in finset_strategy(),
+        s1 in 0u64..5, s2 in 0u64..5,
+    ) {
+        let f = map_between(a.clone(), b, s1);
+        let g = map_between(a, c, s2);
+        let po = fin_pushout(&f, &g).unwrap();
+        prop_assert_eq!(f.then(&po.p).unwrap(), g.then(&po.q).unwrap());
+    }
+
+    #[test]
+    fn finset_mediating_morphism_exists_for_collapse_cocone(
+        a in finset_strategy(), b in finset_strategy(), c in finset_strategy(),
+        s1 in 0u64..5, s2 in 0u64..5,
+    ) {
+        let f = map_between(a.clone(), b.clone(), s1);
+        let g = map_between(a, c.clone(), s2);
+        let po = fin_pushout(&f, &g).unwrap();
+        // The one-point cocone always commutes; its mediating morphism
+        // must exist and satisfy both triangles.
+        let point = fin_set(["pt"]);
+        let p2 = FinMap::new(b, point.clone(), po.p.dom.iter().map(|e| (e.as_str(), "pt")).collect::<Vec<_>>()).unwrap();
+        let q2 = FinMap::new(c, point, po.q.dom.iter().map(|e| (e.as_str(), "pt")).collect::<Vec<_>>()).unwrap();
+        let u = mediating(&po, &f, &g, &p2, &q2).unwrap();
+        prop_assert_eq!(po.p.then(&u).unwrap(), p2);
+        prop_assert_eq!(po.q.then(&u).unwrap(), q2);
+    }
+}
+
+/// Builds a random spec with `n` predicates named P0..P(n-1) over a
+/// shared sort.
+fn spec_with(name: &str, preds: &[usize]) -> SpecRef {
+    let mut b = SpecBuilder::new(name).sort(Sort::new("E"));
+    for p in preds {
+        b = b.predicate(format!("P{}", p), vec![Sort::new("E")]);
+    }
+    b.build_ref().expect("well-formed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spec_colimit_cone_always_commutes(
+        shared in prop::collection::btree_set(0usize..4, 1..4),
+        left_extra in prop::collection::btree_set(4usize..8, 0..3),
+        right_extra in prop::collection::btree_set(8usize..12, 0..3),
+    ) {
+        let shared_v: Vec<usize> = shared.iter().copied().collect();
+        let mut left_v = shared_v.clone();
+        left_v.extend(&left_extra);
+        let mut right_v = shared_v.clone();
+        right_v.extend(&right_extra);
+        let s = spec_with("S", &shared_v);
+        let l = spec_with("L", &left_v);
+        let r = spec_with("R", &right_v);
+        let f = SpecMorphism::new("f", s.clone(), l.clone(), [], []).unwrap();
+        let g = SpecMorphism::new("g", s.clone(), r.clone(), [], []).unwrap();
+        let mut d = Diagram::new();
+        d.add_node("s", s).unwrap();
+        d.add_node("l", l).unwrap();
+        d.add_node("r", r).unwrap();
+        d.add_arc("f", "s", "l", f).unwrap();
+        d.add_arc("g", "s", "r", g).unwrap();
+        let c = colimit(&d, "APEX").unwrap();
+        prop_assert!(c.verify_commutes());
+        // Shared union cardinality: shared counted once.
+        let expected = shared_v.len() + left_extra.len() + right_extra.len();
+        prop_assert_eq!(c.apex.signature.op_count(), expected);
+    }
+
+    #[test]
+    fn spec_morphism_translation_preserves_structure(
+        n_preds in 1usize..4,
+        rename_idx in 0usize..4,
+    ) {
+        let rename_idx = rename_idx % n_preds;
+        let preds: Vec<usize> = (0..n_preds).collect();
+        let src = spec_with("SRC", &preds);
+        // Target renames one predicate.
+        let mut b = SpecBuilder::new("TGT").sort(Sort::new("E"));
+        for p in &preds {
+            if *p == rename_idx {
+                b = b.predicate(format!("Q{}", p), vec![Sort::new("E")]);
+            } else {
+                b = b.predicate(format!("P{}", p), vec![Sort::new("E")]);
+            }
+        }
+        let tgt = b.build_ref().unwrap();
+        let m = SpecMorphism::new(
+            "m", src, tgt, [],
+            [(Sym::new(format!("P{}", rename_idx)), Sym::new(format!("Q{}", rename_idx)))],
+        ).unwrap();
+        let f = mcv::logic::formula(&format!("fa(x:E) P{}(x)", rename_idx));
+        let translated = m.apply_formula(&f);
+        let expected = format!("Q{}(x)", rename_idx);
+        let renamed_ok = translated.to_string().contains(&expected);
+        prop_assert!(renamed_ok, "expected {} in {}", expected, translated);
+    }
+}
+
+#[test]
+fn colimit_is_idempotent_on_apex() {
+    // Taking the colimit of a single-node diagram of an apex reproduces
+    // its signature.
+    let s = spec_with("BASE", &[0, 1, 2]);
+    let mut d = Diagram::new();
+    d.add_node("a", s.clone()).unwrap();
+    let c1 = colimit(&d, "C1").unwrap();
+    let mut d2 = Diagram::new();
+    d2.add_node("a", c1.apex.clone()).unwrap();
+    let c2 = colimit(&d2, "C2").unwrap();
+    assert_eq!(
+        c1.apex.signature.op_count(),
+        c2.apex.signature.op_count()
+    );
+}

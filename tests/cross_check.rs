@@ -1,0 +1,145 @@
+//! Cross-checks between the formal and executable halves: simulator
+//! traces must satisfy the properties the specs axiomatize, and the
+//! decision rules used by the running termination protocol must be the
+//! ones the DECISIONMAKING spec states.
+
+use mcv::commit::{
+    run_scenario, termination_decision, CrashPoint, GlobalState, LocalState, Protocol, Scenario,
+};
+use mcv::sim::ProcId;
+
+/// `Agreeconsensus` (SP5: no two processes decide differently), checked
+/// on every decision pair of real executions.
+#[test]
+fn traces_satisfy_agreeconsensus() {
+    for seed in 0..20 {
+        for crash in [None, Some(CrashPoint::AfterVotes), Some(CrashPoint::AfterPrepare)] {
+            let r = run_scenario(&Scenario {
+                seed,
+                coordinator_crash: crash,
+                recovery_at: Some(5_000),
+                ..Scenario::default()
+            });
+            for a in &r.decisions {
+                for b in &r.decisions {
+                    if a.txn == b.txn {
+                        assert_eq!(
+                            a.commit, b.commit,
+                            "Agreeconsensus violated at seed {seed} crash {crash:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Consistent State Maintenance rule on collected global states: a
+/// vector with commit never also holds abort, at every prefix of the
+/// decision sequence.
+#[test]
+fn decision_prefixes_form_consistent_global_states() {
+    for seed in 0..20 {
+        let r = run_scenario(&Scenario {
+            seed,
+            coordinator_crash: Some(CrashPoint::AfterPrepare),
+            recovery_at: Some(5_000),
+            ..Scenario::default()
+        });
+        let mut vector = GlobalState::new();
+        for d in &r.decisions {
+            vector.record(
+                d.site,
+                if d.commit { LocalState::Committed } else { LocalState::Aborted },
+            );
+            assert!(
+                vector.is_consistent(),
+                "inconsistent prefix at seed {seed}: {vector}"
+            );
+        }
+    }
+}
+
+/// The termination rule is monotone in preparedness: adding a prepared
+/// site never flips a commit decision to abort.
+#[test]
+fn termination_rule_monotonicity() {
+    let states = [
+        LocalState::Initial,
+        LocalState::Wait,
+        LocalState::Prepared,
+        LocalState::Aborted,
+        LocalState::Committed,
+    ];
+    for a in states {
+        for b in states {
+            let mut g = GlobalState::new();
+            g.record(ProcId(1), a);
+            g.record(ProcId(2), b);
+            let before = termination_decision(&g);
+            let mut g2 = g.clone();
+            g2.record(ProcId(3), LocalState::Prepared);
+            let after = termination_decision(&g2);
+            // Abort-deciders stay abort only due to an explicit abort.
+            if before && !matches!((a, b), _ if g.states().values().any(|s| *s == LocalState::Aborted)) {
+                assert!(after, "adding a prepared site flipped commit->abort for ({a:?},{b:?})");
+            }
+        }
+    }
+}
+
+/// Blocked time in 2PC shrinks as recovery comes sooner: the thesis'
+/// "major disruption" claim is proportional to the outage.
+#[test]
+fn two_pc_blocked_time_tracks_recovery_time() {
+    let mut last = None;
+    for recovery_at in [1_000u64, 2_000, 4_000] {
+        let r = run_scenario(&Scenario {
+            protocol: Protocol::TwoPhase,
+            coordinator_crash: Some(CrashPoint::AfterVotes),
+            recovery_at: Some(recovery_at),
+            deadline: 10_000,
+            ..Scenario::default()
+        });
+        assert!(r.uniform);
+        // All cohorts decide only after recovery.
+        let max_decision = r
+            .decision_times
+            .values()
+            .map(|t| t.ticks())
+            .max()
+            .expect("someone decided");
+        assert!(max_decision >= recovery_at, "decided before recovery?");
+        if let Some(prev) = last {
+            assert!(max_decision > prev, "blocked time should grow with the outage");
+        }
+        last = Some(max_decision);
+    }
+}
+
+/// 3PC decision latency is independent of recovery time (non-blocking):
+/// the operational sites' decisions do not move when recovery moves.
+#[test]
+fn three_pc_latency_independent_of_recovery() {
+    let mut operational_decisions = Vec::new();
+    for recovery_at in [1_000u64, 2_000, 4_000] {
+        let r = run_scenario(&Scenario {
+            coordinator_crash: Some(CrashPoint::AfterPrepare),
+            recovery_at: Some(recovery_at),
+            deadline: 10_000,
+            seed: 7,
+            ..Scenario::default()
+        });
+        assert!(r.uniform && r.nonblocking);
+        let cohort_max = r
+            .decision_times
+            .iter()
+            .filter(|(site, _)| site.0 != 0)
+            .map(|(_, t)| t.ticks())
+            .max()
+            .expect("cohorts decided");
+        operational_decisions.push(cohort_max);
+    }
+    assert_eq!(operational_decisions[0], operational_decisions[1]);
+    assert_eq!(operational_decisions[1], operational_decisions[2]);
+}
