@@ -25,16 +25,9 @@ fn chain_diagram(nodes: usize, shared_ops: usize) -> Diagram {
         d.add_node(format!("n{i}"), s.clone()).expect("fresh");
     }
     for i in 1..nodes {
-        let m = SpecMorphism::new(
-            format!("m{i}"),
-            specs[i - 1].clone(),
-            specs[i].clone(),
-            [],
-            [],
-        )
-        .expect("cumulative chain morphisms are total");
-        d.add_arc(format!("m{i}"), format!("n{}", i - 1), format!("n{i}"), m)
-            .expect("endpoints");
+        let m = SpecMorphism::new(format!("m{i}"), specs[i - 1].clone(), specs[i].clone(), [], [])
+            .expect("cumulative chain morphisms are total");
+        d.add_arc(format!("m{i}"), format!("n{}", i - 1), format!("n{i}"), m).expect("endpoints");
     }
     d
 }

@@ -30,7 +30,9 @@ fn bench_acquire_release(c: &mut Criterion) {
                 b.iter(|| {
                     let mut lm = LockManager::new();
                     for (txn, item, mode) in ops {
-                        if let Ok(mcv_txn::LockOutcome::WouldDeadlock { .. }) = lm.acquire(*txn, item.clone(), *mode) {
+                        if let Ok(mcv_txn::LockOutcome::WouldDeadlock { .. }) =
+                            lm.acquire(*txn, item.clone(), *mode)
+                        {
                             lm.release_all(*txn);
                         }
                     }
@@ -62,9 +64,7 @@ fn bench_deadlock_detection(c: &mut Criterion) {
                     let _ = lm.acquire(TxnId(t), format!("X{}", t + 1), LockMode::Exclusive);
                 }
                 // The closing edge must detect the cycle.
-                let out = lm
-                    .acquire(TxnId(n - 1), "X0", LockMode::Exclusive)
-                    .expect("fresh");
+                let out = lm.acquire(TxnId(n - 1), "X0", LockMode::Exclusive).expect("fresh");
                 assert!(matches!(out, mcv_txn::LockOutcome::WouldDeadlock { .. }));
             })
         });

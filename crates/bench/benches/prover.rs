@@ -68,14 +68,8 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(20);
     for (label, cfg) in [
         ("default", ProverConfig::default()),
-        (
-            "no-subsumption",
-            ProverConfig { use_subsumption: false, ..ProverConfig::default() },
-        ),
-        (
-            "fifo-selection",
-            ProverConfig { selection: Selection::Fifo, ..ProverConfig::default() },
-        ),
+        ("no-subsumption", ProverConfig { use_subsumption: false, ..ProverConfig::default() }),
+        ("fifo-selection", ProverConfig { selection: Selection::Fifo, ..ProverConfig::default() }),
     ] {
         let axioms = axioms.clone();
         let goal = goal.clone();
@@ -91,12 +85,8 @@ fn bench_ablations(c: &mut Criterion) {
 
 fn bench_clausification(c: &mut Criterion) {
     let lib = SpecLibrary::load();
-    let thm = lib
-        .rollback_recovery
-        .property(&"RBR".into())
-        .expect("theorem present")
-        .formula
-        .clone();
+    let thm =
+        lib.rollback_recovery.property(&"RBR".into()).expect("theorem present").formula.clone();
     c.bench_function("clausify/RBR", |b| {
         b.iter(|| {
             let mut gen = mcv_logic::FreshVars::new();

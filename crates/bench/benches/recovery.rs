@@ -25,7 +25,10 @@ fn bench_wal_recover(c: &mut Criterion) {
     for updates in [100usize, 1_000, 10_000] {
         for ckpt in [0usize, 100] {
             let wal = loaded_wal(updates, ckpt);
-            let label = format!("{updates}-updates-ckpt-{}", if ckpt == 0 { "never".into() } else { ckpt.to_string() });
+            let label = format!(
+                "{updates}-updates-ckpt-{}",
+                if ckpt == 0 { "never".into() } else { ckpt.to_string() }
+            );
             group.bench_with_input(BenchmarkId::from_parameter(label), &wal, |b, wal| {
                 b.iter(|| {
                     let state = wal.recover();

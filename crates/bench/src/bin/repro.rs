@@ -2,18 +2,42 @@
 //! thesis, plus the added quantitative experiments.
 //!
 //! ```text
-//! repro all          # everything, in DESIGN.md order
-//! repro list         # available artifact ids
-//! repro fig3.2 ch5   # specific artifacts
+//! repro all                      # everything, in DESIGN.md order
+//! repro list                     # available artifact ids
+//! repro fig3.2 ch5               # specific artifacts
+//! repro exp.msg --json target/repro   # also write RunReport JSON per artifact
 //! ```
+//!
+//! With `--json <dir>`, each artifact generator runs inside an
+//! [`mcv_obs::collect`] scope and a machine-readable
+//! [`mcv_obs::RunReport`] (metrics + spans + wall-clock) is written to
+//! `<dir>/<id>.json`. Counters are deterministic across identically
+//! seeded runs; only `wall.*` metrics and span/report wall-clock fields
+//! vary.
 
 use mcv_bench::artifacts;
+use std::path::PathBuf;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut raw = std::env::args().skip(1);
+    while let Some(a) = raw.next() {
+        if a == "--json" {
+            match raw.next() {
+                Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--json requires a directory argument");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            args.push(a);
+        }
+    }
     let known = artifacts();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: repro <artifact-id>... | all | list");
+        eprintln!("usage: repro [--json <dir>] <artifact-id>... | all | list");
         eprintln!("artifact ids:");
         for (id, _) in &known {
             eprintln!("  {id}");
@@ -43,6 +67,23 @@ fn main() {
     };
     for (id, gen) in selected {
         println!("==================== {id} ====================");
-        println!("{}", gen());
+        match &json_dir {
+            None => println!("{}", gen()),
+            Some(dir) => {
+                let (text, data) = mcv_obs::collect(gen);
+                println!("{text}");
+                let report = data
+                    .into_report(*id)
+                    .fact("artifact", *id)
+                    .fact("generator", "mcv-bench repro");
+                match mcv_obs::write_report(dir, &report) {
+                    Ok(path) => eprintln!("[obs] wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("[obs] failed to write report for {id}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
     }
 }

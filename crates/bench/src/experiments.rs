@@ -35,7 +35,8 @@ pub fn fig2_1() -> String {
     out.push_str(&format!(
         "  universal condition: for D' with p', q' there is a unique u : D -> D' = {u}\n"
     ));
-    let triangles = po.p.then(&u).expect("composable") == p2 && po.q.then(&u).expect("composable") == q2;
+    let triangles =
+        po.p.then(&u).expect("composable") == p2 && po.q.then(&u).expect("composable") == q2;
     out.push_str(&format!("  u∘p = p' and u∘q = q': {triangles}\n"));
     out
 }
@@ -79,11 +80,7 @@ pub fn fig2_3() -> String {
         m.imp.name,
         m.imp.signature.op_count()
     ));
-    out.push_str(&format!(
-        "  BOD (P) = {} ({} axioms)\n",
-        m.bod.name,
-        m.bod.axioms().count()
-    ));
+    out.push_str(&format!("  BOD (P) = {} ({} axioms)\n", m.bod.name, m.bod.axioms().count()));
     out.push_str(&format!("  interface square h∘f = k∘g commutes: {}\n", m.commutes()));
     out
 }
@@ -151,16 +148,66 @@ pub fn fig3_2() -> String {
     out.push_str("\nExhaustive reachability check of the automaton's safety property\n");
     out.push_str("(no reachable global state commits at one site and aborts at another):\n\n");
     for (desc, cfg) in [
-        ("1 cohort,  naive timeouts,       synchronous", ModelConfig { cohorts: 1, naive_timeouts: true, synchronous: true, coordinator_recovery: true }),
-        ("2 cohorts, naive timeouts,       synchronous", ModelConfig { cohorts: 2, naive_timeouts: true, synchronous: true, coordinator_recovery: true }),
-        ("3 cohorts, naive timeouts,       synchronous", ModelConfig { cohorts: 3, naive_timeouts: true, synchronous: true, coordinator_recovery: true }),
-        ("2 cohorts, termination protocol, synchronous", ModelConfig { cohorts: 2, naive_timeouts: false, synchronous: true, coordinator_recovery: true }),
-        ("3 cohorts, termination protocol, synchronous", ModelConfig { cohorts: 3, naive_timeouts: false, synchronous: true, coordinator_recovery: true }),
-        ("2 cohorts, termination protocol, ASYNCHRONOUS", ModelConfig { cohorts: 2, naive_timeouts: false, synchronous: false, coordinator_recovery: true }),
+        (
+            "1 cohort,  naive timeouts,       synchronous",
+            ModelConfig {
+                cohorts: 1,
+                naive_timeouts: true,
+                synchronous: true,
+                coordinator_recovery: true,
+            },
+        ),
+        (
+            "2 cohorts, naive timeouts,       synchronous",
+            ModelConfig {
+                cohorts: 2,
+                naive_timeouts: true,
+                synchronous: true,
+                coordinator_recovery: true,
+            },
+        ),
+        (
+            "3 cohorts, naive timeouts,       synchronous",
+            ModelConfig {
+                cohorts: 3,
+                naive_timeouts: true,
+                synchronous: true,
+                coordinator_recovery: true,
+            },
+        ),
+        (
+            "2 cohorts, termination protocol, synchronous",
+            ModelConfig {
+                cohorts: 2,
+                naive_timeouts: false,
+                synchronous: true,
+                coordinator_recovery: true,
+            },
+        ),
+        (
+            "3 cohorts, termination protocol, synchronous",
+            ModelConfig {
+                cohorts: 3,
+                naive_timeouts: false,
+                synchronous: true,
+                coordinator_recovery: true,
+            },
+        ),
+        (
+            "2 cohorts, termination protocol, ASYNCHRONOUS",
+            ModelConfig {
+                cohorts: 2,
+                naive_timeouts: false,
+                synchronous: false,
+                coordinator_recovery: true,
+            },
+        ),
     ] {
         let r = check(&cfg);
         match r.violation {
-            None => out.push_str(&format!("  {desc}: SAFE ({} reachable states)\n", r.states_explored)),
+            None => {
+                out.push_str(&format!("  {desc}: SAFE ({} reachable states)\n", r.states_explored))
+            }
             Some(v) => {
                 out.push_str(&format!("  {desc}: UNSAFE — counterexample:\n"));
                 for s in &v.path {
@@ -212,10 +259,7 @@ pub fn fig3_5() -> String {
 pub fn fig4_s() -> String {
     let lib = SpecLibrary::load();
     let mut out = String::from("Figures 4.1–4.8 — serializability of transactions\n\n");
-    out.push_str(&traceability::render_dependencies(
-        &lib,
-        &properties::chapter5_commands()[0],
-    ));
+    out.push_str(&traceability::render_dependencies(&lib, &properties::chapter5_commands()[0]));
     let factory = modules::ModuleFactory::new(lib);
     out.push('\n');
     out.push_str(&modules::render_chain(&factory.serializability_chain()));
@@ -226,10 +270,7 @@ pub fn fig4_s() -> String {
 pub fn fig4_c() -> String {
     let lib = SpecLibrary::load();
     let mut out = String::from("Figures 4.9–4.16 — consistent state maintenance\n\n");
-    out.push_str(&traceability::render_dependencies(
-        &lib,
-        &properties::chapter5_commands()[1],
-    ));
+    out.push_str(&traceability::render_dependencies(&lib, &properties::chapter5_commands()[1]));
     let factory = modules::ModuleFactory::new(lib);
     out.push('\n');
     out.push_str(&modules::render_chain(&factory.consistent_state_chain()));
@@ -240,10 +281,7 @@ pub fn fig4_c() -> String {
 pub fn fig4_r() -> String {
     let lib = SpecLibrary::load();
     let mut out = String::from("Figures 4.17–4.28 — roll-back recovery\n\n");
-    out.push_str(&traceability::render_dependencies(
-        &lib,
-        &properties::chapter5_commands()[2],
-    ));
+    out.push_str(&traceability::render_dependencies(&lib, &properties::chapter5_commands()[2]));
     let factory = modules::ModuleFactory::new(lib);
     out.push('\n');
     out.push_str(&modules::render_chain(&factory.rollback_chain()));
@@ -254,7 +292,8 @@ pub fn fig4_r() -> String {
 /// consistency audit.
 pub fn ch5() -> String {
     let lib = SpecLibrary::load();
-    let mut out = String::from("Chapter 5 — compositional verification of the global properties\n\n");
+    let mut out =
+        String::from("Chapter 5 — compositional verification of the global properties\n\n");
     for o in properties::replay_all(&lib) {
         let status = if !o.proved() {
             "NOT PROVED".to_string()
@@ -265,8 +304,8 @@ pub fn ch5() -> String {
             format!(
                 "proved ({} steps, {} clauses generated, {:?})",
                 p.length(),
-                p.generated,
-                p.elapsed
+                p.generated(),
+                p.elapsed()
             )
         };
         out.push_str(&format!(
@@ -298,7 +337,12 @@ pub fn exp_nb() -> String {
          protocol  crash-point          cohorts  blocked  uniform  latency\n",
     );
     for protocol in [Protocol::TwoPhase, Protocol::ThreePhase] {
-        for crash in [CrashPoint::AfterVoteReq, CrashPoint::AfterVotes, CrashPoint::AfterPrepare, CrashPoint::AfterPartialPrepare] {
+        for crash in [
+            CrashPoint::AfterVoteReq,
+            CrashPoint::AfterVotes,
+            CrashPoint::AfterPrepare,
+            CrashPoint::AfterPartialPrepare,
+        ] {
             // 2PC has no prepare phase.
             if protocol == Protocol::TwoPhase
                 && matches!(crash, CrashPoint::AfterPrepare | CrashPoint::AfterPartialPrepare)
@@ -424,7 +468,9 @@ pub fn exp_ser() -> String {
             100 * ok_free / RUNS
         ));
     }
-    out.push_str("\nshape check: 2PL yields 100%; unconstrained interleaving degrades with contention.\n");
+    out.push_str(
+        "\nshape check: 2PL yields 100%; unconstrained interleaving degrades with contention.\n",
+    );
     out
 }
 
@@ -476,9 +522,7 @@ pub fn exp_rec() -> String {
                 .unwrap_or(0);
             replayed_total += records.len() - last_ckpt;
             db.recover();
-            let ok = committed_reference
-                .iter()
-                .all(|(k, v)| db.value(k) == Some(*v))
+            let ok = committed_reference.iter().all(|(k, v)| db.value(k) == Some(*v))
                 && db.value("X0").unwrap_or(0) != 12345;
             if ok {
                 correct += 1;
@@ -543,11 +587,9 @@ pub fn exp_part() -> String {
          coordinator crashes mid-prepare (5 sites; partition from t=20)\n\n\
          termination   partition-heals  uniform  isolated-cohort-decides\n",
     );
-    for (quorum, heals_at, label) in [
-        (false, 9_000u64, "plain"),
-        (true, 2_000, "quorum"),
-        (true, 20_000, "quorum"),
-    ] {
+    for (quorum, heals_at, label) in
+        [(false, 9_000u64, "plain"), (true, 2_000, "quorum"), (true, 20_000, "quorum")]
+    {
         let r = run_scenario(&Scenario {
             n_cohorts: 4,
             coordinator_crash: Some(CrashPoint::AfterPartialPrepare),
@@ -627,14 +669,9 @@ pub fn exp_colim() -> String {
             d.add_node(format!("n{i}"), s.clone()).expect("fresh");
         }
         for i in 1..nodes {
-            let m = SpecMorphism::new(
-                format!("m{i}"),
-                specs[i - 1].clone(),
-                specs[i].clone(),
-                [],
-                [],
-            )
-            .expect("cumulative chain morphisms are total");
+            let m =
+                SpecMorphism::new(format!("m{i}"), specs[i - 1].clone(), specs[i].clone(), [], [])
+                    .expect("cumulative chain morphisms are total");
             d.add_arc(format!("m{i}"), format!("n{}", i - 1), format!("n{i}"), m)
                 .expect("endpoints");
         }

@@ -206,7 +206,11 @@ impl ModuleFactory {
             .sort_alias(Sort::new("Newstatevalue"), Sort::new("Nat"))
             .predicate(
                 "Log",
-                vec![Sort::new("Transactions"), Sort::new("Valstabstorage"), Sort::new("Newstatevalue")],
+                vec![
+                    Sort::new("Transactions"),
+                    Sort::new("Valstabstorage"),
+                    Sort::new("Newstatevalue"),
+                ],
             )
             .predicate(
                 "Undo",
@@ -266,21 +270,37 @@ impl ModuleFactory {
             .sort(Sort::new("PreviousData"))
             .predicate(
                 "Read",
-                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+                vec![
+                    Sort::new("Transactions"),
+                    Sort::new("CurrentData"),
+                    Sort::new("Valstabstorage"),
+                ],
             )
             .predicate(
                 "Write",
-                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+                vec![
+                    Sort::new("Transactions"),
+                    Sort::new("CurrentData"),
+                    Sort::new("Valstabstorage"),
+                ],
             )
             .predicate("Locking", vec![Sort::new("Transactionid"), Sort::new("CurrentData")])
             .predicate("Unlock", vec![Sort::new("Transactionid"), Sort::new("PreviousData")])
             .predicate(
                 "Readlock",
-                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+                vec![
+                    Sort::new("Transactions"),
+                    Sort::new("CurrentData"),
+                    Sort::new("Valstabstorage"),
+                ],
             )
             .predicate(
                 "Writelock",
-                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+                vec![
+                    Sort::new("Transactions"),
+                    Sort::new("CurrentData"),
+                    Sort::new("Valstabstorage"),
+                ],
             )
             .build_ref()
             .expect("static spec");
@@ -292,7 +312,11 @@ impl ModuleFactory {
             .sort_alias(Sort::new("Newstatevalue"), Sort::new("Nat"))
             .predicate(
                 "Log",
-                vec![Sort::new("Transactions"), Sort::new("Valstabstorage"), Sort::new("Newstatevalue")],
+                vec![
+                    Sort::new("Transactions"),
+                    Sort::new("Valstabstorage"),
+                    Sort::new("Newstatevalue"),
+                ],
             )
             .predicate(
                 "Storevalues",
@@ -411,7 +435,10 @@ impl ModuleFactory {
                 vec![Sort::new("Processors"), Sort::new("Clockvalues")],
                 Sort::new("LocalClockvals"),
             )
-            .predicate("log", vec![Sort::new("Processors"), Sort::new("Messages"), Sort::new("Clockvalues")])
+            .predicate(
+                "log",
+                vec![Sort::new("Processors"), Sort::new("Messages"), Sort::new("Clockvalues")],
+            )
             .predicate("Ckpt", vec![Sort::new("Processors"), Sort::new("LocalClockvals")])
             .predicate("ckpt", vec![Sort::new("Processors"), Sort::new("Clockvalues")])
             .predicate("Store", vec![Sort::new("Processors"), Sort::new("LocalClockvals")])
@@ -428,11 +455,19 @@ impl ModuleFactory {
             .sort(Sort::new("CurrentData"))
             .predicate(
                 "Readlock",
-                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+                vec![
+                    Sort::new("Transactions"),
+                    Sort::new("CurrentData"),
+                    Sort::new("Valstabstorage"),
+                ],
             )
             .predicate(
                 "Writelock",
-                vec![Sort::new("Transactions"), Sort::new("CurrentData"), Sort::new("Valstabstorage")],
+                vec![
+                    Sort::new("Transactions"),
+                    Sort::new("CurrentData"),
+                    Sort::new("Valstabstorage"),
+                ],
             )
             .build_ref()
             .expect("static spec");
@@ -469,8 +504,17 @@ impl ModuleFactory {
             imp,
             &self.lib.checkpointing,
             &[
-                "receive", "send", "log", "Ckpt", "ckpt", "Store", "store", "Pi", "PI",
-                "Logging", "Checkpoint",
+                "receive",
+                "send",
+                "log",
+                "Ckpt",
+                "ckpt",
+                "Store",
+                "store",
+                "Pi",
+                "PI",
+                "Logging",
+                "Checkpoint",
             ],
         )
     }
@@ -512,26 +556,20 @@ impl ModuleFactory {
             imp,
             &self.lib.rollback_recovery,
             &[
-                "CorrecttoFailure", "Rollback", "Restore", "rollback", "restore",
-                "Recover", "recover",
+                "CorrecttoFailure",
+                "Rollback",
+                "Restore",
+                "rollback",
+                "restore",
+                "Recover",
+                "recover",
             ],
         )
     }
 
-    fn connect(
-        &self,
-        label: &str,
-        consumer: &Module,
-        provider: &Module,
-    ) -> ComposedStep {
-        let s = SpecMorphism::new_lenient(
-            "s",
-            consumer.imp.clone(),
-            provider.exp.clone(),
-            [],
-            [],
-        )
-        .unwrap_or_else(|e| panic!("{label} s: {e}"));
+    fn connect(&self, label: &str, consumer: &Module, provider: &Module) -> ComposedStep {
+        let s = SpecMorphism::new_lenient("s", consumer.imp.clone(), provider.exp.clone(), [], [])
+            .unwrap_or_else(|e| panic!("{label} s: {e}"));
         let t = SpecMorphism::new("t", consumer.par.clone(), provider.par.clone(), [], [])
             .unwrap_or_else(|e| panic!("{label} t: {e}"));
         let (module, certificate) =

@@ -38,6 +38,7 @@ fn chain_step(
     to: &SpecRef,
     ops: &[&str],
 ) -> PipelineStep {
+    let _span = mcv_obs::Span::enter("pipeline.chain_step");
     let m = SpecMorphism::new(
         "i",
         from.clone(),
@@ -53,13 +54,7 @@ fn chain_step(
     d.add_arc("i", "a", "b", m).expect("endpoints match");
     let c = colimit(&d, name).unwrap_or_else(|e| panic!("{name}: colimit failed: {e}"));
     let commutes = c.verify_commutes();
-    PipelineStep {
-        name: name.to_owned(),
-        description: description.to_owned(),
-        colimit: c,
-        commutes,
-        open_obligations,
-    }
+    finish_step(name, description, c, commutes, open_obligations)
 }
 
 fn span_step(
@@ -69,6 +64,7 @@ fn span_step(
     left: &SpecRef,
     right: &SpecRef,
 ) -> PipelineStep {
+    let _span = mcv_obs::Span::enter("pipeline.span_step");
     let f = SpecMorphism::new_lenient("f", shared.clone(), left.clone(), [], [])
         .unwrap_or_else(|e| panic!("{name}: span left morphism failed: {e}"));
     let g = SpecMorphism::new_lenient("g", shared.clone(), right.clone(), [], [])
@@ -82,10 +78,25 @@ fn span_step(
     d.add_arc("g", "s", "b", g).expect("endpoints match");
     let c = colimit(&d, name).unwrap_or_else(|e| panic!("{name}: colimit failed: {e}"));
     let commutes = c.verify_commutes();
+    finish_step(name, description, c, commutes, open_obligations)
+}
+
+fn finish_step(
+    name: &str,
+    description: &str,
+    colimit: Colimit,
+    commutes: bool,
+    open_obligations: usize,
+) -> PipelineStep {
+    mcv_obs::counter("pipeline.steps", 1);
+    mcv_obs::counter("pipeline.open_obligations", open_obligations as u64);
+    if !commutes {
+        mcv_obs::counter("pipeline.non_commuting_steps", 1);
+    }
     PipelineStep {
         name: name.to_owned(),
         description: description.to_owned(),
-        colimit: c,
+        colimit,
         commutes,
         open_obligations,
     }

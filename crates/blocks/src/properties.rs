@@ -123,6 +123,8 @@ pub fn chapter5_prover() -> Prover {
 /// returned (with [`ProveOutcome::vacuous`] set). SNARK behind Specware
 /// accepts such "proofs" silently; we surface them.
 pub fn replay(lib: &SpecLibrary, cmd: &ProveCommand) -> ProveOutcome {
+    let _span = mcv_obs::Span::enter("properties.replay");
+    mcv_obs::counter("properties.replays", 1);
     let spec = spec_by_name(lib, cmd.spec);
     let theorem = spec
         .property(&Sym::new(cmd.theorem))
@@ -132,6 +134,7 @@ pub fn replay(lib: &SpecLibrary, cmd: &ProveCommand) -> ProveOutcome {
     let consistency = prover.prove(&axioms, &Formula::False);
     let support_set_inconsistent = consistency.is_proved();
     if support_set_inconsistent {
+        mcv_obs::counter("properties.vacuous", 1);
         return ProveOutcome {
             command: cmd.clone(),
             result: consistency,
@@ -140,6 +143,9 @@ pub fn replay(lib: &SpecLibrary, cmd: &ProveCommand) -> ProveOutcome {
         };
     }
     let result = prover.prove(&axioms, &theorem.formula);
+    if result.is_proved() {
+        mcv_obs::counter("properties.proved", 1);
+    }
     ProveOutcome { command: cmd.clone(), result, support_set_inconsistent, vacuous: false }
 }
 
@@ -199,10 +205,7 @@ pub fn consistency_audit(lib: &SpecLibrary) -> Vec<ContradictoryPair> {
                     };
                     // Imported axiom pairs recur in downstream specs;
                     // keep the first sighting only.
-                    if !out
-                        .iter()
-                        .any(|p: &ContradictoryPair| p.a == pair.a && p.b == pair.b)
-                    {
+                    if !out.iter().any(|p: &ContradictoryPair| p.a == pair.a && p.b == pair.b) {
                         out.push(pair);
                     }
                 }
@@ -264,20 +267,16 @@ mod tests {
         let lib = SpecLibrary::load();
         let pairs = consistency_audit(&lib);
         assert!(
-            pairs
-                .iter()
-                .any(|p| (p.a == "Broadcast" && p.b == "Deliver")
-                    || (p.a == "Deliver" && p.b == "Broadcast")),
+            pairs.iter().any(|p| (p.a == "Broadcast" && p.b == "Deliver")
+                || (p.a == "Deliver" && p.b == "Broadcast")),
             "{pairs:?}"
         );
         // next/adjacent is another contradictory pair.
         assert!(
-            pairs
-                .iter()
-                .any(|p| (p.a == "next" && p.b == "adjacent")
-                    || (p.a == "adjacent" && p.b == "next")
-                    || (p.a == "adjacent" && p.b == "inconsistent")
-                    || (p.a == "Constateinfo" && p.b == "inconsistent")),
+            pairs.iter().any(|p| (p.a == "next" && p.b == "adjacent")
+                || (p.a == "adjacent" && p.b == "next")
+                || (p.a == "adjacent" && p.b == "inconsistent")
+                || (p.a == "Constateinfo" && p.b == "inconsistent")),
             "{pairs:?}"
         );
     }
@@ -303,8 +302,7 @@ mod tests {
         use mcv_logic::{parse_formula, prove_by_herbrand, HerbrandConfig, Prover};
         let lib = SpecLibrary::load();
         let all = support_axioms(&lib, &chapter5_commands()[0]);
-        let storevalues: Vec<_> =
-            all.iter().filter(|a| a.name == "Storevalues").cloned().collect();
+        let storevalues: Vec<_> = all.iter().filter(|a| a.name == "Storevalues").cloned().collect();
         assert_eq!(storevalues.len(), 1);
         let goal = parse_formula(
             "Agreeconsensus(p0(), c0(), t0()) & Undo(t0(), a0(), t0(), t0()) & Redo(t0(), c0(), t0(), t0()) => Log(t0(), t0(), t0())",

@@ -288,7 +288,9 @@ mod tests {
         let tpl = engine.spec("TPL").expect("TPL bound").clone();
         let lib = crate::SpecLibrary::load();
         let pr2 = &crate::pipeline::sequential_division_1(&lib)[2].colimit.apex;
-        for prop in ["Agreebroad", "Agreeconsensus", "Storevalues", "Readlock", "Writelock", "Serialize"] {
+        for prop in
+            ["Agreebroad", "Agreeconsensus", "Storevalues", "Readlock", "Writelock", "Serialize"]
+        {
             let sym = mcv_logic::Sym::new(prop);
             assert_eq!(
                 tpl.property(&sym).is_some(),

@@ -477,15 +477,20 @@ impl SpecLibrary {
             must("RELIABLEBROADCAST", RELIABLEBROADCAST_SRC, std::slice::from_ref(&bbb));
         let consensus = must("CONSENSUS", CONSENSUS_SRC, std::slice::from_ref(&reliable_broadcast));
         let undoredo = must("UNDOREDO", UNDOREDO_SRC, std::slice::from_ref(&consensus));
-        let two_phase_lock = must("TWOPHASELOCK", TWOPHASELOCK_SRC, std::slice::from_ref(&undoredo));
+        let two_phase_lock =
+            must("TWOPHASELOCK", TWOPHASELOCK_SRC, std::slice::from_ref(&undoredo));
         let snapshot = must("SNAPSHOT", SNAPSHOT_SRC, std::slice::from_ref(&consensus));
-        let decision_making = must("DECISIONMAKING", DECISIONMAKING_SRC, std::slice::from_ref(&snapshot));
-        let checkpointing = must("CHECKPOINTING", CHECKPOINTING_SRC, std::slice::from_ref(&two_phase_lock));
+        let decision_making =
+            must("DECISIONMAKING", DECISIONMAKING_SRC, std::slice::from_ref(&snapshot));
+        let checkpointing =
+            must("CHECKPOINTING", CHECKPOINTING_SRC, std::slice::from_ref(&two_phase_lock));
         let rollback_recovery =
             must("ROLLBACKRECOVERY", ROLLBACKRECOVERY_SRC, std::slice::from_ref(&checkpointing));
         let voting = must("VOTING", VOTING_SRC, std::slice::from_ref(&consensus));
-        let termination = must("TERMINATION", TERMINATION_SRC, std::slice::from_ref(&decision_making));
-        let failure_timeout = must("FAILURETIMEOUT", FAILURETIMEOUT_SRC, std::slice::from_ref(&bbb));
+        let termination =
+            must("TERMINATION", TERMINATION_SRC, std::slice::from_ref(&decision_making));
+        let failure_timeout =
+            must("FAILURETIMEOUT", FAILURETIMEOUT_SRC, std::slice::from_ref(&bbb));
         SpecLibrary {
             bbb,
             reliable_broadcast,

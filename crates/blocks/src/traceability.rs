@@ -47,10 +47,8 @@ pub fn dependency_stack(lib: &SpecLibrary, cmd: &ProveCommand) -> Vec<Dependency
 
 /// Renders one of the Figure 4.1/4.9/4.17 dependency diagrams.
 pub fn render_dependencies(lib: &SpecLibrary, cmd: &ProveCommand) -> String {
-    let mut out = format!(
-        "Global property {} (theorem {} in {}):\n",
-        cmd.label, cmd.theorem, cmd.spec
-    );
+    let mut out =
+        format!("Global property {} (theorem {} in {}):\n", cmd.label, cmd.theorem, cmd.spec);
     for (i, d) in dependency_stack(lib, cmd).iter().enumerate() {
         out.push_str(&format!(
             "  sub-property {}: {:<20} provided by {}\n",
@@ -84,10 +82,7 @@ pub fn impact_of_change(lib: &SpecLibrary, block: &str) -> ImpactReport {
     let mut must = Vec::new();
     let mut unaffected = Vec::new();
     for cmd in &commands {
-        let touches = cmd
-            .using
-            .iter()
-            .any(|a| axiom_owner(lib, a).as_deref() == Some(block));
+        let touches = cmd.using.iter().any(|a| axiom_owner(lib, a).as_deref() == Some(block));
         if touches {
             must.push(cmd.label);
         } else {
@@ -105,10 +100,7 @@ pub fn impact_of_change(lib: &SpecLibrary, block: &str) -> ImpactReport {
 
 /// Impact matrix over every block: the exp.mod experiment.
 pub fn impact_matrix(lib: &SpecLibrary) -> Vec<ImpactReport> {
-    lib.all()
-        .into_iter()
-        .map(|s| impact_of_change(lib, s.name.as_str()))
-        .collect()
+    lib.all().into_iter().map(|s| impact_of_change(lib, s.name.as_str())).collect()
 }
 
 #[cfg(test)]

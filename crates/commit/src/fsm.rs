@@ -270,8 +270,7 @@ fn successors(s: &ModelState, cfg: &ModelConfig) -> Vec<(String, ModelState)> {
             // Termination protocol: an elected backup collects the
             // operational states and decides for everyone, atomically.
             let any_pending = s.cohorts.iter().any(|c| matches!(c, KState::W | KState::P));
-            let quiescent = !cfg.synchronous
-                || (0..k).all(|j| !s.in_flight_to(j));
+            let quiescent = !cfg.synchronous || (0..k).all(|j| !s.in_flight_to(j));
             if any_pending && quiescent {
                 let commit = s.cohorts.iter().any(|c| matches!(c, KState::P | KState::C));
                 let target = if commit { KState::C } else { KState::A };
@@ -347,7 +346,10 @@ pub fn check(cfg: &ModelConfig) -> ModelCheck {
                 cur = prev.clone();
             }
             path.reverse();
-            return ModelCheck { states_explored: seen.len(), violation: Some(Counterexample { state: s, path }) };
+            return ModelCheck {
+                states_explored: seen.len(),
+                violation: Some(Counterexample { state: s, path }),
+            };
         }
         for (action, n) in successors(&s, cfg) {
             if seen.insert(n.clone()) {

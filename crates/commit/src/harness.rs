@@ -93,10 +93,7 @@ pub const TXN: TxnId = TxnId(1);
 
 /// Builds the world for a scenario.
 pub fn build_world(sc: &Scenario) -> World<Msg, Site> {
-    let mut world = World::new(WorldConfig {
-        seed: sc.seed,
-        ..WorldConfig::default()
-    });
+    let mut world = World::new(WorldConfig { seed: sc.seed, ..WorldConfig::default() });
     let coordinator = ProcId(0);
     let cohort_ids: Vec<ProcId> = (1..=sc.n_cohorts).map(ProcId).collect();
     let plans: Vec<TxnPlan> = (1..=sc.n_transactions.max(1) as u64)
@@ -150,14 +147,20 @@ pub fn build_world(sc: &Scenario) -> World<Msg, Site> {
 }
 
 /// Runs the scenario and reports.
+///
+/// Besides the returned [`Report`], the run emits per-protocol
+/// counters to the ambient [`mcv_obs`] collector (if one is
+/// installed): `commit.{2pc,3pc}.{runs,messages,rounds,commits,
+/// aborts}` plus one `commit.site.<id>.decisions` counter per
+/// deciding site. *Rounds* counts the coordinator's protocol-state
+/// transitions on the primary transaction — 2PC and 3PC differ by
+/// exactly the extra prepare round.
 pub fn run_scenario(sc: &Scenario) -> Report {
+    let _span = mcv_obs::Span::enter("commit.run_scenario");
     let mut world = build_world(sc);
     // Phase 1: run up to (but excluding) recovery, to observe blocking.
-    let checkpoint = sc
-        .recovery_at
-        .map(|r| r.saturating_sub(1))
-        .unwrap_or(sc.deadline)
-        .min(sc.deadline);
+    let checkpoint =
+        sc.recovery_at.map(|r| r.saturating_sub(1)).unwrap_or(sc.deadline).min(sc.deadline);
     world.run_until(SimTime::from_ticks(checkpoint));
     let pre_decisions = decisions(world.trace());
     let mut blocked = Vec::new();
@@ -180,11 +183,8 @@ pub fn run_scenario(sc: &Scenario) -> Report {
     let all_decisions = decisions(world.trace());
     let uniform = check_uniformity(world.trace()).is_ok();
     let outcome = if uniform {
-        let ds: Vec<bool> = all_decisions
-            .iter()
-            .filter(|d| d.txn == TXN)
-            .map(|d| d.commit)
-            .collect();
+        let ds: Vec<bool> =
+            all_decisions.iter().filter(|d| d.txn == TXN).map(|d| d.commit).collect();
         ds.first().copied()
     } else {
         None
@@ -194,6 +194,25 @@ pub fn run_scenario(sc: &Scenario) -> Report {
         if d.txn == TXN {
             decision_times.entry(d.site).or_insert(d.time);
         }
+    }
+    let proto = match sc.protocol {
+        Protocol::TwoPhase => "2pc",
+        Protocol::ThreePhase => "3pc",
+    };
+    let rounds = world
+        .trace()
+        .notes_of(ProcId(0))
+        .filter(|(_, text)| text.starts_with(&format!("state {TXN} ")))
+        .count() as u64;
+    mcv_obs::counter(&format!("commit.{proto}.runs"), 1);
+    mcv_obs::counter(&format!("commit.{proto}.messages"), stats.messages_sent);
+    mcv_obs::counter(&format!("commit.{proto}.rounds"), rounds);
+    for d in &all_decisions {
+        mcv_obs::counter(
+            &format!("commit.{proto}.{}", if d.commit { "commits" } else { "aborts" }),
+            1,
+        );
+        mcv_obs::counter(&format!("commit.site.{}.decisions", d.site), 1);
     }
     Report {
         protocol: sc.protocol,
@@ -241,12 +260,7 @@ mod tests {
     fn two_pc_uses_fewer_messages_than_three_pc() {
         let two = run_scenario(&Scenario { protocol: Protocol::TwoPhase, ..Scenario::default() });
         let three = run_scenario(&Scenario::default());
-        assert!(
-            two.messages < three.messages,
-            "2PC {} vs 3PC {}",
-            two.messages,
-            three.messages
-        );
+        assert!(two.messages < three.messages, "2PC {} vs 3PC {}", two.messages, three.messages);
     }
 
     #[test]
@@ -379,12 +393,8 @@ mod tests {
         assert!(r.uniform, "decisions: {:?}", r.decisions);
         // Every transaction reaches a uniform outcome at every cohort.
         for t in 1..=4u64 {
-            let outcomes: Vec<bool> = r
-                .decisions
-                .iter()
-                .filter(|d| d.txn == TxnId(t))
-                .map(|d| d.commit)
-                .collect();
+            let outcomes: Vec<bool> =
+                r.decisions.iter().filter(|d| d.txn == TxnId(t)).map(|d| d.commit).collect();
             assert!(!outcomes.is_empty(), "T{t} undecided");
             assert!(outcomes.windows(2).all(|w| w[0] == w[1]), "T{t}: {outcomes:?}");
         }

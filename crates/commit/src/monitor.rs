@@ -28,6 +28,13 @@ pub struct ObservedDecision {
 }
 
 /// Extracts all `decide` notes from a trace.
+///
+/// A well-formed note is exactly `decide T<n> commit` or
+/// `decide T<n> abort`. Malformed notes — a missing verdict, a
+/// transaction id without the `T` prefix or with a non-numeric tail,
+/// or an unexpected verdict word — are skipped rather than guessed at:
+/// misreading an unknown verdict as an abort would fabricate an
+/// atomicity violation.
 pub fn decisions(trace: &Trace) -> Vec<ObservedDecision> {
     let mut out = Vec::new();
     for (time, site, text) in trace.notes() {
@@ -37,15 +44,14 @@ pub fn decisions(trace: &Trace) -> Vec<ObservedDecision> {
         }
         let Some(txn_text) = parts.next() else { continue };
         let Some(verdict) = parts.next() else { continue };
-        let Ok(n) = txn_text.trim_start_matches('T').parse::<u64>() else {
-            continue;
+        let Some(digits) = txn_text.strip_prefix('T') else { continue };
+        let Ok(n) = digits.parse::<u64>() else { continue };
+        let commit = match verdict {
+            "commit" => true,
+            "abort" => false,
+            _ => continue,
         };
-        out.push(ObservedDecision {
-            time: *time,
-            site,
-            txn: TxnId(n),
-            commit: verdict == "commit",
-        });
+        out.push(ObservedDecision { time: *time, site, txn: TxnId(n), commit });
     }
     out
 }
@@ -92,11 +98,8 @@ pub fn check_uniformity(trace: &Trace) -> Result<(), Vec<UniformityViolation>> {
 
 /// The outcome agreed by the sites that decided `txn`, if uniform.
 pub fn agreed_outcome(trace: &Trace, txn: TxnId) -> Option<bool> {
-    let ds: Vec<bool> = decisions(trace)
-        .into_iter()
-        .filter(|d| d.txn == txn)
-        .map(|d| d.commit)
-        .collect();
+    let ds: Vec<bool> =
+        decisions(trace).into_iter().filter(|d| d.txn == txn).map(|d| d.commit).collect();
     match ds.split_first() {
         None => None,
         Some((first, rest)) if rest.iter().all(|b| b == first) => Some(*first),
@@ -154,5 +157,37 @@ mod tests {
     fn unrelated_notes_ignored() {
         let t = trace_with(&[(1, 0, "state T1 p"), (2, 0, "election T1 candidate p2")]);
         assert!(decisions(&t).is_empty());
+    }
+
+    #[test]
+    fn missing_verdict_is_skipped() {
+        let t = trace_with(&[(1, 0, "decide T3"), (2, 0, "decide"), (3, 1, "decide T3 commit")]);
+        let ds = decisions(&t);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].site, ProcId(1));
+    }
+
+    #[test]
+    fn txn_id_without_t_prefix_is_skipped() {
+        // `decide 7 commit` must not silently parse as T7.
+        let t = trace_with(&[(1, 0, "decide 7 commit"), (2, 0, "decide X7 commit")]);
+        assert!(decisions(&t).is_empty());
+    }
+
+    #[test]
+    fn non_numeric_txn_id_is_skipped() {
+        let t = trace_with(&[(1, 0, "decide Tseven commit"), (2, 0, "decide T commit")]);
+        assert!(decisions(&t).is_empty());
+    }
+
+    #[test]
+    fn unexpected_verdict_is_skipped_not_misread_as_abort() {
+        // Before hardening, any non-"commit" verdict counted as an
+        // abort, so a stray note could fabricate a uniformity violation.
+        let t = trace_with(&[(1, 0, "decide T7 maybe"), (2, 1, "decide T7 commit")]);
+        let ds = decisions(&t);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].commit);
+        assert!(check_uniformity(&t).is_ok());
     }
 }

@@ -8,8 +8,7 @@ use std::fmt;
 /// of Figure 3.2 (`q`, `w`, `p`, `a`, `c`), shared by coordinator
 /// (suffix 1 in the thesis) and cohorts (suffix 2).
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-    serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub enum LocalState {
     /// Initial.

@@ -147,10 +147,7 @@ impl Site {
 
     /// This site's current protocol state for `txn`.
     pub fn local_state(&self, txn: TxnId) -> Option<LocalState> {
-        self.tstate
-            .get(&txn)
-            .and_then(|t| t.state)
-            .or_else(|| self.stable_state.get(&txn).copied())
+        self.tstate.get(&txn).and_then(|t| t.state).or_else(|| self.stable_state.get(&txn).copied())
     }
 
     /// The site's configuration.
@@ -163,10 +160,7 @@ impl Site {
     }
 
     fn cohorts(&self, ctx: &Ctx<Msg>) -> Vec<ProcId> {
-        (0..ctx.n_procs())
-            .map(ProcId)
-            .filter(|p| *p != self.cfg.coordinator)
-            .collect()
+        (0..ctx.n_procs()).map(ProcId).filter(|p| *p != self.cfg.coordinator).collect()
     }
 
     fn set_state(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, s: LocalState) {
@@ -177,10 +171,7 @@ impl Site {
 
     fn decide(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, commit: bool) {
         let final_state = if commit { LocalState::Committed } else { LocalState::Aborted };
-        if self
-            .local_state(txn)
-            .is_some_and(|s| s.is_final())
-        {
+        if self.local_state(txn).is_some_and(|s| s.is_final()) {
             return;
         }
         // Apply to the database: commit/abort active work, or resolve
@@ -197,9 +188,7 @@ impl Site {
         if let std::collections::btree_map::Entry::Vacant(e) = self.metrics.decisions.entry(txn) {
             e.insert((ctx.now(), commit));
             if let Some(since) = self.metrics.blocked_since.get(&txn) {
-                self.metrics
-                    .blocked_for
-                    .insert(txn, ctx.now().saturating_sub(*since));
+                self.metrics.blocked_for.insert(txn, ctx.now().saturating_sub(*since));
             }
         }
         // Decisions cancel all pending timers of this transaction.
@@ -245,10 +234,8 @@ impl Site {
         ctx.note(format!("election {txn} candidate {me}"));
         // Bully with lowest-id-wins: challenge all lower-id sites except
         // the failed coordinator.
-        let lower: Vec<ProcId> = (0..me.0)
-            .map(ProcId)
-            .filter(|p| *p != self.cfg.coordinator)
-            .collect();
+        let lower: Vec<ProcId> =
+            (0..me.0).map(ProcId).filter(|p| *p != self.cfg.coordinator).collect();
         if lower.is_empty() {
             // Nobody outranks us: declare immediately.
             self.become_backup(ctx, txn);
@@ -297,8 +284,10 @@ impl Site {
         t.is_backup = false;
         let decision = termination_decision(&t.collected);
         let vector = t.collected.to_string();
-        ctx.note(format!("termination {txn} vector {vector} -> {}",
-            if decision { "commit" } else { "abort" }));
+        ctx.note(format!(
+            "termination {txn} vector {vector} -> {}",
+            if decision { "commit" } else { "abort" }
+        ));
         self.broadcast_decision(ctx, txn, decision);
     }
 
@@ -585,7 +574,9 @@ impl Process<Msg> for Site {
                     Protocol::TwoPhase => {
                         // Voted yes, no decision: BLOCKED. Hold locks and
                         // keep waiting — the defining 2PC weakness.
-                        if let std::collections::btree_map::Entry::Vacant(e) = self.metrics.blocked_since.entry(txn) {
+                        if let std::collections::btree_map::Entry::Vacant(e) =
+                            self.metrics.blocked_since.entry(txn)
+                        {
                             e.insert(ctx.now());
                             ctx.note(format!("blocked {txn}"));
                         }

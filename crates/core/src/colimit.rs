@@ -77,25 +77,34 @@ impl Colimit {
     }
 }
 
-/// Simple union-find.
+/// Simple union-find, counting its own operations for the
+/// `colimit.uf.*` metrics.
 struct UnionFind {
     parent: Vec<usize>,
+    finds: u64,
+    unions: u64,
 }
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n).collect() }
+        UnionFind { parent: (0..n).collect(), finds: 0, unions: 0 }
     }
 
     fn find(&mut self, x: usize) -> usize {
+        self.finds += 1;
+        self.find_root(x)
+    }
+
+    fn find_root(&mut self, x: usize) -> usize {
         if self.parent[x] != x {
-            let root = self.find(self.parent[x]);
+            let root = self.find_root(self.parent[x]);
             self.parent[x] = root;
         }
         self.parent[x]
     }
 
     fn union(&mut self, a: usize, b: usize) {
+        self.unions += 1;
         let (ra, rb) = (self.find(a), self.find(b));
         if ra != rb {
             // Deterministic: smaller index becomes the root.
@@ -150,6 +159,7 @@ enum Kind {
 /// assert!(c.apex.signature.op(&"R".into()).is_some());
 /// ```
 pub fn colimit(diagram: &Diagram, apex_name: impl Into<Sym>) -> Result<Colimit, ColimitError> {
+    let _span = mcv_obs::Span::enter("colimit");
     if diagram.node_count() == 0 {
         return Err(ColimitError::EmptyDiagram);
     }
@@ -230,10 +240,9 @@ pub fn colimit(diagram: &Diagram, apex_name: impl Into<Sym>) -> Result<Colimit, 
                 .entry(node.clone())
                 .or_default()
                 .push((Sort::new(name.clone()), Sort::new(canon.clone()))),
-            Kind::Op => node_op_map
-                .entry(node.clone())
-                .or_default()
-                .push((name.clone(), canon.clone())),
+            Kind::Op => {
+                node_op_map.entry(node.clone()).or_default().push((name.clone(), canon.clone()))
+            }
         }
     }
     // Build the apex signature.
@@ -332,6 +341,11 @@ pub fn colimit(diagram: &Diagram, apex_name: impl Into<Sym>) -> Result<Colimit, 
             apex.properties.push(Property { name, kind: p.kind, formula: translated });
         }
     }
+    mcv_obs::counter("colimit.runs", 1);
+    mcv_obs::counter("colimit.elements", elements.len() as u64);
+    mcv_obs::counter("colimit.classes", classes.len() as u64);
+    mcv_obs::counter("colimit.uf.finds", uf.finds);
+    mcv_obs::counter("colimit.uf.unions", uf.unions);
     let apex = Arc::new(apex);
     // Rebind cone targets to the final apex (with properties).
     let cones = cones
@@ -388,6 +402,7 @@ pub fn pushout(
     g: &SpecMorphism,
     apex_name: impl Into<Sym>,
 ) -> Result<Pushout, ColimitError> {
+    let _span = mcv_obs::Span::enter("colimit.pushout");
     if f.source.name != g.source.name {
         return Err(ColimitError::ConeConstruction {
             node: f.source.name.clone(),
@@ -492,14 +507,9 @@ mod tests {
             .build_ref()
             .unwrap();
         let l = left();
-        let f = SpecMorphism::new(
-            "f",
-            s.clone(),
-            l.clone(),
-            [],
-            [(Sym::new("Base"), Sym::new("L"))],
-        )
-        .unwrap();
+        let f =
+            SpecMorphism::new("f", s.clone(), l.clone(), [], [(Sym::new("Base"), Sym::new("L"))])
+                .unwrap();
         let g = SpecMorphism::new("g", s.clone(), s.clone(), [], []).unwrap();
         let po = pushout(&f, &g, "D2").unwrap();
         // S2.Base and LEFT.L are identified into one class; LEFT.Base
@@ -507,14 +517,8 @@ mod tests {
         // cones agree on the merged class.
         let d = po.object();
         assert_eq!(d.signature.op_count(), 2);
-        assert_eq!(
-            po.from_shared.apply_op(&"Base".into()),
-            po.into_left.apply_op(&"L".into())
-        );
-        assert_ne!(
-            po.into_left.apply_op(&"Base".into()),
-            po.into_left.apply_op(&"L".into())
-        );
+        assert_eq!(po.from_shared.apply_op(&"Base".into()), po.into_left.apply_op(&"L".into()));
+        assert_ne!(po.into_left.apply_op(&"Base".into()), po.into_left.apply_op(&"L".into()));
     }
 
     #[test]
@@ -564,8 +568,9 @@ mod tests {
             .build_ref()
             .unwrap();
         let l = left();
-        let m = SpecMorphism::new("m", a.clone(), l.clone(), [], [(Sym::new("Base"), Sym::new("L"))])
-            .unwrap();
+        let m =
+            SpecMorphism::new("m", a.clone(), l.clone(), [], [(Sym::new("Base"), Sym::new("L"))])
+                .unwrap();
         let mut d = Diagram::new();
         d.add_node("a", a).unwrap();
         d.add_node("l", l).unwrap();

@@ -156,17 +156,15 @@ impl Diagram {
 
     /// Node labels with no outgoing arcs (colimit naming prefers these).
     pub fn sink_nodes(&self) -> Vec<Sym> {
-        self.nodes
-            .keys()
-            .filter(|n| !self.arcs.iter().any(|a| &a.from == *n))
-            .cloned()
-            .collect()
+        self.nodes.keys().filter(|n| !self.arcs.iter().any(|a| &a.from == *n)).cloned().collect()
     }
 
     /// Renders the diagram as Graphviz DOT (for regenerating the
     /// thesis' composition figures graphically).
     pub fn to_dot(&self, title: &str) -> String {
-        let mut out = format!("digraph \"{title}\" {{\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n");
+        let mut out = format!(
+            "digraph \"{title}\" {{\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n"
+        );
         for (label, spec) in &self.nodes {
             out.push_str(&format!(
                 "  {label} [label=\"{}\\n{} ops, {} axioms\"];\n",
@@ -180,14 +178,10 @@ impl Diagram {
             let edge_label = if renames.is_empty() {
                 arc.name.to_string()
             } else {
-                let maps: Vec<String> =
-                    renames.iter().map(|(a, b)| format!("{a}→{b}")).collect();
+                let maps: Vec<String> = renames.iter().map(|(a, b)| format!("{a}→{b}")).collect();
                 format!("{} [{}]", arc.name, maps.join(", "))
             };
-            out.push_str(&format!(
-                "  {} -> {} [label=\"{edge_label}\"];\n",
-                arc.from, arc.to
-            ));
+            out.push_str(&format!("  {} -> {} [label=\"{edge_label}\"];\n", arc.from, arc.to));
         }
         out.push_str("}\n");
         out

@@ -91,11 +91,7 @@ impl FinMap {
         if self.cod != other.dom {
             return Err("composition endpoint mismatch".into());
         }
-        let map = self
-            .map
-            .iter()
-            .map(|(a, b)| (a.clone(), other.map[b].clone()))
-            .collect();
+        let map = self.map.iter().map(|(a, b)| (a.clone(), other.map[b].clone())).collect();
         Ok(FinMap { dom: self.dom.clone(), cod: other.cod.clone(), map })
     }
 }
@@ -174,16 +170,8 @@ pub fn fin_pushout(f: &FinMap, g: &FinMap) -> Result<FinPushout, String> {
         object.insert(r.clone());
         q_graph.push((e.clone(), r));
     }
-    let p = FinMap {
-        dom: f.cod.clone(),
-        cod: object.clone(),
-        map: p_graph.into_iter().collect(),
-    };
-    let q = FinMap {
-        dom: g.cod.clone(),
-        cod: object.clone(),
-        map: q_graph.into_iter().collect(),
-    };
+    let p = FinMap { dom: f.cod.clone(), cod: object.clone(), map: p_graph.into_iter().collect() };
+    let q = FinMap { dom: g.cod.clone(), cod: object.clone(), map: q_graph.into_iter().collect() };
     Ok(FinPushout { object, p, q })
 }
 

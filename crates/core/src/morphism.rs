@@ -11,7 +11,7 @@
 //! resolution prover.
 
 use crate::obligation::Obligation;
-use crate::spec::{SpecRef, PropertyKind};
+use crate::spec::{PropertyKind, SpecRef};
 use mcv_logic::{Formula, Sort, Sym};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -206,11 +206,7 @@ impl SpecMorphism {
     fn check_profiles(&self) -> Result<(), MorphismError> {
         for od in self.source.signature.ops() {
             let timg = &self.op_map[&od.name];
-            let tdecl = self
-                .target
-                .signature
-                .op(timg)
-                .expect("op image validated at construction");
+            let tdecl = self.target.signature.op(timg).expect("op image validated at construction");
             if tdecl.arity() != od.arity() {
                 return Err(MorphismError::IncompatibleProfile {
                     op: od.name.clone(),
@@ -277,11 +273,7 @@ impl SpecMorphism {
 
     /// Non-identity entries, for display.
     pub fn proper_op_renames(&self) -> Vec<(Sym, Sym)> {
-        self.op_map
-            .iter()
-            .filter(|(a, b)| a != b)
-            .map(|(a, b)| (a.clone(), b.clone()))
-            .collect()
+        self.op_map.iter().filter(|(a, b)| a != b).map(|(a, b)| (a.clone(), b.clone())).collect()
     }
 
     /// Composition `other ∘ self` — first `self: A → B`, then
@@ -298,16 +290,10 @@ impl SpecMorphism {
                 self.target.name, other.source.name
             ))));
         }
-        let sort_pairs: Vec<(Sort, Sort)> = self
-            .sort_map
-            .iter()
-            .map(|(a, b)| (a.clone(), other.apply_sort(b)))
-            .collect();
-        let op_pairs: Vec<(Sym, Sym)> = self
-            .op_map
-            .iter()
-            .map(|(a, b)| (a.clone(), other.apply_op(b)))
-            .collect();
+        let sort_pairs: Vec<(Sort, Sort)> =
+            self.sort_map.iter().map(|(a, b)| (a.clone(), other.apply_sort(b))).collect();
+        let op_pairs: Vec<(Sym, Sym)> =
+            self.op_map.iter().map(|(a, b)| (a.clone(), other.apply_op(b))).collect();
         SpecMorphism::new_lenient(
             format!("{}∘{}", other.name, self.name),
             self.source.clone(),
@@ -337,7 +323,11 @@ impl SpecMorphism {
                 (p.kind == PropertyKind::Axiom || p.kind == PropertyKind::Theorem)
                     && p.formula == translated
             });
-            if !already {
+            if already {
+                // Fast path: discharged syntactically, no prover run.
+                mcv_obs::counter("obligations.fast_path", 1);
+            } else {
+                mcv_obs::counter("obligations.emitted", 1);
                 out.push(Obligation::new(
                     format!(
                         "{}: axiom {} of {} must be a theorem of {}",
@@ -404,14 +394,8 @@ mod tests {
             .predicate("Pp", vec![Sort::new("Elem")])
             .build_ref()
             .unwrap();
-        let m = SpecMorphism::new(
-            "r",
-            source(),
-            tgt,
-            [],
-            [(Sym::new("P"), Sym::new("Pp"))],
-        )
-        .unwrap();
+        let m =
+            SpecMorphism::new("r", source(), tgt, [], [(Sym::new("P"), Sym::new("Pp"))]).unwrap();
         let f = m.apply_formula(&mcv_logic::formula("fa(x:Elem) P(x)"));
         assert_eq!(f.to_string(), "fa(x:Elem) Pp(x)");
     }
@@ -471,14 +455,8 @@ mod tests {
             .build_ref()
             .unwrap();
         let m1 = SpecMorphism::new("a", source(), mid.clone(), [], []).unwrap();
-        let m2 = SpecMorphism::new_lenient(
-            "b",
-            mid,
-            last,
-            [],
-            [(Sym::new("P"), Sym::new("R"))],
-        )
-        .unwrap();
+        let m2 = SpecMorphism::new_lenient("b", mid, last, [], [(Sym::new("P"), Sym::new("R"))])
+            .unwrap();
         let c = m1.then(&m2).unwrap();
         assert_eq!(c.apply_op(&"P".into()).as_str(), "R");
     }

@@ -25,7 +25,14 @@ impl Obligation {
 
     /// Attempts to discharge the obligation with `prover`.
     pub fn discharge(&self, prover: &Prover) -> ProofResult {
-        prover.prove(&self.axioms, &self.goal)
+        let _span = mcv_obs::Span::enter("obligation.discharge");
+        mcv_obs::counter("obligations.prover_path", 1);
+        let result = prover.prove(&self.axioms, &self.goal);
+        mcv_obs::counter(
+            if result.is_proved() { "obligations.discharged" } else { "obligations.failed" },
+            1,
+        );
+        result
     }
 }
 
@@ -82,7 +89,12 @@ impl DischargeReport {
 
 impl fmt::Display for DischargeReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}/{} obligations proved", self.outcomes.len() - self.failures().len(), self.outcomes.len())?;
+        writeln!(
+            f,
+            "{}/{} obligations proved",
+            self.outcomes.len() - self.failures().len(),
+            self.outcomes.len()
+        )?;
         for (o, r) in &self.outcomes {
             let status = if r.is_proved() { "ok " } else { "FAIL" };
             writeln!(f, "  [{status}] {}", o.description)?;
@@ -111,8 +123,16 @@ mod tests {
 
     #[test]
     fn report_counts_failures() {
-        let good = Obligation::new("good", formula("P(c())"), vec![NamedFormula::new("p", formula("P(c())"))]);
-        let bad = Obligation::new("bad", formula("Q(c())"), vec![NamedFormula::new("p", formula("P(c())"))]);
+        let good = Obligation::new(
+            "good",
+            formula("P(c())"),
+            vec![NamedFormula::new("p", formula("P(c())"))],
+        );
+        let bad = Obligation::new(
+            "bad",
+            formula("Q(c())"),
+            vec![NamedFormula::new("p", formula("P(c())"))],
+        );
         let report = DischargeReport::run(&Prover::new(), vec![good, bad]);
         assert!(!report.all_proved());
         assert_eq!(report.failures(), vec!["bad"]);

@@ -191,12 +191,8 @@ fn parse_op(rest: &str) -> Result<OpDecl, String> {
         Some(i) => (&profile[..i], &profile[i + 2..]),
         None => ("", profile),
     };
-    let args: Vec<Sort> = args_text
-        .split('*')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .map(Sort::new)
-        .collect();
+    let args: Vec<Sort> =
+        args_text.split('*').map(str::trim).filter(|s| !s.is_empty()).map(Sort::new).collect();
     let result = Sort::new(result_text.trim());
     Ok(OpDecl::new(name, args, result))
 }
@@ -309,8 +305,8 @@ mod tests {
 
     #[test]
     fn bad_formula_reports_error() {
-        let errs =
-            parse_spec("T", "spec\nop A : Boolean\naxiom broken is\nA &\nendspec", &[]).unwrap_err();
+        let errs = parse_spec("T", "spec\nop A : Boolean\naxiom broken is\nA &\nendspec", &[])
+            .unwrap_err();
         assert!(errs.iter().any(|e| e.contains("parse error")));
     }
 }

@@ -165,23 +165,21 @@ impl ScriptEngine {
     }
 
     fn exec(&mut self, stmt: &Statement) -> Result<Event, ScriptError> {
+        let _span = mcv_obs::Span::enter("script.statement");
+        mcv_obs::counter("script.statements", 1);
         let line = stmt.line;
         let name = stmt.name.clone();
         let body = stmt.body.trim();
         if body.starts_with("spec") {
-            let imports: Vec<SpecRef> = self
-                .env
-                .values()
-                .filter_map(Value::as_spec)
-                .cloned()
-                .collect();
+            let imports: Vec<SpecRef> =
+                self.env.values().filter_map(Value::as_spec).cloned().collect();
             let spec = parse_spec(name.as_str(), body, &imports)
                 .map_err(|e| Self::err(line, format!("{name}: {e:?}")))?;
             self.env.insert(name.clone(), Value::Spec(Arc::new(spec)));
             Ok(Event::Defined { name, kind: "spec" })
         } else if let Some(rest) = body.strip_prefix("translate") {
-            let (source_name, maplets) = parse_translate(rest)
-                .map_err(|m| Self::err(line, format!("{name}: {m}")))?;
+            let (source_name, maplets) =
+                parse_translate(rest).map_err(|m| Self::err(line, format!("{name}: {m}")))?;
             let src = self
                 .spec(&source_name)
                 .ok_or_else(|| Self::err(line, format!("unknown spec {source_name}")))?
@@ -237,8 +235,8 @@ impl ScriptEngine {
             self.env.insert(name, Value::Text(text.clone()));
             Ok(Event::Printed(text))
         } else if let Some(rest) = body.strip_prefix("prove") {
-            let (theorem, spec_name, axioms) = parse_prove(rest)
-                .map_err(|m| Self::err(line, format!("{name}: {m}")))?;
+            let (theorem, spec_name, axioms) =
+                parse_prove(rest).map_err(|m| Self::err(line, format!("{name}: {m}")))?;
             let spec = self
                 .spec(&spec_name)
                 .ok_or_else(|| Self::err(line, format!("unknown spec {spec_name}")))?
@@ -256,12 +254,20 @@ impl ScriptEngine {
                 support.push(NamedFormula::new(p.name.to_string(), p.formula.clone()));
             }
             // Consistency pre-check, then the direct proof.
+            let _prove_span = mcv_obs::Span::enter("script.prove");
             let consistency = self.prover.prove(&support, &Formula::False);
             let (proved, vacuous) = if consistency.is_proved() {
                 (true, true)
             } else {
                 (self.prover.prove(&support, &thm).is_proved(), false)
             };
+            mcv_obs::counter("script.proofs", 1);
+            if proved {
+                mcv_obs::counter("script.proofs_succeeded", 1);
+            }
+            if vacuous {
+                mcv_obs::counter("script.proofs_vacuous", 1);
+            }
             self.env.insert(
                 name.clone(),
                 Value::Proof { theorem: Sym::new(theorem.as_str()), proved, vacuous },
@@ -316,12 +322,9 @@ impl ScriptEngine {
                 let head = head.trim();
                 if let Some((arc_name, endpoints)) = head.split_once(':') {
                     // Arc: `i : a->b +-> morphism …`
-                    let (from, to) =
-                        split_arrow(endpoints).ok_or("arc endpoints need '->'")?;
+                    let (from, to) = split_arrow(endpoints).ok_or("arc endpoints need '->'")?;
                     let tail = tail.trim();
-                    let rest = tail
-                        .strip_prefix("morphism")
-                        .ok_or("arc must map to a morphism")?;
+                    let rest = tail.strip_prefix("morphism").ok_or("arc must map to a morphism")?;
                     let m = self.parse_morphism(rest, arc_name.trim())?;
                     d.add_arc(arc_name.trim(), from.trim(), to.trim(), m)
                         .map_err(|e| e.to_string())?;
@@ -465,10 +468,7 @@ fn parse_translate(rest: &str) -> Result<(String, Vec<(String, String)>), String
 fn parse_prove(rest: &str) -> Result<(String, String, Vec<String>), String> {
     let words: Vec<&str> = rest.split_whitespace().collect();
     let in_pos = words.iter().position(|w| *w == "in").ok_or("prove missing 'in'")?;
-    let using_pos = words
-        .iter()
-        .position(|w| *w == "using")
-        .ok_or("prove missing 'using'")?;
+    let using_pos = words.iter().position(|w| *w == "using").ok_or("prove missing 'using'")?;
     if in_pos == 0 || using_pos != in_pos + 2 {
         return Err("expected: prove THM in SPEC using AX...".into());
     }
@@ -556,10 +556,12 @@ p1 = prove q_total in EXT using p_total q_from_p
         let mut engine = ScriptEngine::new();
         let events = engine.run(MINI).expect("script runs");
         assert_eq!(events.len(), 8);
-        let proved = events.iter().any(|e| matches!(
-            e,
-            Event::Proved { label, proved: true, vacuous: false, .. } if label == "p1"
-        ));
+        let proved = events.iter().any(|e| {
+            matches!(
+                e,
+                Event::Proved { label, proved: true, vacuous: false, .. } if label == "p1"
+            )
+        });
         assert!(proved, "{events:?}");
         assert!(engine.spec("C").is_some());
         assert!(matches!(engine.get("D"), Some(Value::Diagram(_))));
@@ -637,9 +639,6 @@ p = prove anything in S using both contra
     fn statement_splitter_handles_spec_blocks() {
         let stmts = split_statements(MINI);
         let names: Vec<&str> = stmts.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(
-            names,
-            ["BASE", "BASEtoALL", "EXT", "BASEtoEXT", "D", "C", "foo", "p1"]
-        );
+        assert_eq!(names, ["BASE", "BASEtoALL", "EXT", "BASEtoEXT", "D", "C", "foo", "p1"]);
     }
 }

@@ -170,8 +170,10 @@ impl Signature {
     pub fn merge(&mut self, other: &Signature) -> Result<(), Sym> {
         for sd in other.sorts.values() {
             match self.sorts.get(&sd.sort) {
-                Some(existing) if existing.definition.is_some() && sd.definition.is_some()
-                    && existing.definition != sd.definition =>
+                Some(existing)
+                    if existing.definition.is_some()
+                        && sd.definition.is_some()
+                        && existing.definition != sd.definition =>
                 {
                     return Err(sd.sort.name().clone());
                 }

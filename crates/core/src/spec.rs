@@ -10,7 +10,9 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Whether a property is assumed or must be proved.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub enum PropertyKind {
     /// Assumed without proof.
     Axiom,
@@ -168,9 +170,7 @@ impl Spec {
 
     /// Axioms as prover input.
     pub fn axioms_as_named(&self) -> Vec<NamedFormula> {
-        self.axioms()
-            .map(|p| NamedFormula::new(p.name.to_string(), p.formula.clone()))
-            .collect()
+        self.axioms().map(|p| NamedFormula::new(p.name.to_string(), p.formula.clone())).collect()
     }
 
     /// Validates the spec: every applied symbol is declared with the right
@@ -244,10 +244,9 @@ impl Spec {
             return;
         }
         match self.signature.op(name) {
-            None => issues.push(SpecIssue::UndeclaredOp {
-                property: prop.clone(),
-                op: name.clone(),
-            }),
+            None => {
+                issues.push(SpecIssue::UndeclaredOp { property: prop.clone(), op: name.clone() })
+            }
             Some(decl) if decl.arity() != actual => issues.push(SpecIssue::ArityMismatch {
                 property: prop.clone(),
                 op: name.clone(),
@@ -411,10 +410,7 @@ mod tests {
 
     #[test]
     fn check_flags_undeclared_op() {
-        let s = SpecBuilder::new("BAD")
-            .axiom("a", "Ghost(x)")
-            .build()
-            .unwrap();
+        let s = SpecBuilder::new("BAD").axiom("a", "Ghost(x)").build().unwrap();
         let issues = s.check();
         assert!(matches!(issues[0], SpecIssue::UndeclaredOp { .. }));
     }
@@ -441,15 +437,8 @@ mod tests {
 
     #[test]
     fn check_flags_duplicate_property_names() {
-        let s = SpecBuilder::new("BAD")
-            .axiom("a", "X")
-            .axiom("a", "Y")
-            .build()
-            .unwrap();
-        assert!(s
-            .check()
-            .iter()
-            .any(|i| matches!(i, SpecIssue::DuplicateProperty { .. })));
+        let s = SpecBuilder::new("BAD").axiom("a", "X").axiom("a", "Y").build().unwrap();
+        assert!(s.check().iter().any(|i| matches!(i, SpecIssue::DuplicateProperty { .. })));
     }
 
     #[test]

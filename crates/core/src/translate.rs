@@ -65,14 +65,8 @@ pub fn translate(
         });
     }
     let out = Arc::new(out);
-    let iso = SpecMorphism::new_lenient(
-        "translate",
-        spec.clone(),
-        out.clone(),
-        sort_map,
-        op_map,
-    )
-    .expect("translation is total by construction");
+    let iso = SpecMorphism::new_lenient("translate", spec.clone(), out.clone(), sort_map, op_map)
+        .expect("translation is total by construction");
     (out, iso)
 }
 

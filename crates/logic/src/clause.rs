@@ -101,10 +101,7 @@ impl Clause {
     pub fn is_tautology(&self) -> bool {
         self.literals.iter().any(|l| {
             l.positive
-                && self
-                    .literals
-                    .iter()
-                    .any(|m| !m.positive && m.pred == l.pred && m.args == l.args)
+                && self.literals.iter().any(|m| !m.positive && m.pred == l.pred && m.args == l.args)
         })
     }
 
@@ -154,11 +151,7 @@ impl Clause {
                     continue;
                 }
                 let mut s2 = s.clone();
-                if first
-                    .args
-                    .iter()
-                    .zip(&cand.args)
-                    .all(|(p, t)| match_terms(p, t, &mut s2))
+                if first.args.iter().zip(&cand.args).all(|(p, t)| match_terms(p, t, &mut s2))
                     && go(rest, target, &s2)
                 {
                     return true;

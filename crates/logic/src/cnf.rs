@@ -53,10 +53,7 @@ fn eliminate(f: &Formula) -> Formula {
         }
         Formula::Ite(c, t, e) => {
             let (c, t, e) = (eliminate(c), eliminate(t), eliminate(e));
-            Formula::and(
-                Formula::or(Formula::not(c.clone()), t),
-                Formula::or(c, e),
-            )
+            Formula::and(Formula::or(Formula::not(c.clone()), t), Formula::or(c, e))
         }
         Formula::Not(g) => Formula::not(eliminate(g)),
         Formula::And(fs) => Formula::And(fs.iter().map(eliminate).collect()),
@@ -71,30 +68,58 @@ fn eliminate(f: &Formula) -> Formula {
 fn to_nnf(f: &Formula, positive: bool) -> Formula {
     match f {
         Formula::True => {
-            if positive { Formula::True } else { Formula::False }
+            if positive {
+                Formula::True
+            } else {
+                Formula::False
+            }
         }
         Formula::False => {
-            if positive { Formula::False } else { Formula::True }
+            if positive {
+                Formula::False
+            } else {
+                Formula::True
+            }
         }
         Formula::Pred(..) | Formula::Eq(..) => {
-            if positive { f.clone() } else { Formula::not(f.clone()) }
+            if positive {
+                f.clone()
+            } else {
+                Formula::not(f.clone())
+            }
         }
         Formula::Not(g) => to_nnf(g, !positive),
         Formula::And(fs) => {
             let parts: Vec<Formula> = fs.iter().map(|g| to_nnf(g, positive)).collect();
-            if positive { Formula::And(parts) } else { Formula::Or(parts) }
+            if positive {
+                Formula::And(parts)
+            } else {
+                Formula::Or(parts)
+            }
         }
         Formula::Or(fs) => {
             let parts: Vec<Formula> = fs.iter().map(|g| to_nnf(g, positive)).collect();
-            if positive { Formula::Or(parts) } else { Formula::And(parts) }
+            if positive {
+                Formula::Or(parts)
+            } else {
+                Formula::And(parts)
+            }
         }
         Formula::Forall(vs, g) => {
             let body = Box::new(to_nnf(g, positive));
-            if positive { Formula::Forall(vs.clone(), body) } else { Formula::Exists(vs.clone(), body) }
+            if positive {
+                Formula::Forall(vs.clone(), body)
+            } else {
+                Formula::Exists(vs.clone(), body)
+            }
         }
         Formula::Exists(vs, g) => {
             let body = Box::new(to_nnf(g, positive));
-            if positive { Formula::Exists(vs.clone(), body) } else { Formula::Forall(vs.clone(), body) }
+            if positive {
+                Formula::Exists(vs.clone(), body)
+            } else {
+                Formula::Forall(vs.clone(), body)
+            }
         }
         Formula::Implies(..) | Formula::Iff(..) | Formula::Ite(..) => {
             unreachable!("eliminate() must run before to_nnf")
@@ -105,10 +130,9 @@ fn to_nnf(f: &Formula, positive: bool) -> Formula {
 /// Renames bound variables so every binder introduces a unique name.
 fn standardize(f: &Formula, renaming: &mut Subst, fresh: &mut FreshVars) -> Formula {
     match f {
-        Formula::Pred(p, args) => Formula::Pred(
-            p.clone(),
-            args.iter().map(|t| renaming.apply(t)).collect(),
-        ),
+        Formula::Pred(p, args) => {
+            Formula::Pred(p.clone(), args.iter().map(|t| renaming.apply(t)).collect())
+        }
         Formula::Eq(l, r) => Formula::Eq(renaming.apply(l), renaming.apply(r)),
         Formula::Not(g) => Formula::not(standardize(g, renaming, fresh)),
         Formula::And(fs) => {

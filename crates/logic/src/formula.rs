@@ -107,12 +107,20 @@ impl Formula {
 
     /// Universal closure over `vars`.
     pub fn forall(vars: Vec<Var>, body: Formula) -> Formula {
-        if vars.is_empty() { body } else { Formula::Forall(vars, Box::new(body)) }
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Forall(vars, Box::new(body))
+        }
     }
 
     /// Existential closure over `vars`.
     pub fn exists(vars: Vec<Var>, body: Formula) -> Formula {
-        if vars.is_empty() { body } else { Formula::Exists(vars, Box::new(body)) }
+        if vars.is_empty() {
+            body
+        } else {
+            Formula::Exists(vars, Box::new(body))
+        }
     }
 
     /// The conditional `if c then t else e`.
@@ -207,9 +215,7 @@ impl Formula {
             Formula::Iff(a, b) => Formula::iff(a.map_syms(f), b.map_syms(f)),
             Formula::Forall(vs, g) => Formula::Forall(vs.clone(), Box::new(g.map_syms(f))),
             Formula::Exists(vs, g) => Formula::Exists(vs.clone(), Box::new(g.map_syms(f))),
-            Formula::Ite(c, t, e) => {
-                Formula::ite(c.map_syms(f), t.map_syms(f), e.map_syms(f))
-            }
+            Formula::Ite(c, t, e) => Formula::ite(c.map_syms(f), t.map_syms(f), e.map_syms(f)),
         }
     }
 
@@ -229,9 +235,7 @@ impl Formula {
             Formula::Or(fs) => Formula::Or(fs.iter().map(|g| g.map_sorts(f)).collect()),
             Formula::Implies(a, b) => Formula::implies(a.map_sorts(f), b.map_sorts(f)),
             Formula::Iff(a, b) => Formula::iff(a.map_sorts(f), b.map_sorts(f)),
-            Formula::Ite(c, t, e) => {
-                Formula::ite(c.map_sorts(f), t.map_sorts(f), e.map_sorts(f))
-            }
+            Formula::Ite(c, t, e) => Formula::ite(c.map_sorts(f), t.map_sorts(f), e.map_sorts(f)),
             other => other.clone(),
         }
     }
@@ -243,9 +247,7 @@ impl Formula {
             Formula::Pred(_, args) => 1 + args.iter().map(Term::size).sum::<usize>(),
             Formula::Eq(l, r) => 1 + l.size() + r.size(),
             Formula::Not(f) => 1 + f.size(),
-            Formula::And(fs) | Formula::Or(fs) => {
-                1 + fs.iter().map(Formula::size).sum::<usize>()
-            }
+            Formula::And(fs) | Formula::Or(fs) => 1 + fs.iter().map(Formula::size).sum::<usize>(),
             Formula::Implies(a, b) | Formula::Iff(a, b) => 1 + a.size() + b.size(),
             Formula::Ite(c, t, e) => 1 + c.size() + t.size() + e.size(),
             Formula::Forall(_, f) | Formula::Exists(_, f) => 1 + f.size(),
@@ -370,7 +372,8 @@ mod tests {
     #[test]
     fn free_vars_respect_binders() {
         let x = Var::unsorted("x");
-        let f = Formula::forall(vec![x.clone()], Formula::and(atom("P", &["x"]), atom("Q", &["y"])));
+        let f =
+            Formula::forall(vec![x.clone()], Formula::and(atom("P", &["x"]), atom("Q", &["y"])));
         let names: Vec<String> = f.free_vars().iter().map(|v| v.name().to_string()).collect();
         assert_eq!(names, ["y"]);
     }

@@ -99,17 +99,10 @@ pub fn prove_by_herbrand(
         .filter(|(_, k)| *k == 0)
         .map(|(f, _)| Term::App(f.clone(), Vec::new()))
         .collect();
-    let proper: Vec<(Sym, usize)> = funs
-        .keys()
-        .filter(|(_, k)| *k > 0)
-        .cloned()
-        .collect();
+    let proper: Vec<(Sym, usize)> = funs.keys().filter(|(_, k)| *k > 0).cloned().collect();
     // A dummy constant if the universe would otherwise be empty.
-    let mut universe: Vec<Term> = if constants.is_empty() {
-        vec![Term::constant("h0")]
-    } else {
-        constants
-    };
+    let mut universe: Vec<Term> =
+        if constants.is_empty() { vec![Term::constant("h0")] } else { constants };
     for level in 0..=config.max_level {
         if level > 0 {
             // Extend the universe by one application layer.
@@ -230,10 +223,7 @@ mod tests {
 
     #[test]
     fn proves_modus_ponens_at_level_0() {
-        let axioms = vec![
-            ax("imp", "fa(x) (P(x) => Q(x))"),
-            ax("base", "P(c())"),
-        ];
+        let axioms = vec![ax("imp", "fa(x) (P(x) => Q(x))"), ax("base", "P(c())")];
         let r = prove_by_herbrand(&axioms, &formula("Q(c())"), &HerbrandConfig::default());
         assert_eq!(r, HerbrandResult::Proved { level: 0, instances: 3 });
     }
@@ -250,10 +240,7 @@ mod tests {
         // P(c) and ∀x (P(x) ⇒ P(f(x))) entail P(f(f(c))): x must range
         // over f(c), which only enters the universe at level 1. (P(f(c))
         // itself already falls out at level 0 via x := c.)
-        let axioms = vec![
-            ax("base", "P(c())"),
-            ax("step", "fa(x) (P(x) => P(f(x)))"),
-        ];
+        let axioms = vec![ax("base", "P(c())"), ax("step", "fa(x) (P(x) => P(f(x)))")];
         let depth1 = prove_by_herbrand(
             &axioms,
             &formula("P(f(c()))"),
@@ -274,21 +261,9 @@ mod tests {
     #[test]
     fn agrees_with_resolution_on_a_problem_battery() {
         let battery: Vec<(Vec<NamedFormula>, Formula, bool)> = vec![
-            (
-                vec![ax("a", "fa(x) (P(x) => Q(x))"), ax("b", "P(c())")],
-                formula("Q(c())"),
-                true,
-            ),
-            (
-                vec![ax("a", "A or B"), ax("l", "A => C"), ax("r", "B => C")],
-                formula("C"),
-                true,
-            ),
-            (
-                vec![ax("a", "fa(x) (P(x) => Q(x))")],
-                formula("Q(c())"),
-                false,
-            ),
+            (vec![ax("a", "fa(x) (P(x) => Q(x))"), ax("b", "P(c())")], formula("Q(c())"), true),
+            (vec![ax("a", "A or B"), ax("l", "A => C"), ax("r", "B => C")], formula("C"), true),
+            (vec![ax("a", "fa(x) (P(x) => Q(x))")], formula("Q(c())"), false),
             (
                 vec![ax("a", "fa(x, y) (R(x, y) => R(y, x))"), ax("b", "R(a(), b())")],
                 formula("R(b(), a())"),

@@ -87,7 +87,11 @@ pub fn find_model(formulas: &[NamedFormula], config: &ModelConfig) -> Option<Mod
         clauses.extend(clausify(&f.formula, &mut fresh));
     }
     if clauses.is_empty() {
-        return Some(Model { domain_size: 1, true_atoms: BTreeSet::new(), functions: BTreeSet::new() });
+        return Some(Model {
+            domain_size: 1,
+            true_atoms: BTreeSet::new(),
+            functions: BTreeSet::new(),
+        });
     }
     if clauses.iter().any(Clause::is_empty) {
         return None;
@@ -239,8 +243,7 @@ fn try_tables(
             }
         }
         for assignment in tuples(n, vars.len()) {
-            let env: BTreeMap<&Sym, usize> =
-                vars.iter().zip(assignment.iter().copied()).collect();
+            let env: BTreeMap<&Sym, usize> = vars.iter().zip(assignment.iter().copied()).collect();
             let mut lits: Vec<(bool, usize)> = Vec::new();
             let mut tautology = false;
             for l in &c.literals {
@@ -266,10 +269,7 @@ fn try_tables(
             lits.sort();
             lits.dedup();
             // p ∨ ¬p within one ground clause is a tautology.
-            if lits
-                .iter()
-                .any(|(pos, id)| *pos && lits.contains(&(false, *id)))
-            {
+            if lits.iter().any(|(pos, id)| *pos && lits.contains(&(false, *id))) {
                 continue;
             }
             ground.push(lits);
@@ -312,10 +312,7 @@ fn eval_term(
         Term::Var(v) => *env.get(v.name()).unwrap_or(&0),
         Term::App(f, args) => {
             let vals: Vec<usize> = args.iter().map(|a| eval_term(a, env, tables)).collect();
-            *tables
-                .get(&(f.clone(), args.len()))
-                .and_then(|tab| tab.get(&vals))
-                .unwrap_or(&0)
+            *tables.get(&(f.clone(), args.len())).and_then(|tab| tab.get(&vals)).unwrap_or(&0)
         }
     }
 }
@@ -333,20 +330,13 @@ fn eval_literal(
     let rendered = if vals.is_empty() {
         l.pred.to_string()
     } else {
-        format!(
-            "{}({})",
-            l.pred,
-            vals.iter().map(usize::to_string).collect::<Vec<_>>().join(", ")
-        )
+        format!("{}({})", l.pred, vals.iter().map(usize::to_string).collect::<Vec<_>>().join(", "))
     };
     GroundLit::Atom(l.positive, rendered)
 }
 
 /// DPLL entry point shared with the Herbrand prover.
-pub(crate) fn dpll_public(
-    clauses: &[Vec<(bool, usize)>],
-    n_atoms: usize,
-) -> Option<Vec<bool>> {
+pub(crate) fn dpll_public(clauses: &[Vec<(bool, usize)>], n_atoms: usize) -> Option<Vec<bool>> {
     dpll(clauses, n_atoms)
 }
 
@@ -434,10 +424,7 @@ mod tests {
 
     #[test]
     fn satisfiable_set_has_size_1_model() {
-        let axioms = vec![
-            ax("a", "fa(x) (P(x) => Q(x))"),
-            ax("b", "ex(x) P(x)"),
-        ];
+        let axioms = vec![ax("a", "fa(x) (P(x) => Q(x))"), ax("b", "ex(x) P(x)")];
         let m = find_model(&axioms, &ModelConfig::default()).expect("model");
         assert_eq!(m.domain_size, 1);
         assert!(m.true_atoms.contains("P(0)"));
@@ -446,10 +433,7 @@ mod tests {
 
     #[test]
     fn contradictory_set_has_no_model() {
-        let axioms = vec![
-            ax("a", "fa(x) ~(P(x)) & Q(x)"),
-            ax("b", "fa(x) ~(Q(x)) & P(x)"),
-        ];
+        let axioms = vec![ax("a", "fa(x) ~(P(x)) & Q(x)"), ax("b", "fa(x) ~(Q(x)) & P(x)")];
         assert!(find_model(&axioms, &ModelConfig::default()).is_none());
     }
 

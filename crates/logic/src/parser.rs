@@ -282,22 +282,15 @@ impl Parser {
                 self.binders(&mut vars)?;
                 self.expect(&Tok::RParen, ") after binders")?;
                 let body = self.formula()?;
-                Ok(if is_fa {
-                    Formula::forall(vars, body)
-                } else {
-                    Formula::exists(vars, body)
-                })
+                Ok(if is_fa { Formula::forall(vars, body) } else { Formula::exists(vars, body) })
             }
             Some(Tok::KwIf) => {
                 self.bump();
                 let c = self.formula_until_kw()?;
                 self.expect(&Tok::KwThen, "then")?;
                 let t = self.formula_until_kw()?;
-                let e = if self.eat(&Tok::KwElse) {
-                    self.formula_until_kw()?
-                } else {
-                    Formula::True
-                };
+                let e =
+                    if self.eat(&Tok::KwElse) { self.formula_until_kw()? } else { Formula::True };
                 Ok(Formula::ite(c, t, e))
             }
             Some(Tok::KwTrue) => {
@@ -511,7 +504,9 @@ mod tests {
 
     #[test]
     fn parses_simple_axiom_from_thesis() {
-        let f = formula("fa(p:Processors, m:Messages, T:Clockvalues) ~(Deliver(p, m, T)) & Broadcast(p, m, T)");
+        let f = formula(
+            "fa(p:Processors, m:Messages, T:Clockvalues) ~(Deliver(p, m, T)) & Broadcast(p, m, T)",
+        );
         assert_eq!(
             f.to_string(),
             "fa(p:Processors, m:Messages, T:Clockvalues) (~(Deliver(p, m, T)) & Broadcast(p, m, T))"

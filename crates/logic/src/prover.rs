@@ -12,8 +12,9 @@ use crate::cnf::clausify;
 use crate::formula::Formula;
 use crate::subst::{FreshVars, Subst};
 use crate::unify::unify;
-use std::collections::BinaryHeap;
+use mcv_obs::{MetricsRegistry, MetricsSnapshot, Span};
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -83,13 +84,25 @@ pub struct Proof {
     pub steps: Vec<Step>,
     /// Indices (into `steps`) of the steps actually used, in order.
     pub used: Vec<usize>,
-    /// Number of clauses generated during search.
-    pub generated: usize,
-    /// Search time.
-    pub elapsed: Duration,
+    /// Search statistics: deterministic counters under `prover.*`
+    /// (`generated`, `iterations`, `kept`, `subsumed`,
+    /// `unify_attempts`) and wall-clock under the `wall.prover_ns`
+    /// gauge. The same snapshot is emitted to the ambient
+    /// [`mcv_obs::collect`] collector, if one is installed.
+    pub stats: MetricsSnapshot,
 }
 
 impl Proof {
+    /// Number of clauses generated during search.
+    pub fn generated(&self) -> usize {
+        self.stats.counter("prover.generated") as usize
+    }
+
+    /// Search time.
+    pub fn elapsed(&self) -> Duration {
+        Duration::from_nanos(self.stats.gauge("wall.prover_ns").unwrap_or(0.0) as u64)
+    }
+
     /// The axiom names that contributed to the refutation.
     pub fn axioms_used(&self) -> Vec<String> {
         let mut names: Vec<String> = self
@@ -113,8 +126,13 @@ impl Proof {
 
 impl fmt::Display for Proof {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "refutation in {} steps ({} clauses generated, {:?}):",
-            self.used.len(), self.generated, self.elapsed)?;
+        writeln!(
+            f,
+            "refutation in {} steps ({} clauses generated, {:?}):",
+            self.used.len(),
+            self.generated(),
+            self.elapsed()
+        )?;
         for &i in &self.used {
             let s = &self.steps[i];
             let rule = match &s.rule {
@@ -210,7 +228,9 @@ impl Prover {
 
     /// Attempts to prove `goal` from `axioms` by refutation.
     pub fn prove(&self, axioms: &[NamedFormula], goal: &Formula) -> ProofResult {
+        let _span = Span::enter("prover.prove");
         let start = Instant::now();
+        let mut stats = SearchStats::default();
         let mut fresh = FreshVars::new();
         let mut steps: Vec<Step> = Vec::new();
         // Usable set: axiom clauses.
@@ -235,10 +255,11 @@ impl Prover {
             sos_idx = (0..usable_end).collect();
             consistency_mode = true;
         }
+        stats.generated = steps.len() as u64;
         // Trivial cases.
         for (i, s) in steps.iter().enumerate() {
             if s.clause.is_empty() {
-                return ProofResult::Proved(finish(steps.clone(), i, start, steps.len()));
+                return ProofResult::Proved(finish(steps.clone(), i, stats.flush(start)));
             }
         }
 
@@ -257,43 +278,47 @@ impl Prover {
         // Processed set: indices resolved so far (axioms are always usable).
         let mut processed: Vec<usize> =
             if consistency_mode { Vec::new() } else { (0..usable_end).collect() };
-        let mut generated = steps.len();
         // If any clause is discarded for weight, saturation no longer
         // implies non-entailment; report ResourceOut instead.
         let mut lossy = false;
 
         while let Some(Reverse((_, given_idx))) = queue.pop() {
-            if start.elapsed() > self.config.timeout || generated > self.config.max_clauses {
+            if start.elapsed() > self.config.timeout
+                || stats.generated as usize > self.config.max_clauses
+            {
+                let generated = stats.flush(start).counter("prover.generated") as usize;
                 return ProofResult::ResourceOut { generated };
             }
+            stats.iterations += 1;
             let given = steps[given_idx].clause.clone();
             // If something already processed subsumes the given clause, skip.
             if self.config.use_subsumption
                 && processed.iter().any(|&i| steps[i].clause.subsumes(&given))
             {
+                stats.subsumed += 1;
                 continue;
             }
 
             let mut new_clauses: Vec<(Clause, Rule)> = Vec::new();
             // Factoring.
-            for c in factors(&given, &mut fresh) {
+            for c in factors(&given, &mut fresh, &mut stats.unify_attempts) {
                 new_clauses.push((c, Rule::Factor(given_idx)));
             }
             // Binary resolution against all processed clauses.
             for &other_idx in &processed {
                 let other = &steps[other_idx].clause;
-                for c in resolvents(&given, other, &mut fresh) {
+                for c in resolvents(&given, other, &mut fresh, &mut stats.unify_attempts) {
                     new_clauses.push((c, Rule::Resolve(given_idx, other_idx)));
                 }
             }
             processed.push(given_idx);
 
             for (c, rule) in new_clauses {
-                generated += 1;
+                stats.generated += 1;
                 if c.is_empty() {
                     let idx = steps.len();
                     steps.push(Step { clause: c, rule });
-                    return ProofResult::Proved(finish(steps, idx, start, generated));
+                    return ProofResult::Proved(finish(steps, idx, stats.flush(start)));
                 }
                 if c.is_tautology() {
                     continue;
@@ -305,12 +330,11 @@ impl Prover {
                 // Forward subsumption against processed + queued.
                 if self.config.use_subsumption {
                     if processed.iter().any(|&i| steps[i].clause.subsumes(&c)) {
+                        stats.subsumed += 1;
                         continue;
                     }
-                    if queue
-                        .iter()
-                        .any(|Reverse((_, i))| steps[*i].clause.subsumes(&c))
-                    {
+                    if queue.iter().any(|Reverse((_, i))| steps[*i].clause.subsumes(&c)) {
+                        stats.subsumed += 1;
                         continue;
                     }
                 } else {
@@ -321,11 +345,13 @@ impl Prover {
                         continue;
                     }
                 }
+                stats.kept += 1;
                 let idx = steps.len();
                 steps.push(Step { clause: c.clone(), rule });
                 queue.push(Reverse((key(&c, &self.config), idx)));
             }
         }
+        let generated = stats.flush(start).counter("prover.generated") as usize;
         if lossy {
             ProofResult::ResourceOut { generated }
         } else {
@@ -334,7 +360,36 @@ impl Prover {
     }
 }
 
-fn finish(steps: Vec<Step>, empty_idx: usize, start: Instant, generated: usize) -> Proof {
+/// Plain local counters for the given-clause loop: the hot path pays a
+/// register increment, and the totals flush to the ambient collector
+/// (and the returned snapshot) once, at the end of the search.
+#[derive(Debug, Default)]
+struct SearchStats {
+    iterations: u64,
+    generated: u64,
+    kept: u64,
+    subsumed: u64,
+    unify_attempts: u64,
+}
+
+impl SearchStats {
+    /// Freezes the counters (plus wall-clock under `wall.prover_ns`)
+    /// and emits them to the installed collector, if any.
+    fn flush(&self, start: Instant) -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.add("prover.iterations", self.iterations);
+        reg.add("prover.generated", self.generated);
+        reg.add("prover.kept", self.kept);
+        reg.add("prover.subsumed", self.subsumed);
+        reg.add("prover.unify_attempts", self.unify_attempts);
+        reg.set_gauge("wall.prover_ns", start.elapsed().as_nanos() as f64);
+        let snap = reg.snapshot();
+        mcv_obs::absorb(&snap);
+        snap
+    }
+}
+
+fn finish(steps: Vec<Step>, empty_idx: usize, stats: MetricsSnapshot) -> Proof {
     // Walk parents back from the empty clause.
     let mut used = Vec::new();
     let mut stack = vec![empty_idx];
@@ -355,26 +410,22 @@ fn finish(steps: Vec<Step>, empty_idx: usize, start: Instant, generated: usize) 
         }
     }
     used.sort_unstable();
-    Proof { steps, used, generated, elapsed: start.elapsed() }
+    Proof { steps, used, stats }
 }
 
 /// All binary resolvents of two clauses (variables renamed apart).
-fn resolvents(a: &Clause, b: &Clause, fresh: &mut FreshVars) -> Vec<Clause> {
+fn resolvents(a: &Clause, b: &Clause, fresh: &mut FreshVars, attempts: &mut u64) -> Vec<Clause> {
     let a = a.rename_apart(fresh);
     let b = b.rename_apart(fresh);
     let mut out = Vec::new();
     for (i, la) in a.literals.iter().enumerate() {
         for (j, lb) in b.literals.iter().enumerate() {
-            if la.positive == lb.positive || la.pred != lb.pred || la.args.len() != lb.args.len()
-            {
+            if la.positive == lb.positive || la.pred != lb.pred || la.args.len() != lb.args.len() {
                 continue;
             }
+            *attempts += 1;
             let mut s = Subst::new();
-            let ok = la
-                .args
-                .iter()
-                .zip(&lb.args)
-                .all(|(x, y)| unify(x, y, &mut s));
+            let ok = la.args.iter().zip(&lb.args).all(|(x, y)| unify(x, y, &mut s));
             if !ok {
                 continue;
             }
@@ -396,22 +447,18 @@ fn resolvents(a: &Clause, b: &Clause, fresh: &mut FreshVars) -> Vec<Clause> {
 }
 
 /// All binary factors of a clause.
-fn factors(c: &Clause, fresh: &mut FreshVars) -> Vec<Clause> {
+fn factors(c: &Clause, fresh: &mut FreshVars, attempts: &mut u64) -> Vec<Clause> {
     let c = c.rename_apart(fresh);
     let mut out = Vec::new();
     for i in 0..c.literals.len() {
         for j in (i + 1)..c.literals.len() {
             let (li, lj) = (&c.literals[i], &c.literals[j]);
-            if li.positive != lj.positive || li.pred != lj.pred || li.args.len() != lj.args.len()
-            {
+            if li.positive != lj.positive || li.pred != lj.pred || li.args.len() != lj.args.len() {
                 continue;
             }
+            *attempts += 1;
             let mut s = Subst::new();
-            let ok = li
-                .args
-                .iter()
-                .zip(&lj.args)
-                .all(|(x, y)| unify(x, y, &mut s));
+            let ok = li.args.iter().zip(&lj.args).all(|(x, y)| unify(x, y, &mut s));
             if !ok {
                 continue;
             }
@@ -460,11 +507,7 @@ mod tests {
     #[test]
     fn proof_by_case_split() {
         // (A or B), (A => C), (B => C) |- C
-        let axioms = vec![
-            ax("cases", "A or B"),
-            ax("l", "A => C"),
-            ax("r", "B => C"),
-        ];
+        let axioms = vec![ax("cases", "A or B"), ax("l", "A => C"), ax("r", "B => C")];
         assert!(Prover::new().prove(&axioms, &formula("C")).is_proved());
     }
 
@@ -474,9 +517,7 @@ mod tests {
             ax("agree", "fa(p, q, m, T) (Deliver(p, m, T) => Deliver(q, m, T))"),
             ax("fact", "Deliver(a(), msg(), t0())"),
         ];
-        assert!(Prover::new()
-            .prove(&axioms, &formula("Deliver(b(), msg(), t0())"))
-            .is_proved());
+        assert!(Prover::new().prove(&axioms, &formula("Deliver(b(), msg(), t0())")).is_proved());
     }
 
     #[test]
@@ -507,12 +548,13 @@ mod tests {
 
     #[test]
     fn resource_limits_are_respected() {
-        let cfg = ProverConfig { max_clauses: 10, timeout: Duration::from_secs(5), ..ProverConfig::default() };
+        let cfg = ProverConfig {
+            max_clauses: 10,
+            timeout: Duration::from_secs(5),
+            ..ProverConfig::default()
+        };
         // A goal needing more than 10 clauses of search on growing terms.
-        let axioms = vec![
-            ax("succ", "fa(x) (N(x) => N(s(x)))"),
-            ax("zero", "N(z())"),
-        ];
+        let axioms = vec![ax("succ", "fa(x) (N(x) => N(s(x)))"), ax("zero", "N(z())")];
         let res = Prover::with_config(cfg).prove(&axioms, &formula("M(z())"));
         assert!(matches!(res, ProofResult::ResourceOut { .. } | ProofResult::Saturated { .. }));
     }
@@ -527,11 +569,9 @@ mod tests {
         ];
         let goal = formula("S(c())");
         let default = Prover::new().prove(&axioms, &goal);
-        let no_subsumption = Prover::with_config(ProverConfig {
-            use_subsumption: false,
-            ..ProverConfig::default()
-        })
-        .prove(&axioms, &goal);
+        let no_subsumption =
+            Prover::with_config(ProverConfig { use_subsumption: false, ..ProverConfig::default() })
+                .prove(&axioms, &goal);
         let fifo = Prover::with_config(ProverConfig {
             selection: Selection::Fifo,
             ..ProverConfig::default()
@@ -554,14 +594,29 @@ mod tests {
         ];
         let goal = formula("Q(c(), c())");
         let with = Prover::new().prove(&axioms, &goal);
-        let without = Prover::with_config(ProverConfig {
-            use_subsumption: false,
-            ..ProverConfig::default()
-        })
-        .prove(&axioms, &goal);
-        let gw = with.proof().expect("proved").generated;
-        let gwo = without.proof().expect("proved").generated;
+        let without =
+            Prover::with_config(ProverConfig { use_subsumption: false, ..ProverConfig::default() })
+                .prove(&axioms, &goal);
+        let gw = with.proof().expect("proved").generated();
+        let gwo = without.proof().expect("proved").generated();
         assert!(gw <= gwo, "subsumption generated {gw} vs {gwo} without");
+    }
+
+    #[test]
+    fn proof_stats_are_populated_and_reach_the_collector() {
+        let axioms = vec![ax("a1", "fa(x) (P(x) => Q(x))"), ax("a2", "P(c())")];
+        let (res, data) = mcv_obs::collect(|| Prover::new().prove(&axioms, &formula("Q(c())")));
+        let proof = res.proof().expect("proved");
+        assert!(proof.generated() > 0);
+        assert!(proof.stats.counter("prover.iterations") > 0);
+        assert!(proof.stats.counter("prover.unify_attempts") > 0);
+        // The same totals were emitted to the ambient collector.
+        assert_eq!(
+            data.metrics.counter("prover.generated"),
+            proof.stats.counter("prover.generated")
+        );
+        assert_eq!(data.spans[0].name, "prover.prove");
+        assert_eq!(data.spans[0].calls, 1);
     }
 
     #[test]

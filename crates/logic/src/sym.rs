@@ -111,15 +111,14 @@ impl AsRef<str> for Sym {
 }
 
 impl serde::Serialize for Sym {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(self.as_str())
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_owned())
     }
 }
 
-impl<'de> serde::Deserialize<'de> for Sym {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(Sym::new(s))
+impl serde::Deserialize for Sym {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        <String as serde::Deserialize>::deserialize(value).map(Sym::new)
     }
 }
 

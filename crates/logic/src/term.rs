@@ -146,9 +146,7 @@ impl Term {
     pub fn map_syms(&self, f: &impl Fn(&Sym) -> Sym) -> Term {
         match self {
             Term::Var(v) => Term::Var(v.clone()),
-            Term::App(op, args) => {
-                Term::App(f(op), args.iter().map(|a| a.map_syms(f)).collect())
-            }
+            Term::App(op, args) => Term::App(f(op), args.iter().map(|a| a.map_syms(f)).collect()),
         }
     }
 }
@@ -187,7 +185,10 @@ mod tests {
             "Deliver",
             vec![
                 Term::var(Var::new("p", Sort::new("Processors"))),
-                Term::app("Clockdelay", vec![Term::var(Var::unsorted("T")), Term::constant("zero")]),
+                Term::app(
+                    "Clockdelay",
+                    vec![Term::var(Var::unsorted("T")), Term::constant("zero")],
+                ),
             ],
         )
     }
@@ -199,11 +200,14 @@ mod tests {
 
     #[test]
     fn vars_are_collected_once_in_order() {
-        let t = Term::app("f", vec![
-            Term::var(Var::unsorted("x")),
-            Term::var(Var::unsorted("y")),
-            Term::var(Var::unsorted("x")),
-        ]);
+        let t = Term::app(
+            "f",
+            vec![
+                Term::var(Var::unsorted("x")),
+                Term::var(Var::unsorted("y")),
+                Term::var(Var::unsorted("x")),
+            ],
+        );
         let names: Vec<String> = t.vars().iter().map(|v| v.name().to_string()).collect();
         assert_eq!(names, ["x", "y"]);
     }
@@ -224,7 +228,11 @@ mod tests {
     fn map_syms_renames_only_ops() {
         let t = pt();
         let renamed = t.map_syms(&|s| {
-            if s.as_str() == "Deliver" { Sym::new("ADeliver") } else { s.clone() }
+            if s.as_str() == "Deliver" {
+                Sym::new("ADeliver")
+            } else {
+                s.clone()
+            }
         });
         assert_eq!(renamed.to_string(), "ADeliver(p, Clockdelay(T, zero))");
     }

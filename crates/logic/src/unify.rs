@@ -62,7 +62,9 @@ pub fn match_terms(pattern: &Term, target: &Term, subst: &mut Subst) -> bool {
             }
         },
         (Term::App(f, fa), Term::App(g, ga)) => {
-            f == g && fa.len() == ga.len() && fa.iter().zip(ga).all(|(p, t)| match_terms(p, t, subst))
+            f == g
+                && fa.len() == ga.len()
+                && fa.iter().zip(ga).all(|(p, t)| match_terms(p, t, subst))
         }
         _ => false,
     }

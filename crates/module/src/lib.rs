@@ -209,10 +209,7 @@ impl Module {
 
     /// Whether the interface square `h ∘ f = k ∘ g` commutes.
     pub fn commutes(&self) -> bool {
-        match (
-            self.par_to_exp.then(&self.exp_to_bod),
-            self.par_to_imp.then(&self.imp_to_bod),
-        ) {
+        match (self.par_to_exp.then(&self.exp_to_bod), self.par_to_imp.then(&self.imp_to_bod)) {
             (Ok(a), Ok(b)) => a.same_action(&b),
             _ => false,
         }
@@ -259,17 +256,9 @@ impl Module {
         let po = pushout(&to_p1, &to_p2, format!("{name}_BOD"))?;
         let body = po.object().clone();
         // Composed morphisms.
-        let exp_to_bod = consumer
-            .exp_to_bod
-            .then(&po.into_left)
-            .map_err(ModuleError::Morphism)?;
-        let par_to_imp = t
-            .then(&provider.par_to_imp)
-            .map_err(ModuleError::Morphism)?;
-        let imp_to_bod = provider
-            .imp_to_bod
-            .then(&po.into_right)
-            .map_err(ModuleError::Morphism)?;
+        let exp_to_bod = consumer.exp_to_bod.then(&po.into_left).map_err(ModuleError::Morphism)?;
+        let par_to_imp = t.then(&provider.par_to_imp).map_err(ModuleError::Morphism)?;
+        let imp_to_bod = provider.imp_to_bod.then(&po.into_right).map_err(ModuleError::Morphism)?;
         let composed = Module::new(
             name,
             consumer.par.clone(),
@@ -426,10 +415,7 @@ mod tests {
         assert_eq!(composed.exp.name.as_str(), "A1");
         assert_eq!(composed.imp.name.as_str(), "B2");
         // The body inherits the provider's axiom.
-        assert!(composed
-            .bod
-            .axioms()
-            .any(|a| a.name.as_str() == "provided_total"));
+        assert!(composed.bod.axioms().any(|a| a.name.as_str() == "provided_total"));
     }
 
     #[test]
@@ -450,10 +436,7 @@ mod tests {
         // Provided are the same class.
         let left = &cert.body_pushout.into_left; // P1 -> P12
         let right = &cert.body_pushout.into_right; // P2 -> P12
-        assert_eq!(
-            left.apply_op(&"Required".into()),
-            right.apply_op(&"Provided".into())
-        );
+        assert_eq!(left.apply_op(&"Required".into()), right.apply_op(&"Provided".into()));
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! The thread-local collector behind the free recording functions.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::report::RunReport;
+use crate::span::SpanStats;
+
+struct Collector {
+    registry: MetricsRegistry,
+    stack: Vec<&'static str>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector { registry: MetricsRegistry::new(), stack: Vec::new(), spans: BTreeMap::new() }
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Everything one [`collect`] call gathered.
+#[derive(Debug, Clone)]
+pub struct Collected {
+    /// Snapshot of all metrics recorded during the run.
+    pub metrics: MetricsSnapshot,
+    /// Per-path span statistics, sorted by path.
+    pub spans: Vec<SpanStats>,
+    /// Wall-clock duration of the whole collected closure.
+    pub elapsed_ns: u64,
+}
+
+impl Collected {
+    /// Packages the collected data as a [`RunReport`] named `id`.
+    pub fn into_report(self, id: impl Into<String>) -> RunReport {
+        let mut report = RunReport::new(id);
+        report.metrics = self.metrics;
+        report.spans = self.spans;
+        report.wall.elapsed_ns = self.elapsed_ns;
+        report
+    }
+}
+
+/// Runs `f` with a fresh collector installed and returns its value
+/// together with everything recorded.
+///
+/// Nested `collect` calls stack: the inner call records into its own
+/// collector and restores the outer one when done (the outer collector
+/// does **not** see the inner run's metrics).
+pub fn collect<R>(f: impl FnOnce() -> R) -> (R, Collected) {
+    let prev = COLLECTOR.with(|c| c.borrow_mut().replace(Collector::new()));
+    let start = Instant::now();
+    let value = f();
+    let elapsed_ns = start.elapsed().as_nanos() as u64;
+    let collector = COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        let current = slot.take().expect("collector removed during collect");
+        *slot = prev;
+        current
+    });
+    let collected = Collected {
+        metrics: collector.registry.snapshot(),
+        spans: collector.spans.into_values().collect(),
+        elapsed_ns,
+    };
+    (value, collected)
+}
+
+/// Adds `delta` to the counter `name` of the installed collector;
+/// no-op without one.
+pub fn counter(name: &str, delta: u64) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow().as_ref() {
+            col.registry.add(name, delta);
+        }
+    });
+}
+
+/// Sets the gauge `name` of the installed collector; no-op without one.
+pub fn gauge(name: &str, value: f64) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow().as_ref() {
+            col.registry.set_gauge(name, value);
+        }
+    });
+}
+
+/// Records `value` into the histogram `name` of the installed
+/// collector; no-op without one.
+pub fn record(name: &str, value: u64) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow().as_ref() {
+            col.registry.record(name, value);
+        }
+    });
+}
+
+/// Merges a pre-aggregated snapshot into the installed collector;
+/// no-op without one. Used by code that keeps local counters through a
+/// hot loop (the prover) and flushes once at the end.
+pub fn absorb(snap: &MetricsSnapshot) {
+    COLLECTOR.with(|c| {
+        if let Some(col) = c.borrow().as_ref() {
+            col.registry.absorb(snap);
+        }
+    });
+}
+
+/// Pushes `name` onto the span stack, returning the full `/`-joined
+/// path, or `None` when no collector is installed.
+pub(crate) fn span_enter(name: &'static str) -> Option<String> {
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        let col = slot.as_mut()?;
+        col.stack.push(name);
+        Some(col.stack.join("/"))
+    })
+}
+
+/// Pops the span stack and aggregates `wall_ns` under `path`.
+pub(crate) fn span_exit(path: &str, wall_ns: u64) {
+    COLLECTOR.with(|c| {
+        let mut slot = c.borrow_mut();
+        let Some(col) = slot.as_mut() else { return };
+        col.stack.pop();
+        if let Some(stats) = col.spans.get_mut(path) {
+            stats.calls += 1;
+            stats.wall_ns += wall_ns;
+        } else {
+            col.spans
+                .insert(path.to_owned(), SpanStats { name: path.to_owned(), calls: 1, wall_ns });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    #[test]
+    fn free_functions_are_noops_without_collector() {
+        counter("orphan", 1);
+        gauge("orphan.g", 2.0);
+        record("orphan.h", 3);
+        let _span = Span::enter("orphan.span");
+        // Nothing to assert beyond "does not panic / does not leak
+        // into a later collect":
+        let ((), data) = collect(|| {});
+        assert!(data.metrics.counters.is_empty());
+        assert!(data.spans.is_empty());
+    }
+
+    #[test]
+    fn collect_gathers_metrics_and_spans() {
+        let (v, data) = collect(|| {
+            counter("events", 2);
+            counter("events", 3);
+            gauge("depth", 7.0);
+            record("latency", 12);
+            {
+                let _outer = Span::enter("outer");
+                let _inner = Span::enter("inner");
+            }
+            {
+                let _outer = Span::enter("outer");
+            }
+            "done"
+        });
+        assert_eq!(v, "done");
+        assert_eq!(data.metrics.counter("events"), 5);
+        assert_eq!(data.metrics.gauge("depth"), Some(7.0));
+        assert_eq!(data.metrics.histograms["latency"].count, 1);
+        let names: Vec<&str> = data.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["outer", "outer/inner"]);
+        let outer = &data.spans[0];
+        assert_eq!(outer.calls, 2);
+        assert_eq!(data.spans[1].calls, 1);
+    }
+
+    #[test]
+    fn nested_collects_are_isolated() {
+        let ((), outer) = collect(|| {
+            counter("outer.only", 1);
+            let ((), inner) = collect(|| counter("inner.only", 1));
+            assert_eq!(inner.metrics.counter("inner.only"), 1);
+            assert_eq!(inner.metrics.counter("outer.only"), 0);
+        });
+        assert_eq!(outer.metrics.counter("outer.only"), 1);
+        assert_eq!(outer.metrics.counter("inner.only"), 0);
+    }
+
+    #[test]
+    fn absorb_flushes_local_counters() {
+        let reg = MetricsRegistry::new();
+        reg.add("prover.generated", 41);
+        let snap = reg.snapshot();
+        let ((), data) = collect(|| absorb(&snap));
+        assert_eq!(data.metrics.counter("prover.generated"), 41);
+    }
+}

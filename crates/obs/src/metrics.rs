@@ -1,0 +1,289 @@
+//! Counters, gauges, and fixed-bucket histograms.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// A live registry of named metrics.
+///
+/// Handles returned by [`MetricsRegistry::counter`] share storage with
+/// the registry (`Rc<Cell<_>>`), so hot loops pay one pointer bump per
+/// increment — the map lookup happens once, at registration. The
+/// registry is single-threaded by design (the whole workspace is); use
+/// one registry per run.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RefCell<BTreeMap<String, Rc<Cell<u64>>>>,
+    gauges: RefCell<BTreeMap<String, Rc<Cell<f64>>>>,
+    histograms: RefCell<BTreeMap<String, Rc<RefCell<Histogram>>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter handle for `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.counters.borrow_mut();
+        if let Some(cell) = counters.get(name) {
+            return Counter(Rc::clone(cell));
+        }
+        let cell = Rc::new(Cell::new(0));
+        counters.insert(name.to_owned(), Rc::clone(&cell));
+        Counter(cell)
+    }
+
+    /// Adds `delta` to the counter `name` (one-shot convenience).
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Sets the gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut gauges = self.gauges.borrow_mut();
+        if let Some(cell) = gauges.get(name) {
+            cell.set(value);
+            return;
+        }
+        gauges.insert(name.to_owned(), Rc::new(Cell::new(value)));
+    }
+
+    /// Records `value` into the histogram `name` (default bounds on
+    /// first use).
+    pub fn record(&self, name: &str, value: u64) {
+        let mut histograms = self.histograms.borrow_mut();
+        let h = histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Rc::new(RefCell::new(Histogram::default())));
+        h.borrow_mut().record(value);
+    }
+
+    /// A point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.borrow().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            gauges: self.gauges.borrow().iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+            histograms: self
+                .histograms
+                .borrow()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.borrow().clone()))
+                .collect(),
+        }
+    }
+
+    /// Adds every metric of `snap` into this registry (counters and
+    /// histograms accumulate, gauges take the incoming value).
+    pub fn absorb(&self, snap: &MetricsSnapshot) {
+        for (k, v) in &snap.counters {
+            self.add(k, *v);
+        }
+        for (k, v) in &snap.gauges {
+            self.set_gauge(k, *v);
+        }
+        for (k, h) in &snap.histograms {
+            let mut histograms = self.histograms.borrow_mut();
+            let dst = histograms
+                .entry(k.clone())
+                .or_insert_with(|| Rc::new(RefCell::new(Histogram::with_bounds(h.bounds.clone()))));
+            dst.borrow_mut().merge(h);
+        }
+    }
+}
+
+/// A cheap handle to one registry counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.set(self.0.get() + 1);
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.set(self.0.get() + delta);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A fixed-bucket histogram of `u64` samples.
+///
+/// `bounds` are inclusive upper bucket bounds; one extra overflow
+/// bucket catches everything larger, so `counts.len() ==
+/// bounds.len() + 1`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Histogram {
+    /// Inclusive upper bounds of each bucket.
+    pub bounds: Vec<u64>,
+    /// Sample counts per bucket (last = overflow).
+    pub counts: Vec<u64>,
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    /// Power-of-four bounds covering 1 .. 65536.
+    fn default() -> Self {
+        Histogram::with_bounds(vec![1, 4, 16, 64, 256, 1024, 4096, 16384, 65536])
+    }
+}
+
+impl Histogram {
+    /// An empty histogram with the given inclusive upper bounds
+    /// (must be sorted ascending).
+    pub fn with_bounds(bounds: Vec<u64>) -> Self {
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let counts = vec![0; bounds.len() + 1];
+        Histogram { bounds, counts, count: 0, sum: 0, min: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds every sample of `other` (bucket-wise; bounds must match).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram bounds mismatch");
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// A frozen copy of a registry: plain sorted maps, ready for serde.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone event counts (deterministic).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins values; the only metric kind allowed to carry
+    /// wall-clock readings (under a `wall.` name prefix).
+    pub gauges: BTreeMap<String, f64>,
+    /// Sample distributions (deterministic).
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// The counter `name`, or 0 if never bumped.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge `name`, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Drops every wall-clock metric (names starting with `wall.`).
+    pub fn strip_wall(&mut self) {
+        self.counters.retain(|k, _| !k.starts_with("wall."));
+        self.gauges.retain(|k, _| !k.starts_with("wall."));
+        self.histograms.retain(|k, _| !k.starts_with("wall."));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_through_handles() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("x");
+        c.inc();
+        c.add(4);
+        reg.add("x", 5);
+        assert_eq!(reg.snapshot().counter("x"), 10);
+        assert_eq!(reg.snapshot().counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::with_bounds(vec![10, 100]);
+        for v in [5, 7, 50, 500] {
+            h.record(v);
+        }
+        assert_eq!(h.counts, vec![2, 1, 1]);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 562);
+        assert_eq!(h.min, 5);
+        assert_eq!(h.max, 500);
+    }
+
+    #[test]
+    fn absorb_merges_each_kind() {
+        let a = MetricsRegistry::new();
+        a.add("c", 2);
+        a.set_gauge("g", 1.0);
+        a.record("h", 3);
+        let b = MetricsRegistry::new();
+        b.add("c", 3);
+        b.set_gauge("g", 9.0);
+        b.record("h", 70000);
+        b.absorb(&a.snapshot());
+        let snap = b.snapshot();
+        assert_eq!(snap.counter("c"), 5);
+        assert_eq!(snap.gauge("g"), Some(1.0));
+        assert_eq!(snap.histograms["h"].count, 2);
+        assert_eq!(snap.histograms["h"].max, 70000);
+    }
+
+    #[test]
+    fn strip_wall_drops_only_wall_metrics() {
+        let reg = MetricsRegistry::new();
+        reg.add("prover.generated", 7);
+        reg.add("wall.ticks", 3);
+        reg.set_gauge("wall.prover_ns", 1e9);
+        let mut snap = reg.snapshot();
+        snap.strip_wall();
+        assert_eq!(snap.counter("prover.generated"), 7);
+        assert!(!snap.counters.contains_key("wall.ticks"));
+        assert!(snap.gauges.is_empty());
+    }
+}

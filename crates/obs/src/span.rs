@@ -1,0 +1,50 @@
+//! RAII span guards.
+
+use std::time::Instant;
+
+/// Aggregated statistics for one span path.
+///
+/// `name` is the full nesting path, `/`-joined (entering `"pushout"`
+/// inside `"colimit"` aggregates under `"colimit/pushout"`). `calls`
+/// is deterministic; `wall_ns` is the only wall-clock field and is
+/// zeroed by [`crate::RunReport::strip_wall`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpanStats {
+    /// Full `/`-joined nesting path of the span.
+    pub name: String,
+    /// How many times the span was entered (deterministic).
+    pub calls: u64,
+    /// Total wall-clock nanoseconds spent inside (non-deterministic).
+    pub wall_ns: u64,
+}
+
+/// A guard marking one timed region of code.
+///
+/// Entering a span while another is live nests it: durations and call
+/// counts aggregate under the `/`-joined path of all live spans. When
+/// no collector is installed (see [`crate::collect`]) the guard is
+/// inert and costs one thread-local read.
+#[must_use = "a span records its duration when dropped"]
+#[derive(Debug)]
+pub struct Span {
+    path: Option<String>,
+    start: Instant,
+}
+
+impl Span {
+    /// Enters the span `name`, returning a guard that records the
+    /// region on drop.
+    pub fn enter(name: &'static str) -> Span {
+        let path = crate::global::span_enter(name);
+        Span { path, start: Instant::now() }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(path) = self.path.take() {
+            let wall_ns = self.start.elapsed().as_nanos() as u64;
+            crate::global::span_exit(&path, wall_ns);
+        }
+    }
+}

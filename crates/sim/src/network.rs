@@ -28,9 +28,7 @@ impl DelayModel {
     pub fn sample(self, rng: &mut impl Rng) -> SimTime {
         match self {
             DelayModel::Fixed(d) => SimTime::from_ticks(d),
-            DelayModel::Uniform { min, max } => {
-                SimTime::from_ticks(rng.gen_range(min..=max))
-            }
+            DelayModel::Uniform { min, max } => SimTime::from_ticks(rng.gen_range(min..=max)),
         }
     }
 

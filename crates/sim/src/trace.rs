@@ -115,9 +115,7 @@ impl fmt::Display for Trace {
                 TraceEvent::Deliver { from, to } => {
                     writeln!(f, "{} deliver {from} -> {to}", e.time)?
                 }
-                TraceEvent::Dropped { from, to } => {
-                    writeln!(f, "{} DROP {from} -> {to}", e.time)?
-                }
+                TraceEvent::Dropped { from, to } => writeln!(f, "{} DROP {from} -> {to}", e.time)?,
                 TraceEvent::Timer { proc, token } => {
                     writeln!(f, "{} timer {proc} #{token}", e.time)?
                 }

@@ -83,6 +83,8 @@ pub struct RunStats {
     pub messages_delivered: u64,
     /// Messages dropped (loss, partition, or dead receiver).
     pub messages_dropped: u64,
+    /// Timers that actually fired (cancelled/crashed timers excluded).
+    pub timer_fires: u64,
     /// Final simulated time.
     pub end_time: SimTime,
     /// Whether a process called [`Ctx::stop_world`].
@@ -223,11 +225,13 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
         }
         for (to, msg) in ctx.sends {
             self.stats.messages_sent += 1;
+            mcv_obs::counter("sim.sent", 1);
             // Loss?
             if self.config.network.loss_probability > 0.0
                 && self.rng.gen_bool(self.config.network.loss_probability)
             {
                 self.stats.messages_dropped += 1;
+                mcv_obs::counter("sim.dropped", 1);
                 self.trace.push(self.time, TraceEvent::Dropped { from: id, to });
                 continue;
             }
@@ -238,16 +242,13 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                 .any(|(p, a, b)| self.time >= *a && self.time < *b && p.separates(id, to));
             if cut {
                 self.stats.messages_dropped += 1;
+                mcv_obs::counter("sim.dropped", 1);
                 self.trace.push(self.time, TraceEvent::Dropped { from: id, to });
                 continue;
             }
             let mut deliver_at = self.time + self.config.network.delay.sample(&mut self.rng);
             if self.config.network.fifo {
-                let last = self
-                    .fifo_last
-                    .get(&(id, to))
-                    .copied()
-                    .unwrap_or(SimTime::ZERO);
+                let last = self.fifo_last.get(&(id, to)).copied().unwrap_or(SimTime::ZERO);
                 if deliver_at <= last {
                     deliver_at = last + SimTime::from_ticks(1);
                 }
@@ -279,12 +280,8 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
             self.up[id.0] = false;
             self.trace.push(self.time, TraceEvent::Crash { proc: id });
             self.procs[id.0].on_crash();
-            let dead: Vec<_> = self
-                .live_timers
-                .iter()
-                .filter(|(p, _, _)| *p == id)
-                .cloned()
-                .collect();
+            let dead: Vec<_> =
+                self.live_timers.iter().filter(|(p, _, _)| *p == id).cloned().collect();
             for d in dead {
                 self.live_timers.remove(&d);
             }
@@ -305,6 +302,7 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
         };
         self.time = ev.time;
         self.stats.events += 1;
+        mcv_obs::counter("sim.events", 1);
         self.stats.end_time = self.time;
         let n = self.procs.len();
         let drift = |cfg: &WorldConfig, id: ProcId| cfg.drift.get(id.0).copied().unwrap_or(0.0);
@@ -313,29 +311,37 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
         };
         let stop = match ev.kind {
             EventKind::Start(id) => {
-                let mut ctx = Ctx::new(id, n, self.time).with_local(local(&self.config, id, self.time));
+                let mut ctx =
+                    Ctx::new(id, n, self.time).with_local(local(&self.config, id, self.time));
                 self.procs[id.0].on_start(&mut ctx);
                 self.apply_ctx(id, ctx)
             }
             EventKind::Deliver { from, to, msg } => {
                 if !self.up[to.0] {
                     self.stats.messages_dropped += 1;
+                    mcv_obs::counter("sim.dropped", 1);
                     self.trace.push(self.time, TraceEvent::Dropped { from, to });
                     false
                 } else {
                     self.stats.messages_delivered += 1;
+                    mcv_obs::counter("sim.delivered", 1);
                     self.trace.push(self.time, TraceEvent::Deliver { from, to });
-                    let mut ctx = Ctx::new(to, n, self.time)
-                        .with_local(local(&self.config, to, self.time));
+                    let mut ctx =
+                        Ctx::new(to, n, self.time).with_local(local(&self.config, to, self.time));
                     self.procs[to.0].on_message(&mut ctx, from, msg);
                     self.apply_ctx(to, ctx)
                 }
             }
             EventKind::Timer { proc, token, tid } => {
                 if self.up[proc.0] && self.live_timers.remove(&(proc, token, tid)) {
+                    self.stats.timer_fires += 1;
+                    mcv_obs::counter("sim.timer_fires", 1);
                     self.trace.push(self.time, TraceEvent::Timer { proc, token });
-                    let mut ctx = Ctx::new(proc, n, self.time)
-                        .with_local(local(&self.config, proc, self.time));
+                    let mut ctx = Ctx::new(proc, n, self.time).with_local(local(
+                        &self.config,
+                        proc,
+                        self.time,
+                    ));
                     self.procs[proc.0].on_timer(&mut ctx, token);
                     self.apply_ctx(proc, ctx)
                 } else {
@@ -348,12 +354,8 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                     self.trace.push(self.time, TraceEvent::Crash { proc: id });
                     self.procs[id.0].on_crash();
                     // Pending timers of a crashed process die with it.
-                    let dead: Vec<_> = self
-                        .live_timers
-                        .iter()
-                        .filter(|(p, _, _)| *p == id)
-                        .cloned()
-                        .collect();
+                    let dead: Vec<_> =
+                        self.live_timers.iter().filter(|(p, _, _)| *p == id).cloned().collect();
                     for d in dead {
                         self.live_timers.remove(&d);
                     }
@@ -364,8 +366,8 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                 if !self.up[id.0] {
                     self.up[id.0] = true;
                     self.trace.push(self.time, TraceEvent::Recover { proc: id });
-                    let mut ctx = Ctx::new(id, n, self.time)
-                        .with_local(local(&self.config, id, self.time));
+                    let mut ctx =
+                        Ctx::new(id, n, self.time).with_local(local(&self.config, id, self.time));
                     self.procs[id.0].on_recover(&mut ctx);
                     self.apply_ctx(id, ctx)
                 } else {
@@ -597,10 +599,8 @@ mod tests {
                 self.readings.push((ctx.now().ticks(), ctx.local_now().ticks()));
             }
         }
-        let mut w: World<u64, ClockReader> = World::new(WorldConfig {
-            drift: vec![0.0, 0.1],
-            ..WorldConfig::default()
-        });
+        let mut w: World<u64, ClockReader> =
+            World::new(WorldConfig { drift: vec![0.0, 0.1], ..WorldConfig::default() });
         w.add_process(ClockReader { readings: Vec::new() });
         w.add_process(ClockReader { readings: Vec::new() });
         w.run();

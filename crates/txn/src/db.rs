@@ -91,7 +91,11 @@ impl Default for SiteDb {
 impl SiteDb {
     /// A fresh, running site with an empty database.
     pub fn new() -> Self {
-        SiteDb { wal: Wal::new(), checkpoints: CheckpointStore::new(), volatile: Some(Volatile::default()) }
+        SiteDb {
+            wal: Wal::new(),
+            checkpoints: CheckpointStore::new(),
+            volatile: Some(Volatile::default()),
+        }
     }
 
     /// Whether the site is operational.

@@ -4,8 +4,7 @@ use std::fmt;
 
 /// A transaction identifier.
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-    serde::Serialize, serde::Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
 )]
 pub struct TxnId(pub u64);
 
@@ -16,9 +15,7 @@ impl fmt::Display for TxnId {
 }
 
 /// Lifecycle status of a transaction.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum TxnStatus {
     /// Executing; may still read/write.
     Active,

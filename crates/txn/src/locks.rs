@@ -114,9 +114,7 @@ impl LockManager {
         let item = item.into();
         let entry = self.table.entry(item.clone()).or_default();
         let compatible = match mode {
-            LockMode::Shared => {
-                entry.exclusive.is_none() || entry.exclusive == Some(txn)
-            }
+            LockMode::Shared => entry.exclusive.is_none() || entry.exclusive == Some(txn),
             LockMode::Exclusive => {
                 (entry.exclusive.is_none() || entry.exclusive == Some(txn))
                     && entry.sharers.iter().all(|s| *s == txn)
@@ -124,8 +122,7 @@ impl LockManager {
         };
         // Respect the FIFO queue: even a compatible request waits behind
         // earlier queued conflicting requests (no starvation of writers).
-        let must_queue = !entry.waiting.is_empty()
-            && entry.waiting.iter().any(|(t, _)| *t != txn);
+        let must_queue = !entry.waiting.is_empty() && entry.waiting.iter().any(|(t, _)| *t != txn);
         if compatible && !must_queue {
             match mode {
                 LockMode::Shared => {
@@ -142,13 +139,8 @@ impl LockManager {
             return Ok(LockOutcome::Granted);
         }
         // Build waits-for edges to current holders.
-        let holders: BTreeSet<TxnId> = entry
-            .sharers
-            .iter()
-            .copied()
-            .chain(entry.exclusive)
-            .filter(|h| *h != txn)
-            .collect();
+        let holders: BTreeSet<TxnId> =
+            entry.sharers.iter().copied().chain(entry.exclusive).filter(|h| *h != txn).collect();
         let edges = self.waits_for.entry(txn).or_default();
         for h in &holders {
             edges.insert(*h);
@@ -158,11 +150,7 @@ impl LockManager {
             self.waits_for.remove(&txn);
             return Ok(LockOutcome::WouldDeadlock { cycle });
         }
-        self.table
-            .get_mut(&item)
-            .expect("entry just touched")
-            .waiting
-            .push_back((txn, mode));
+        self.table.get_mut(&item).expect("entry just touched").waiting.push_back((txn, mode));
         Ok(LockOutcome::Queued)
     }
 
@@ -192,8 +180,7 @@ impl LockManager {
                     && entry.sharers.iter().all(|s| *s == txn)
             }
         };
-        let must_queue =
-            !entry.waiting.is_empty() && entry.waiting.iter().any(|(t, _)| *t != txn);
+        let must_queue = !entry.waiting.is_empty() && entry.waiting.iter().any(|(t, _)| *t != txn);
         if compatible && !must_queue {
             match mode {
                 LockMode::Shared => {
@@ -235,9 +222,7 @@ impl LockManager {
             while let Some((next, mode)) = entry.waiting.front().copied() {
                 let ok = match mode {
                     LockMode::Shared => entry.exclusive.is_none(),
-                    LockMode::Exclusive => {
-                        entry.exclusive.is_none() && entry.sharers.is_empty()
-                    }
+                    LockMode::Exclusive => entry.exclusive.is_none() && entry.sharers.is_empty(),
                 };
                 if !ok {
                     break;

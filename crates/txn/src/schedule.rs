@@ -113,11 +113,8 @@ impl History {
             *indegree.get_mut(b).expect("edge endpoints in txns") += 1;
         }
         let mut order = Vec::new();
-        let mut ready: BTreeSet<TxnId> = indegree
-            .iter()
-            .filter(|(_, d)| **d == 0)
-            .map(|(t, _)| *t)
-            .collect();
+        let mut ready: BTreeSet<TxnId> =
+            indegree.iter().filter(|(_, d)| **d == 0).map(|(t, _)| *t).collect();
         while let Some(&t) = ready.iter().next() {
             ready.remove(&t);
             order.push(t);
@@ -211,7 +208,6 @@ fn permutations(items: &[TxnId]) -> Vec<Vec<TxnId>> {
     }
     out
 }
-
 
 impl fmt::Display for History {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -148,9 +148,9 @@ impl Wal {
 
     /// Whether `txn` logged an update for `item` (write-ahead check).
     pub fn has_update(&self, txn: TxnId, item: &str) -> bool {
-        self.records.iter().any(|r| {
-            matches!(r, LogRecord::Update { txn: t, item: i, .. } if *t == txn && i == item)
-        })
+        self.records.iter().any(
+            |r| matches!(r, LogRecord::Update { txn: t, item: i, .. } if *t == txn && i == item),
+        )
     }
 
     /// Recovery: rebuilds the database state after a crash.

@@ -72,10 +72,7 @@ fn main() -> Result<(), DbError> {
         println!("  {line}");
     }
 
-    let history_ok = db
-        .history()
-        .map(|h| h.is_conflict_serializable())
-        .unwrap_or(true);
+    let history_ok = db.history().map(|h| h.is_conflict_serializable()).unwrap_or(true);
     println!("\npost-recovery history conflict-serializable: {history_ok}");
     Ok(())
 }

@@ -55,7 +55,7 @@ fn main() {
             println!(
                 "  refutation: {} steps, {} clauses generated, axioms used: {:?}",
                 p.length(),
-                p.generated,
+                p.generated(),
                 p.axioms_used()
             );
         }

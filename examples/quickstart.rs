@@ -8,6 +8,13 @@ use mcv::core::{pushout, SpecBuilder, SpecMorphism};
 use mcv::logic::{NamedFormula, Prover, Sort};
 
 fn main() {
+    // Collect metrics and spans for everything `run` does, then print
+    // the machine-readable run summary (see mcv::obs).
+    let ((), data) = mcv::obs::collect(run);
+    println!("{}", data.into_report("quickstart").summary());
+}
+
+fn run() {
     // 1. The shared interface: both fragments talk about sending and
     //    delivering messages. Only vocabulary present here is *glued*
     //    by the pushout — anything else stays separate.

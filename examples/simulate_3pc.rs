@@ -34,6 +34,13 @@ fn show(title: &str, sc: &Scenario) {
 }
 
 fn main() {
+    // Collect metrics and spans for every scenario `run` executes, then
+    // print the machine-readable run summary (see mcv::obs).
+    let ((), data) = mcv::obs::collect(run);
+    println!("{}", data.into_report("simulate_3pc").summary());
+}
+
+fn run() {
     println!("=== Figure 3.1: failure-free distributed transaction ===\n");
     show("3 cohorts, no failures", &Scenario::default());
     show(
@@ -95,19 +102,39 @@ fn main() {
     for (desc, cfg) in [
         (
             "1 cohort, naive timeouts, synchronous",
-            ModelConfig { cohorts: 1, naive_timeouts: true, synchronous: true, coordinator_recovery: true },
+            ModelConfig {
+                cohorts: 1,
+                naive_timeouts: true,
+                synchronous: true,
+                coordinator_recovery: true,
+            },
         ),
         (
             "2 cohorts, naive timeouts, synchronous",
-            ModelConfig { cohorts: 2, naive_timeouts: true, synchronous: true, coordinator_recovery: true },
+            ModelConfig {
+                cohorts: 2,
+                naive_timeouts: true,
+                synchronous: true,
+                coordinator_recovery: true,
+            },
         ),
         (
             "2 cohorts, termination protocol, synchronous",
-            ModelConfig { cohorts: 2, naive_timeouts: false, synchronous: true, coordinator_recovery: true },
+            ModelConfig {
+                cohorts: 2,
+                naive_timeouts: false,
+                synchronous: true,
+                coordinator_recovery: true,
+            },
         ),
         (
             "2 cohorts, termination protocol, ASYNCHRONOUS",
-            ModelConfig { cohorts: 2, naive_timeouts: false, synchronous: false, coordinator_recovery: true },
+            ModelConfig {
+                cohorts: 2,
+                naive_timeouts: false,
+                synchronous: false,
+                coordinator_recovery: true,
+            },
         ),
     ] {
         let r = check(&cfg);

@@ -46,7 +46,9 @@ fn main() {
             }
         }
         // Emit DOT for every diagram the script defined.
-        for diagram_name in ["CONSEN", "UNRE", "TLOCK", "SNAPS", "DECMAK", "TPLock", "CKPOINTING", "RCOV"] {
+        for diagram_name in
+            ["CONSEN", "UNRE", "TLOCK", "SNAPS", "DECMAK", "TPLock", "CKPOINTING", "RCOV"]
+        {
             if let Some(ScriptValue::Diagram(d)) = engine.get(diagram_name) {
                 let path = std::env::temp_dir().join(format!("mcv_{diagram_name}.dot"));
                 if std::fs::write(&path, d.to_dot(diagram_name)).is_ok() {

@@ -35,10 +35,8 @@ fn main() {
 
     println!("=== Spec evolution: diff a revised UNDOREDO against the original ===\n");
     // A maintainer weakens Storevalues (drops the Agreeconsensus guard).
-    let revised_src = mcv::blocks::specs::UNDOREDO_SRC.replace(
-        "Agreeconsensus(p, commit, T) & Undo(t, abort, X, y) &",
-        "Undo(t, abort, X, y) &",
-    );
+    let revised_src = mcv::blocks::specs::UNDOREDO_SRC
+        .replace("Agreeconsensus(p, commit, T) & Undo(t, abort, X, y) &", "Undo(t, abort, X, y) &");
     let revised = parse_spec("UNDOREDO", &revised_src, std::slice::from_ref(&lib.consensus))
         .expect("revised spec parses");
     let diff = diff_specs(&lib.undoredo, &revised);
@@ -48,10 +46,7 @@ fn main() {
         let owner = traceability::axiom_owner(&lib, name.as_str());
         if let Some(block) = owner {
             let impact = traceability::impact_of_change(&lib, &block);
-            println!(
-                "  {name} (block {block}) invalidates proofs {:?}",
-                impact.must_recheck
-            );
+            println!("  {name} (block {block}) invalidates proofs {:?}", impact.must_recheck);
         }
     }
 

@@ -18,7 +18,9 @@
 //! - [`sim`] — a deterministic discrete-event distributed-system simulator;
 //! - [`txn`] — WAL, strict 2PL, checkpointing, rollback recovery;
 //! - [`commit`] — executable 2PC/3PC with election, termination, and
-//!   failure injection, plus a Figure 3.2 model checker.
+//!   failure injection, plus a Figure 3.2 model checker;
+//! - [`obs`] — observability: metrics, span tracing, and
+//!   machine-readable [`obs::RunReport`]s for any of the above.
 //!
 //! # Examples
 //!
@@ -46,5 +48,6 @@ pub use mcv_commit as commit;
 pub use mcv_core as core;
 pub use mcv_logic as logic;
 pub use mcv_module as module;
+pub use mcv_obs as obs;
 pub use mcv_sim as sim;
 pub use mcv_txn as txn;

@@ -163,8 +163,5 @@ fn colimit_is_idempotent_on_apex() {
     let mut d2 = Diagram::new();
     d2.add_node("a", c1.apex.clone()).unwrap();
     let c2 = colimit(&d2, "C2").unwrap();
-    assert_eq!(
-        c1.apex.signature.op_count(),
-        c2.apex.signature.op_count()
-    );
+    assert_eq!(c1.apex.signature.op_count(), c2.apex.signature.op_count());
 }

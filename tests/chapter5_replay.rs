@@ -41,11 +41,7 @@ fn the_complete_chapter5_artifact() {
 fn module_chains_produce_certified_composites() {
     let lib = SpecLibrary::load();
     let f = modules::ModuleFactory::new(lib);
-    for chain in [
-        f.serializability_chain(),
-        f.consistent_state_chain(),
-        f.rollback_chain(),
-    ] {
+    for chain in [f.serializability_chain(), f.consistent_state_chain(), f.rollback_chain()] {
         for step in &chain {
             assert!(step.certificate.all_hold(), "{}", step.label);
             assert!(step.module.commutes(), "{}", step.label);

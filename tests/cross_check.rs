@@ -48,14 +48,9 @@ fn decision_prefixes_form_consistent_global_states() {
         });
         let mut vector = GlobalState::new();
         for d in &r.decisions {
-            vector.record(
-                d.site,
-                if d.commit { LocalState::Committed } else { LocalState::Aborted },
-            );
-            assert!(
-                vector.is_consistent(),
-                "inconsistent prefix at seed {seed}: {vector}"
-            );
+            vector
+                .record(d.site, if d.commit { LocalState::Committed } else { LocalState::Aborted });
+            assert!(vector.is_consistent(), "inconsistent prefix at seed {seed}: {vector}");
         }
     }
 }
@@ -81,7 +76,9 @@ fn termination_rule_monotonicity() {
             g2.record(ProcId(3), LocalState::Prepared);
             let after = termination_decision(&g2);
             // Abort-deciders stay abort only due to an explicit abort.
-            if before && !matches!((a, b), _ if g.states().values().any(|s| *s == LocalState::Aborted)) {
+            if before
+                && !matches!((a, b), _ if g.states().values().any(|s| *s == LocalState::Aborted))
+            {
                 assert!(after, "adding a prepared site flipped commit->abort for ({a:?},{b:?})");
             }
         }
@@ -103,12 +100,8 @@ fn two_pc_blocked_time_tracks_recovery_time() {
         });
         assert!(r.uniform);
         // All cohorts decide only after recovery.
-        let max_decision = r
-            .decision_times
-            .values()
-            .map(|t| t.ticks())
-            .max()
-            .expect("someone decided");
+        let max_decision =
+            r.decision_times.values().map(|t| t.ticks()).max().expect("someone decided");
         assert!(max_decision >= recovery_at, "decided before recovery?");
         if let Some(prev) = last {
             assert!(max_decision > prev, "blocked time should grow with the outage");

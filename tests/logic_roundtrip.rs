@@ -8,10 +8,7 @@ use proptest::prelude::*;
 
 /// Binder variables may carry sorts: `fa(a:E)` prints and reparses them.
 fn binder_var_strategy() -> impl Strategy<Value = Var> {
-    prop_oneof![
-        "[a-d]".prop_map(Var::unsorted),
-        "[a-d]".prop_map(|n| Var::new(n, Sort::new("E"))),
-    ]
+    prop_oneof!["[a-d]".prop_map(Var::unsorted), "[a-d]".prop_map(|n| Var::new(n, Sort::new("E"))),]
 }
 
 /// Term-position variables must be unsorted: the printer renders only
@@ -27,8 +24,7 @@ fn term_var_strategy() -> impl Strategy<Value = Var> {
 fn term_strategy() -> impl Strategy<Value = Term> {
     let leaf = term_var_strategy().prop_map(Term::var).boxed();
     leaf.prop_recursive(2, 8, 3, |inner| {
-        prop::collection::vec(inner, 1..3)
-            .prop_map(|args| Term::app("f", args))
+        prop::collection::vec(inner, 1..3).prop_map(|args| Term::app("f", args))
     })
 }
 
@@ -46,8 +42,7 @@ fn constant_print_parse_asymmetry() {
 
 fn formula_strategy() -> impl Strategy<Value = Formula> {
     let atom = prop_oneof![
-        prop::collection::vec(term_strategy(), 0..3)
-            .prop_map(|args| Formula::pred("P", args)),
+        prop::collection::vec(term_strategy(), 0..3).prop_map(|args| Formula::pred("P", args)),
         (term_strategy(), term_strategy()).prop_map(|(l, r)| Formula::Eq(l, r)),
         Just(Formula::True),
         Just(Formula::False),

@@ -41,14 +41,7 @@ fn prover_discharges_semantic_obligations() {
         .axiom("r_implies_q", "fa(x:E) (R(x) => Q(x))")
         .build_ref()
         .unwrap();
-    let m = SpecMorphism::new(
-        "m",
-        src,
-        tgt,
-        [],
-        [(Sym::new("P"), Sym::new("Q"))],
-    )
-    .unwrap();
+    let m = SpecMorphism::new("m", src, tgt, [], [(Sym::new("P"), Sym::new("Q"))]).unwrap();
     let obligations = m.obligations();
     assert_eq!(obligations.len(), 1);
     let report = DischargeReport::run(&Prover::new(), obligations);

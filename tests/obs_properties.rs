@@ -1,0 +1,149 @@
+//! Property tests of the observability subsystem: JSON round-trips of
+//! [`RunReport`]s are the identity, serialization is stable, and the
+//! metrics a simulation run emits are a pure function of the scenario —
+//! two identically-seeded runs report identical counters.
+
+use mcv::commit::{run_scenario, CrashPoint, Scenario};
+use mcv::obs::{Histogram, MetricsRegistry, RunReport, SpanStats};
+use proptest::prelude::*;
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9._]{0,11}"
+}
+
+/// Printable ASCII, including quotes and backslashes, plus a newline —
+/// exercises the JSON string escaper.
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[ -~\n]{0,16}"
+}
+
+fn report_strategy() -> impl Strategy<Value = RunReport> {
+    // The vendored proptest has no btree_map strategy: generate vecs of
+    // pairs and collect (later duplicates of a key win, which is fine).
+    let facts = prop::collection::vec((key_strategy(), text_strategy()), 0..4)
+        .prop_map(|kvs| kvs.into_iter().collect::<std::collections::BTreeMap<_, _>>());
+    let counters = prop::collection::vec((key_strategy(), any::<u64>()), 0..5)
+        .prop_map(|kvs| kvs.into_iter().collect::<std::collections::BTreeMap<_, _>>());
+    // Halves of i32s serialize exactly and re-parse bit-identically.
+    let gauges = prop::collection::vec(
+        (key_strategy(), (-1_000_000i32..1_000_000).prop_map(|n| f64::from(n) / 2.0)),
+        0..4,
+    )
+    .prop_map(|kvs| kvs.into_iter().collect::<std::collections::BTreeMap<_, _>>());
+    let histograms =
+        prop::collection::vec((key_strategy(), prop::collection::vec(0u64..100_000, 1..8)), 0..3)
+            .prop_map(|kvs| kvs.into_iter().collect::<std::collections::BTreeMap<_, _>>());
+    let spans =
+        prop::collection::vec(
+            (key_strategy(), 1u64..1000, any::<u64>())
+                .prop_map(|(name, calls, wall_ns)| SpanStats { name, calls, wall_ns }),
+            0..4,
+        );
+    (facts, counters, gauges, histograms, spans, any::<u64>()).prop_map(
+        |(facts, counters, gauges, histograms, spans, elapsed)| {
+            let reg = MetricsRegistry::new();
+            for (k, v) in &counters {
+                reg.add(k, *v);
+            }
+            for (k, v) in &gauges {
+                reg.set_gauge(k, *v);
+            }
+            for (k, values) in &histograms {
+                for v in values {
+                    reg.record(k, *v);
+                }
+            }
+            let mut r = RunReport::new("prop");
+            r.facts = facts;
+            r.metrics = reg.snapshot();
+            r.spans = spans;
+            r.wall.elapsed_ns = elapsed;
+            r
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// JSON -> struct -> JSON is the identity, and the intermediate
+    /// struct equals the original (both pretty and JSONL forms).
+    #[test]
+    fn run_report_json_round_trips(r in report_strategy()) {
+        let pretty = r.to_json();
+        let back = RunReport::from_json(&pretty).expect("parse pretty");
+        prop_assert_eq!(&back, &r);
+        prop_assert_eq!(back.to_json(), pretty);
+
+        let line = r.to_jsonl_line();
+        prop_assert!(!line.contains('\n'));
+        let back = RunReport::from_json(&line).expect("parse jsonl");
+        prop_assert_eq!(&back, &r);
+        prop_assert_eq!(back.to_jsonl_line(), line);
+    }
+
+    /// Histograms merge losslessly: recording everything in one
+    /// histogram equals merging two halves.
+    #[test]
+    fn histogram_merge_is_concatenation(
+        xs in prop::collection::vec(0u64..1_000_000, 0..20),
+        ys in prop::collection::vec(0u64..1_000_000, 0..20),
+    ) {
+        let mut all = Histogram::default();
+        for v in xs.iter().chain(&ys) {
+            all.record(*v);
+        }
+        let mut a = Histogram::default();
+        for v in &xs {
+            a.record(*v);
+        }
+        let mut b = Histogram::default();
+        for v in &ys {
+            b.record(*v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a, all);
+    }
+}
+
+/// The determinism contract: two identically-seeded simulation runs
+/// produce byte-identical reports once wall-clock fields are stripped.
+#[test]
+fn same_seed_runs_report_identical_metrics() {
+    let scenario = Scenario {
+        coordinator_crash: Some(CrashPoint::AfterVotes),
+        recovery_at: Some(5_000),
+        seed: 7,
+        ..Scenario::default()
+    };
+    let run = || {
+        let (_, data) = mcv::obs::collect(|| run_scenario(&scenario));
+        let mut report = data.into_report("same-seed");
+        report.strip_wall();
+        report
+    };
+    let a = run();
+    let b = run();
+    assert!(a.metrics.counter("commit.3pc.runs") == 1);
+    assert!(a.metrics.counter("sim.events") > 0);
+    assert_eq!(a, b);
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+/// Stripping wall-clock removes exactly the non-deterministic fields:
+/// a report with only `wall.*` gauges strips to an empty gauge map.
+#[test]
+fn strip_wall_drops_wall_prefixed_metrics_only() {
+    let reg = MetricsRegistry::new();
+    reg.add("prover.generated", 10);
+    reg.set_gauge("wall.prover_ns", 123456.0);
+    reg.set_gauge("queue.depth", 4.0);
+    let mut r = RunReport::new("strip");
+    r.metrics = reg.snapshot();
+    r.wall.elapsed_ns = 999;
+    r.strip_wall();
+    assert_eq!(r.wall.elapsed_ns, 0);
+    assert_eq!(r.metrics.counter("prover.generated"), 10);
+    assert_eq!(r.metrics.gauge("queue.depth"), Some(4.0));
+    assert_eq!(r.metrics.gauge("wall.prover_ns"), None);
+}

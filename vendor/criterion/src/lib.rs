@@ -1,0 +1,230 @@
+//! Vendored stand-in for the `criterion` crate (offline build).
+//!
+//! Implements the benchmark-definition surface this workspace uses
+//! (`criterion_group!`/`criterion_main!`, benchmark groups,
+//! `bench_with_input`, `iter`, `iter_batched`, `BenchmarkId`). Under
+//! `cargo bench` (cargo passes `--bench` to harness-less targets) each
+//! benchmark runs a warmup plus `sample_size` timed iterations and
+//! prints mean/min wall-clock per iteration. Under `cargo test` the
+//! binaries exit immediately so the tier-1 suite stays fast.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    enabled: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { enabled: std::env::args().any(|a| a == "--bench"), sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, criterion: self }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.into_benchmark_id().id;
+        run_one(self.enabled, self.sample_size, &label, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark that borrows a prepared input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(self.criterion.enabled, self.sample_size, &label, |b| f(b, input));
+        self
+    }
+
+    /// Runs a benchmark without an input.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        run_one(self.criterion.enabled, self.sample_size, &label, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(enabled: bool, sample_size: usize, label: &str, mut f: F) {
+    if !enabled {
+        return;
+    }
+    let mut bencher = Bencher { samples: Vec::with_capacity(sample_size), sample_size };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let mean = bencher.samples.iter().sum::<f64>() / bencher.samples.len() as f64;
+    let min = bencher.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "{label}: mean {} / min {} ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(min),
+        bencher.samples.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples (after
+    /// one warmup call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// How `iter_batched` amortizes setup (accepted for compatibility;
+/// every batch holds one input here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch upstream.
+    SmallInput,
+    /// Large inputs: few per batch upstream.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (strings and ids).
+pub trait IntoBenchmarkId {
+    /// Converts `self`.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_owned() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main`, running the groups only when `--bench` is passed
+/// (i.e. under `cargo bench`, not `cargo test`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--bench") {
+                $( $group(); )+
+            }
+        }
+    };
+}

@@ -1,0 +1,96 @@
+//! Vendored stand-in for the `proptest` crate (offline build).
+//!
+//! Implements the strategy-combinator surface this workspace's
+//! property tests use: ranges, regex-lite string patterns, tuples,
+//! `prop_map`, `prop_recursive`, `prop_oneof!`, collections, `any`,
+//! and the `proptest!` test macro. Generation is deterministic: each
+//! test case derives its RNG seed from the test's module path and the
+//! case index, so failures reproduce exactly. There is no shrinking —
+//! a failing case panics with the ordinary assert message.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Sub-modules exposed as `prop::...`, mirroring upstream.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs each embedded test function over many generated cases.
+///
+/// Accepts an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(N))]`; the `#[test]`
+/// attribute inside is passed through like any other attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (no shrinking: plain
+/// `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tok:tt)+) => { ::std::assert!($($tok)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tok:tt)+) => { ::std::assert_eq!($($tok)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tok:tt)+) => { ::std::assert_ne!($($tok)+) };
+}
+
+/// Picks uniformly among the listed strategies (all must generate the
+/// same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

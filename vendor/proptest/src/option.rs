@@ -1,0 +1,28 @@
+//! The `prop::option::of` strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `None` a quarter of the time, otherwise `Some` of the
+/// inner strategy's value (matching upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.chance(1, 4) {
+            None
+        } else {
+            Some(self.inner.gen_value(rng))
+        }
+    }
+}

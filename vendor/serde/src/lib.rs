@@ -1,0 +1,525 @@
+//! Vendored stand-in for the `serde` crate (offline build).
+//!
+//! Upstream serde's visitor architecture is replaced by a concrete
+//! JSON-like value tree: [`Serialize`] renders a type into a [`Value`]
+//! and [`Deserialize`] reads one back. The companion vendored
+//! `serde_derive` crate generates impls of exactly these traits, and
+//! the vendored `serde_json` renders [`Value`] to/from JSON text. The
+//! external surface consumed by this workspace —
+//! `#[derive(serde::Serialize, serde::Deserialize)]` plus
+//! `serde_json::{to_string, to_string_pretty, from_str}` — is
+//! unchanged.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+// The derive macros; the macro namespace is distinct from the trait
+// namespace, so `serde::Serialize` names both the trait and the derive.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A serialized value: the data model everything is rendered into.
+///
+/// Maps preserve insertion order (`Vec` of pairs rather than a map
+/// type) so derived output is deterministic and round-trip stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Null / `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The items if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key if this is a map.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::U64(n) => Some(n),
+            Value::I64(n) if n >= 0 => Some(n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it is one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::I64(n) => Some(n),
+            Value::U64(n) if n <= i64::MAX as u64 => Some(n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::F64(n) => Some(n),
+            Value::I64(n) => Some(n as f64),
+            Value::U64(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization or deserialization failure.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+
+    /// An unknown enum variant was encountered.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error(format!("unknown variant `{variant}` for {ty}"))
+    }
+
+    /// The value had the wrong shape for the target type.
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, got {}", kind_name(got)))
+    }
+}
+
+fn kind_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::I64(_) | Value::U64(_) => "integer",
+        Value::F64(_) => "float",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders a value into the serde data model.
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn serialize(&self) -> Value;
+}
+
+/// Reads a value back from the serde data model.
+pub trait Deserialize: Sized {
+    /// Parses `self` out of a value tree.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::type_mismatch(stringify!($t), value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{} out of range for {}", n, stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::type_mismatch(stringify!($t), value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{} out of range for {}", n, stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_f64().ok_or_else(|| Error::type_mismatch("f64", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_f64().map(|f| f as f32).ok_or_else(|| Error::type_mismatch("f32", value))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::type_mismatch("char", other)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::type_mismatch("sequence", value))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::type_mismatch("sequence", value))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+/// Renders a map key. JSON keys are strings, so only string-like and
+/// integer keys are supported — everything this workspace uses.
+fn key_to_string(key: Value) -> Result<String, Error> {
+    match key {
+        Value::Str(s) => Ok(s),
+        Value::U64(n) => Ok(n.to_string()),
+        Value::I64(n) => Ok(n.to_string()),
+        other => Err(Error::custom(format!("unsupported map key type: {}", kind_name(&other)))),
+    }
+}
+
+/// Parses a map key back: first as a string, then as an integer.
+fn key_from_string<K: Deserialize>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = K::deserialize(&Value::Str(key.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = key.parse::<u64>() {
+        if let Ok(k) = K::deserialize(&Value::U64(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = key.parse::<i64>() {
+        if let Ok(k) = K::deserialize(&Value::I64(n)) {
+            return Ok(k);
+        }
+    }
+    Err(Error::custom(format!("cannot parse map key `{key}`")))
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| {
+                    let key = key_to_string(k.serialize()).unwrap_or_else(|e| panic!("serde: {e}"));
+                    (key, v.serialize())
+                })
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_map()
+            .ok_or_else(|| Error::type_mismatch("map", value))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let seq = value
+                    .as_seq()
+                    .ok_or_else(|| Error::type_mismatch("tuple", value))?;
+                let expected = [$($idx,)+].len();
+                if seq.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a tuple of {expected}, got {} items",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+// ---------------------------------------------------------------------------
+// Support for derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Helpers called by `serde_derive`-generated impls. Not public API.
+pub mod __private {
+    use super::{Deserialize, Error, Value};
+
+    /// The map entries of `v`, or a type error mentioning `ty`.
+    pub fn expect_map<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+        v.as_map().ok_or_else(|| Error::type_mismatch(ty, v))
+    }
+
+    /// The sequence items of `v` (exactly `n` of them), or an error.
+    pub fn expect_seq<'v>(v: &'v Value, n: usize, ty: &str) -> Result<&'v [Value], Error> {
+        let seq = v.as_seq().ok_or_else(|| Error::type_mismatch(ty, v))?;
+        if seq.len() != n {
+            return Err(Error::custom(format!("expected {n} fields for {ty}, got {}", seq.len())));
+        }
+        Ok(seq)
+    }
+
+    /// Deserializes field `name` out of a struct map. A missing field
+    /// deserializes from `Null` (so `Option` fields tolerate absence)
+    /// and reports a missing-field error otherwise.
+    pub fn field<T: Deserialize>(m: &[(String, Value)], name: &str, ty: &str) -> Result<T, Error> {
+        match m.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::deserialize(v).map_err(|e| Error::custom(format!("field `{name}` of {ty}: {e}")))
+            }
+            None => T::deserialize(&Value::Null)
+                .map_err(|_| Error::custom(format!("missing field `{name}` of {ty}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        let v: Option<u64> = None;
+        assert_eq!(v.serialize(), Value::Null);
+        assert_eq!(Option::<u64>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::deserialize(&Value::U64(4)).unwrap(), Some(4));
+    }
+
+    #[test]
+    fn map_keys_round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("X".to_string(), 5i64);
+        let v = m.serialize();
+        assert_eq!(BTreeMap::<String, i64>::deserialize(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn int_coercions() {
+        assert_eq!(u64::deserialize(&Value::I64(3)).unwrap(), 3);
+        assert_eq!(i64::deserialize(&Value::U64(3)).unwrap(), 3);
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let t = ("a".to_string(), 3u64);
+        let v = t.serialize();
+        assert_eq!(<(String, u64)>::deserialize(&v).unwrap(), t);
+    }
+}

@@ -1,0 +1,402 @@
+//! Vendored stand-in for `serde_derive` (offline build).
+//!
+//! Derives the simplified value-tree `serde::Serialize` /
+//! `serde::Deserialize` traits of the vendored `serde` crate. Written
+//! against the bare `proc_macro` API (no syn/quote): the input token
+//! stream is walked by hand and the generated impl is assembled as
+//! source text.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! named-field structs, tuple structs (newtype and wider), unit
+//! structs, and enums whose variants are unit, tuple, or struct-like.
+//! Generics and `#[serde(...)]` attributes are not supported and
+//! produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the deriving type.
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, ser: bool) -> TokenStream {
+    let (name, kind) = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("::std::compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = if ser { gen_serialize(&name, &kind) } else { gen_deserialize(&name, &kind) };
+    code.parse().unwrap_or_else(|e| {
+        format!("::std::compile_error!(\"serde_derive generated invalid code: {e}\");")
+            .parse()
+            .unwrap()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Result<(String, Kind), String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility.
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                return parse_struct(&toks, i + 1);
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                return parse_enum(&toks, i + 1);
+            }
+            Some(_) => i += 1,
+            None => return Err("serde_derive: expected a struct or enum".into()),
+        }
+    }
+}
+
+fn parse_struct(toks: &[TokenTree], mut i: usize) -> Result<(String, Kind), String> {
+    let name = ident_at(toks, i)?;
+    i += 1;
+    reject_generics(toks, i, &name)?;
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Ok((name, Kind::NamedStruct(parse_named_fields(g.stream())?)))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Ok((name, Kind::TupleStruct(count_tuple_fields(g.stream()))))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Kind::UnitStruct)),
+        _ => Err(format!("serde_derive: unsupported struct body for {name}")),
+    }
+}
+
+fn parse_enum(toks: &[TokenTree], mut i: usize) -> Result<(String, Kind), String> {
+    let name = ident_at(toks, i)?;
+    i += 1;
+    reject_generics(toks, i, &name)?;
+    let body = match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => return Err(format!("serde_derive: expected enum body for {name}")),
+    };
+    let vt: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut j = 0;
+    while j < vt.len() {
+        // Skip attributes (doc comments arrive as #[doc = ...]).
+        while matches!(vt.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            j += 2;
+        }
+        let vname = match vt.get(j) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("serde_derive: unexpected token in {name}: {t}")),
+        };
+        j += 1;
+        let shape = match vt.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                j += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip to the next comma (covers discriminants, which we do not
+        // otherwise interpret).
+        while j < vt.len() && !matches!(&vt[j], TokenTree::Punct(p) if p.as_char() == ',') {
+            j += 1;
+        }
+        j += 1; // past the comma
+        variants.push(Variant { name: vname, shape });
+    }
+    Ok((name, Kind::Enum(variants)))
+}
+
+/// Field names of a `{ ... }` field list, in declaration order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            i += 2;
+        }
+        if matches!(toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(t) => return Err(format!("serde_derive: unexpected field token: {t}")),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde_derive: expected `:` after field {name}")),
+        }
+        // Skip the type up to the next top-level comma. Angle brackets
+        // are plain punctuation in token trees, so track their depth.
+        let mut depth = 0i32;
+        while let Some(t) = toks.get(i) {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        names.push(name);
+    }
+    Ok(names)
+}
+
+/// Number of fields in a `( ... )` field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = 0usize;
+    let mut depth = 0i32;
+    let mut pending = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if pending {
+                    fields += 1;
+                }
+                pending = false;
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn ident_at(toks: &[TokenTree], i: usize) -> Result<String, String> {
+    match toks.get(i) {
+        Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+        _ => Err("serde_derive: expected a type name".into()),
+    }
+}
+
+fn reject_generics(toks: &[TokenTree], i: usize, name: &str) -> Result<(), String> {
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type {name} is not supported by the vendored derive"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, kind: &Kind) -> String {
+    let body = match kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| ser_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+           fn serialize(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn ser_variant_arm(ty: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.shape {
+        Shape::Unit => format!(
+            "{ty}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+        ),
+        Shape::Tuple(1) => format!(
+            "{ty}::{vn}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Serialize::serialize(__f0))]),"
+        ),
+        Shape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                .collect();
+            format!(
+                "{ty}::{vn}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+        Shape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::serialize({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{ty}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({vn:?}), ::serde::Value::Map(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(name: &str, kind: &Kind) -> String {
+    let body = match kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__m, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "let __m = ::serde::__private::expect_map(__v, {name:?})?; \
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Deserialize::deserialize(&__s[{i}])?")).collect();
+            format!(
+                "let __s = ::serde::__private::expect_seq(__v, {n}, {name:?})?; \
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+           fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = Vec::new();
+    let mut data_arms = Vec::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            Shape::Unit => unit_arms.push(format!(
+                "{vn:?} => ::std::result::Result::Ok({name}::{vn}),"
+            )),
+            Shape::Tuple(1) => data_arms.push(format!(
+                "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::deserialize(__inner)?)),"
+            )),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&__s[{i}])?"))
+                    .collect();
+                data_arms.push(format!(
+                    "{vn:?} => {{ let __s = ::serde::__private::expect_seq(__inner, {n}, {name:?})?; \
+                     ::std::result::Result::Ok({name}::{vn}({})) }}",
+                    items.join(", ")
+                ));
+            }
+            Shape::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::__private::field(__m2, {f:?}, {name:?})?"))
+                    .collect();
+                data_arms.push(format!(
+                    "{vn:?} => {{ let __m2 = ::serde::__private::expect_map(__inner, {name:?})?; \
+                     ::std::result::Result::Ok({name}::{vn} {{ {} }}) }}",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{ \
+           ::serde::Value::Str(__s) => match __s.as_str() {{ \
+             {} \
+             __other => ::std::result::Result::Err(::serde::Error::unknown_variant({name:?}, __other)), \
+           }}, \
+           ::serde::Value::Map(__m) if __m.len() == 1 => {{ \
+             let (__k, __inner) = &__m[0]; \
+             match __k.as_str() {{ \
+               {} \
+               __other => ::std::result::Result::Err(::serde::Error::unknown_variant({name:?}, __other)), \
+             }} \
+           }}, \
+           __other => ::std::result::Result::Err(::serde::Error::type_mismatch({name:?}, __other)), \
+         }}",
+        unit_arms.join(" "),
+        data_arms.join(" ")
+    )
+}
