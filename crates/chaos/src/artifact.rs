@@ -1,0 +1,100 @@
+//! Repro artifacts: a minimal counterexample packaged as JSON with the
+//! exact command that replays it.
+
+use crate::runner::{run_chaos, ChaosConfig, ChaosOutcome};
+use std::io;
+use std::path::Path;
+
+/// A self-contained, replayable counterexample: the full chaos
+/// configuration (scenario + fault schedule), which oracle it
+/// violates, and the command line that replays it from a file.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReproArtifact {
+    /// Artifact identifier (derived from oracle + schedule size).
+    pub id: String,
+    /// The violated oracle's name.
+    pub violated: String,
+    /// Evidence text from the oracle.
+    pub detail: String,
+    /// The exact configuration to replay.
+    pub config: ChaosConfig,
+    /// Shell command that replays this artifact once written to a file
+    /// named `<id>.json`.
+    pub replay_cmd: String,
+}
+
+impl ReproArtifact {
+    /// Packages a violating configuration.
+    pub fn new(config: ChaosConfig, violated: String, detail: String) -> Self {
+        let id = format!("chaos-{}-{}ev-seed{}", violated, config.schedule.len(), config.seed);
+        let replay_cmd = format!("cargo run --release --example chaos_hunt -- --replay {id}.json");
+        ReproArtifact { id, violated, detail, config, replay_cmd }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("artifact serializes")
+    }
+
+    /// Parses an artifact back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Writes `<id>.json` into `dir` and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, dir: impl AsRef<Path>) -> io::Result<std::path::PathBuf> {
+        let path = dir.as_ref().join(format!("{}.json", self.id));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// Re-executes the packaged configuration. The run is
+    /// deterministic, so the violation reproduces exactly.
+    pub fn replay(&self) -> ChaosOutcome {
+        run_chaos(&self.config)
+    }
+
+    /// Whether the replay still violates the packaged oracle.
+    pub fn reproduces(&self) -> bool {
+        self.replay().violates(&self.violated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::FaultSchedule;
+
+    #[test]
+    fn artifact_round_trips_through_json() {
+        let cfg = ChaosConfig {
+            naive_timeouts: true,
+            seed: 17,
+            schedule: FaultSchedule::generate(17, &crate::schedule::FaultPlan::tolerated(4, 300)),
+            ..ChaosConfig::default()
+        };
+        let a = ReproArtifact::new(cfg, "ac1_agreement".into(), "split".into());
+        let back = ReproArtifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(back, a);
+        assert!(back.replay_cmd.contains("--replay"));
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let cfg = ChaosConfig {
+            seed: 3,
+            schedule: FaultSchedule::generate(3, &crate::schedule::FaultPlan::tolerated(4, 300)),
+            ..ChaosConfig::default()
+        };
+        let a = ReproArtifact::new(cfg, "ac1_agreement".into(), String::new());
+        assert_eq!(a.replay().fingerprint, a.replay().fingerprint);
+    }
+}

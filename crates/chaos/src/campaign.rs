@@ -1,0 +1,169 @@
+//! Seed-sweeping campaigns: generate a fault schedule per seed, run
+//! it, tally per-oracle verdicts into an [`mcv_obs::RunReport`], and
+//! on violation shrink to a minimal counterexample.
+
+use crate::artifact::ReproArtifact;
+use crate::runner::{run_chaos, ChaosConfig};
+use crate::schedule::{FaultPlan, FaultSchedule};
+use crate::shrink::shrink;
+use std::collections::BTreeMap;
+
+/// A campaign: a base configuration (its `seed` and `schedule` are
+/// overwritten per run) plus the generation plan.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Scenario template; `seed` and `schedule` are set per run.
+    pub base: ChaosConfig,
+    /// Random-schedule bounds.
+    pub plan: FaultPlan,
+    /// Run budget for shrinking each violation.
+    pub shrink_budget: usize,
+}
+
+impl Campaign {
+    /// A campaign over `base` with the given plan and a default shrink
+    /// budget.
+    pub fn new(base: ChaosConfig, plan: FaultPlan) -> Self {
+        Campaign { base, plan, shrink_budget: 400 }
+    }
+
+    /// The configuration for one seed.
+    pub fn config_for(&self, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            schedule: FaultSchedule::generate(seed, &self.plan),
+            ..self.base.clone()
+        }
+    }
+
+    /// Sweeps seeds `0..n_seeds`, recording per-oracle tallies. Every
+    /// failure is kept (seed + violated oracle), but nothing is shrunk
+    /// — use [`Campaign::hunt`] for counterexample extraction.
+    pub fn run(&self, n_seeds: u64) -> CampaignSummary {
+        let _span = mcv_obs::Span::enter("chaos.campaign");
+        let mut passes: BTreeMap<String, u64> = BTreeMap::new();
+        let mut fails: BTreeMap<String, u64> = BTreeMap::new();
+        let mut failures = Vec::new();
+        for seed in 0..n_seeds {
+            let cfg = self.config_for(seed);
+            let out = run_chaos(&cfg);
+            mcv_obs::counter("chaos.runs", 1);
+            for o in &out.oracles {
+                *if o.pass { &mut passes } else { &mut fails }
+                    .entry(o.name.clone())
+                    .or_insert(0) += 1;
+            }
+            if let Some(v) = out.violated() {
+                mcv_obs::counter("chaos.violations", 1);
+                failures.push((seed, v.name.clone()));
+            }
+        }
+        CampaignSummary { runs: n_seeds, passes, fails, failures }
+    }
+
+    /// Sweeps seeds until the first violation, shrinks it, and wraps
+    /// the minimal counterexample as a replayable artifact. `None` if
+    /// all `n_seeds` runs pass every oracle.
+    pub fn hunt(&self, n_seeds: u64) -> Option<Violation> {
+        let _span = mcv_obs::Span::enter("chaos.hunt");
+        for seed in 0..n_seeds {
+            let cfg = self.config_for(seed);
+            let out = run_chaos(&cfg);
+            mcv_obs::counter("chaos.runs", 1);
+            let Some(v) = out.violated() else { continue };
+            let oracle = v.name.clone();
+            let detail = v.detail.clone();
+            mcv_obs::counter("chaos.violations", 1);
+            let shrunk = shrink(&cfg, &oracle, self.shrink_budget);
+            // Re-run the minimum for its authoritative detail text.
+            let min_out = run_chaos(&shrunk.config);
+            let min_detail = min_out
+                .oracles
+                .iter()
+                .find(|o| o.name == oracle && !o.pass)
+                .map(|o| o.detail.clone())
+                .unwrap_or(detail);
+            return Some(Violation {
+                seed,
+                oracle: oracle.clone(),
+                original_events: cfg.schedule.len(),
+                shrink_runs: shrunk.runs,
+                artifact: ReproArtifact::new(shrunk.config, oracle, min_detail),
+            });
+        }
+        None
+    }
+}
+
+/// A found-and-shrunk violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The campaign seed that first exposed it.
+    pub seed: u64,
+    /// The violated oracle.
+    pub oracle: String,
+    /// Schedule size before shrinking.
+    pub original_events: usize,
+    /// Runs spent shrinking.
+    pub shrink_runs: usize,
+    /// The minimal, replayable counterexample.
+    pub artifact: ReproArtifact,
+}
+
+/// Aggregate tallies of a [`Campaign::run`] sweep.
+#[derive(Debug, Clone)]
+pub struct CampaignSummary {
+    /// Seeds executed.
+    pub runs: u64,
+    /// Per-oracle pass counts.
+    pub passes: BTreeMap<String, u64>,
+    /// Per-oracle fail counts.
+    pub fails: BTreeMap<String, u64>,
+    /// `(seed, first violated oracle)` for every failing run.
+    pub failures: Vec<(u64, String)>,
+}
+
+impl CampaignSummary {
+    /// Whether every run passed every oracle.
+    pub fn all_green(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the tallies into an [`mcv_obs::RunReport`].
+    pub fn to_report(&self, id: &str) -> mcv_obs::RunReport {
+        let mut report = mcv_obs::RunReport::new(id)
+            .fact("runs", self.runs)
+            .fact("violations", self.failures.len());
+        for (name, n) in &self.passes {
+            report = report.fact(format!("pass.{name}"), n);
+        }
+        for (name, n) in &self.fails {
+            report = report.fact(format!("fail.{name}"), n);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_plan_yields_green_summary() {
+        // An empty plan generates empty schedules: every run is the
+        // failure-free protocol and must pass all oracles.
+        let plan = FaultPlan {
+            crashes: false,
+            partitions: false,
+            drop_windows: false,
+            torn_writes: false,
+            ..FaultPlan::tolerated(4, 200)
+        };
+        let c = Campaign::new(ChaosConfig::default(), plan);
+        let summary = c.run(5);
+        assert!(summary.all_green(), "failures: {:?}", summary.failures);
+        assert_eq!(summary.runs, 5);
+        let report = summary.to_report("chaos-test");
+        assert!(report.to_json().contains("\"runs\""));
+    }
+}

@@ -1,0 +1,41 @@
+//! # mcv-chaos
+//!
+//! Fault-injection campaign engine over the executable commit
+//! protocols: randomized but fully replayable fault schedules,
+//! atomic-commitment invariant oracles (AC1–AC5 after Chockler &
+//! Gotsman, plus serializability and WAL-recovery consistency), and
+//! delta-debugging shrinking of violations down to minimal,
+//! JSON-packaged counterexamples.
+//!
+//! The thesis *proves* these properties from local axioms; this crate
+//! hunts for executions that would falsify them, and — for the naive
+//! Figure 3.2 timeout variant — finds the split-brain counterexample
+//! automatically.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcv_chaos::{Campaign, ChaosConfig, FaultPlan};
+//!
+//! // A short all-green sweep of the election + termination protocol.
+//! let base = ChaosConfig { quorum_termination: true, ..ChaosConfig::default() };
+//! let plan = FaultPlan::tolerated(base.n_procs(), 300);
+//! let summary = Campaign::new(base, plan).run(3);
+//! assert!(summary.all_green(), "{:?}", summary.failures);
+//! ```
+
+#![warn(missing_docs)]
+
+mod artifact;
+mod campaign;
+mod oracle;
+mod runner;
+mod schedule;
+mod shrink;
+
+pub use artifact::ReproArtifact;
+pub use campaign::{Campaign, CampaignSummary, Violation};
+pub use oracle::{OracleResult, ORACLE_NAMES};
+pub use runner::{run_chaos, ChaosConfig, ChaosOutcome};
+pub use schedule::{CutKind, FaultEvent, FaultPlan, FaultSchedule};
+pub use shrink::{shrink, Shrunk};

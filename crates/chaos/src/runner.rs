@@ -1,0 +1,275 @@
+//! Executes one chaos run: a commit-protocol scenario with a fault
+//! schedule injected, followed by oracle evaluation.
+
+use crate::oracle::{evaluate, OracleResult};
+use crate::schedule::{CutKind, FaultEvent, FaultSchedule};
+use mcv_commit::{build_world, Msg, Protocol, Scenario, Site};
+use mcv_sim::{Partition, ProcId, RunStats, SimTime, World};
+
+/// Full configuration of one chaos run: the protocol scenario plus the
+/// fault schedule. Serializable, so a violating run can be shipped as
+/// a repro artifact and replayed exactly.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChaosConfig {
+    /// Which protocol to run.
+    pub protocol: Protocol,
+    /// Number of cohorts (the coordinator is process 0 on top).
+    pub n_cohorts: usize,
+    /// Number of concurrent transactions.
+    pub n_transactions: usize,
+    /// Simulator seed (message delays etc.).
+    pub seed: u64,
+    /// Per-phase timeout in ticks.
+    pub timeout: u64,
+    /// Simulation deadline.
+    pub deadline: u64,
+    /// Use the naive Figure 3.2 timeout transitions.
+    pub naive_timeouts: bool,
+    /// Use quorum-based termination.
+    pub quorum_termination: bool,
+    /// This cohort votes no.
+    pub vote_no_cohort: Option<usize>,
+    /// The fault schedule to inject.
+    pub schedule: FaultSchedule,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            protocol: Protocol::ThreePhase,
+            n_cohorts: 3,
+            n_transactions: 1,
+            seed: 0,
+            timeout: 50,
+            deadline: 10_000,
+            naive_timeouts: false,
+            quorum_termination: false,
+            vote_no_cohort: None,
+            schedule: FaultSchedule::none(),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Total process count (coordinator + cohorts).
+    pub fn n_procs(&self) -> usize {
+        self.n_cohorts + 1
+    }
+
+    fn scenario(&self) -> Scenario {
+        Scenario {
+            protocol: self.protocol,
+            n_cohorts: self.n_cohorts,
+            seed: self.seed,
+            timeout: self.timeout,
+            naive_timeouts: self.naive_timeouts,
+            quorum_termination: self.quorum_termination,
+            vote_no_cohort: self.vote_no_cohort,
+            n_transactions: self.n_transactions,
+            deadline: self.deadline,
+            ..Scenario::default()
+        }
+    }
+}
+
+/// What one chaos run produced.
+#[derive(Debug, Clone)]
+pub struct ChaosOutcome {
+    /// Low-level simulator stats.
+    pub stats: RunStats,
+    /// Every oracle's verdict, in canonical order.
+    pub oracles: Vec<OracleResult>,
+    /// A deterministic digest of the observable execution (decisions
+    /// and message counts); equal digests mean equal runs.
+    pub fingerprint: String,
+}
+
+impl ChaosOutcome {
+    /// The first violated oracle, if any.
+    pub fn violated(&self) -> Option<&OracleResult> {
+        self.oracles.iter().find(|o| !o.pass)
+    }
+
+    /// Whether a specific oracle failed.
+    pub fn violates(&self, oracle: &str) -> bool {
+        self.oracles.iter().any(|o| o.name == oracle && !o.pass)
+    }
+
+    /// Whether every oracle passed.
+    pub fn all_pass(&self) -> bool {
+        self.oracles.iter().all(|o| o.pass)
+    }
+}
+
+/// Runs one chaos configuration to its deadline and evaluates the
+/// oracles. Deterministic: equal configs give equal outcomes.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
+    let _span = mcv_obs::Span::enter("chaos.run");
+    let sc = cfg.scenario();
+    let mut world = build_world(&sc);
+    let n_procs = cfg.n_procs();
+
+    // Schedule every fault upfront; torn writes additionally need a
+    // mid-run intervention (the WAL tear), collected here.
+    let mut tears: Vec<(u64, usize, usize)> = Vec::new();
+    for ev in &cfg.schedule.events {
+        if ev.procs().iter().any(|p| *p >= n_procs) {
+            continue; // Out-of-topology events are inert.
+        }
+        match ev {
+            FaultEvent::Crash { proc, at } => {
+                world.schedule_crash(ProcId(*proc), SimTime::from_ticks(*at));
+            }
+            FaultEvent::Recover { proc, at } => {
+                world.schedule_recovery(ProcId(*proc), SimTime::from_ticks(*at));
+            }
+            FaultEvent::Partition { side, cut, from, until } => {
+                let ids = side.iter().map(|p| ProcId(*p));
+                let p = match cut {
+                    CutKind::Both => Partition::isolate(ids),
+                    CutKind::Outbound => Partition::one_way_from(ids),
+                    CutKind::Inbound => Partition::one_way_to(ids),
+                };
+                world.schedule_partition(
+                    p,
+                    SimTime::from_ticks(*from),
+                    SimTime::from_ticks(*until),
+                );
+            }
+            FaultEvent::DropWindow { src, dst, from, until } => {
+                world.schedule_drop_window(
+                    src.map(ProcId),
+                    dst.map(ProcId),
+                    SimTime::from_ticks(*from),
+                    SimTime::from_ticks(*until),
+                );
+            }
+            FaultEvent::DupWindow { src, dst, from, until } => {
+                world.schedule_dup_window(
+                    src.map(ProcId),
+                    dst.map(ProcId),
+                    SimTime::from_ticks(*from),
+                    SimTime::from_ticks(*until),
+                );
+            }
+            FaultEvent::ReorderWindow { src, dst, from, until } => {
+                world.schedule_reorder_window(
+                    src.map(ProcId),
+                    dst.map(ProcId),
+                    SimTime::from_ticks(*from),
+                    SimTime::from_ticks(*until),
+                );
+            }
+            FaultEvent::TornWrite { proc, at, keep_bytes } => {
+                world.schedule_crash(ProcId(*proc), SimTime::from_ticks(*at));
+                tears.push((*at, *proc, *keep_bytes));
+            }
+        }
+    }
+
+    // Torn writes happen *at* the crash instant: run up to each tear,
+    // then truncate the victim's WAL image. The force discipline means
+    // recovery must be unaffected — checked here and fed to the
+    // wal_consistency oracle.
+    tears.sort_unstable();
+    let mut wal_damage: Vec<String> = Vec::new();
+    for (at, proc, keep_bytes) in tears {
+        world.run_until(SimTime::from_ticks(at));
+        let site: &mut Site = world.process_mut(ProcId(proc));
+        let before = site.db.wal().recover();
+        let lost = site.db.crash_torn(keep_bytes);
+        let after = site.db.wal().recover();
+        if after != before {
+            wal_damage.push(format!(
+                "p{proc}: torn write at byte {keep_bytes} (lost {lost} records) \
+                 changed recovered state"
+            ));
+        }
+    }
+    let stats = world.run_until(SimTime::from_ticks(cfg.deadline));
+
+    let oracles = evaluate(&world, cfg, &wal_damage);
+    let fingerprint = fingerprint(&world, &stats);
+    ChaosOutcome { stats, oracles, fingerprint }
+}
+
+/// A deterministic digest of the run: every observed decision plus the
+/// message counters. Wall-clock-free, so replays compare bytes.
+fn fingerprint(world: &World<Msg, Site>, stats: &RunStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for d in mcv_commit::monitor::decisions(world.trace()) {
+        let verdict = if d.commit { "commit" } else { "abort" };
+        let _ = writeln!(out, "{} {} {} {}", d.time.ticks(), d.site, d.txn, verdict);
+    }
+    let _ = writeln!(
+        out,
+        "sent={} delivered={} dropped={} duplicated={} events={}",
+        stats.messages_sent,
+        stats.messages_delivered,
+        stats.messages_dropped,
+        stats.messages_duplicated,
+        stats.events
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_run_passes_all_oracles() {
+        let out = run_chaos(&ChaosConfig::default());
+        assert!(out.all_pass(), "oracles: {:?}", out.oracles);
+    }
+
+    #[test]
+    fn runs_are_byte_deterministic() {
+        let cfg = ChaosConfig {
+            seed: 42,
+            schedule: FaultSchedule::generate(42, &crate::schedule::FaultPlan::tolerated(4, 300)),
+            ..ChaosConfig::default()
+        };
+        let a = run_chaos(&cfg);
+        let b = run_chaos(&cfg);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn out_of_topology_events_are_inert() {
+        let cfg = ChaosConfig {
+            schedule: FaultSchedule { events: vec![FaultEvent::Crash { proc: 99, at: 10 }] },
+            ..ChaosConfig::default()
+        };
+        let out = run_chaos(&cfg);
+        assert!(out.all_pass(), "oracles: {:?}", out.oracles);
+    }
+
+    #[test]
+    fn vote_no_with_faults_never_commits() {
+        let cfg = ChaosConfig {
+            vote_no_cohort: Some(1),
+            schedule: FaultSchedule::generate(7, &crate::schedule::FaultPlan::tolerated(4, 300)),
+            ..ChaosConfig::default()
+        };
+        let out = run_chaos(&cfg);
+        assert!(!out.violates("ac2_validity"), "oracles: {:?}", out.oracles);
+    }
+
+    #[test]
+    fn torn_write_crash_keeps_wal_consistent() {
+        let cfg = ChaosConfig {
+            schedule: FaultSchedule {
+                events: vec![
+                    FaultEvent::TornWrite { proc: 1, at: 15, keep_bytes: 0 },
+                    FaultEvent::Recover { proc: 1, at: 120 },
+                ],
+            },
+            ..ChaosConfig::default()
+        };
+        let out = run_chaos(&cfg);
+        assert!(!out.violates("wal_consistency"), "oracles: {:?}", out.oracles);
+    }
+}

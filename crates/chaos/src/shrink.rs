@@ -1,0 +1,145 @@
+//! Delta-debugging shrinker: reduces a violating chaos configuration
+//! to a minimal counterexample that still violates the same oracle.
+//!
+//! Three reductions are applied to a fixpoint, cheapest first:
+//! dropping fault events one at a time, shrinking the topology
+//! (fewer cohorts, fewer transactions), and tightening fault windows.
+//! Every candidate is re-executed — the shrinker never assumes a
+//! smaller schedule fails just because a larger one did.
+
+use crate::runner::{run_chaos, ChaosConfig};
+
+/// Outcome of a shrink: the minimal configuration found plus how much
+/// work it took.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimized configuration (still violates the oracle).
+    pub config: ChaosConfig,
+    /// Runs spent shrinking.
+    pub runs: usize,
+}
+
+/// Shrinks `cfg` while `oracle` keeps failing, within a run budget.
+/// `cfg` itself must already violate `oracle`.
+pub fn shrink(cfg: &ChaosConfig, oracle: &str, budget: usize) -> Shrunk {
+    let mut best = cfg.clone();
+    let mut runs = 0;
+    let try_candidate = |cand: &ChaosConfig, runs: &mut usize| -> bool {
+        if *runs >= budget {
+            return false;
+        }
+        *runs += 1;
+        run_chaos(cand).violates(oracle)
+    };
+
+    // Pass 1 + fixpoint: greedy single-event removal. Scanning from
+    // the back first tends to drop the late, irrelevant events cheaply.
+    loop {
+        let mut progressed = false;
+        let mut i = best.schedule.events.len();
+        while i > 0 {
+            i -= 1;
+            let mut cand = best.clone();
+            cand.schedule.events.remove(i);
+            if try_candidate(&cand, &mut runs) {
+                best = cand;
+                progressed = true;
+            }
+        }
+
+        // Topology reduction: drop the highest cohort (and any events
+        // that reference it) while the violation survives.
+        while best.n_cohorts > 1 {
+            let gone = best.n_cohorts; // cohort ids are 1..=n_cohorts
+            let mut cand = best.clone();
+            cand.n_cohorts -= 1;
+            cand.schedule.events.retain(|e| e.procs().iter().all(|p| *p != gone));
+            cand.schedule.events.iter_mut().for_each(|e| {
+                if let crate::schedule::FaultEvent::Partition { side, .. } = e {
+                    side.retain(|p| *p != gone);
+                }
+            });
+            cand.schedule.events.retain(|e| {
+                !matches!(
+                    e,
+                    crate::schedule::FaultEvent::Partition { side, .. } if side.is_empty()
+                )
+            });
+            if try_candidate(&cand, &mut runs) {
+                best = cand;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+        while best.n_transactions > 1 {
+            let mut cand = best.clone();
+            cand.n_transactions -= 1;
+            if try_candidate(&cand, &mut runs) {
+                best = cand;
+                progressed = true;
+            } else {
+                break;
+            }
+        }
+
+        // Window tightening: binary-search each window's end down.
+        for i in 0..best.schedule.events.len() {
+            let Some((from, until)) = best.schedule.events[i].window() else { continue };
+            let (mut lo, mut hi) = (from + 1, until);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                let mut cand = best.clone();
+                cand.schedule.events[i] = cand.schedule.events[i].with_until(mid);
+                if try_candidate(&cand, &mut runs) {
+                    best = cand;
+                    hi = mid;
+                    progressed = true;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+
+        if !progressed || runs >= budget {
+            break;
+        }
+    }
+    Shrunk { config: best, runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::{FaultEvent, FaultSchedule};
+
+    #[test]
+    fn shrink_drops_irrelevant_events() {
+        // A naive-timeout split brain caused by one drop window (the
+        // prepare to cohort 3 is lost, so it aborts on its PrepareWait
+        // timeout while the others commit), padded with noise events
+        // that change nothing.
+        let essential = FaultEvent::DropWindow { src: None, dst: Some(3), from: 13, until: 20 };
+        let cfg = ChaosConfig {
+            naive_timeouts: true,
+            schedule: FaultSchedule {
+                events: vec![
+                    FaultEvent::DupWindow { src: None, dst: None, from: 500, until: 600 },
+                    essential.clone(),
+                    FaultEvent::Crash { proc: 3, at: 700 },
+                    FaultEvent::Recover { proc: 3, at: 900 },
+                ],
+            },
+            ..ChaosConfig::default()
+        };
+        let out = run_chaos(&cfg);
+        assert!(out.violates("ac1_agreement"), "setup must fail: {:?}", out.oracles);
+        let shrunk = shrink(&cfg, "ac1_agreement", 300);
+        assert!(run_chaos(&shrunk.config).violates("ac1_agreement"));
+        assert!(
+            shrunk.config.schedule.len() <= 2,
+            "expected the noise gone, got {:?}",
+            shrunk.config.schedule
+        );
+    }
+}

@@ -159,22 +159,27 @@ pub fn run_scenario(sc: &Scenario) -> Report {
     let _span = mcv_obs::Span::enter("commit.run_scenario");
     let mut world = build_world(sc);
     // Phase 1: run up to (but excluding) recovery, to observe blocking.
-    let checkpoint =
-        sc.recovery_at.map(|r| r.saturating_sub(1)).unwrap_or(sc.deadline).min(sc.deadline);
-    world.run_until(SimTime::from_ticks(checkpoint));
-    let pre_decisions = decisions(world.trace());
+    // With `recovery_at <= 1` there is no pre-recovery window: the
+    // checkpoint would clamp to tick 0 and report start-of-run state as
+    // "blocked". Skip the observation entirely — non-blocking holds
+    // vacuously when recovery is immediate.
     let mut blocked = Vec::new();
-    for i in 0..world.n_procs() {
-        let id = ProcId(i);
-        if !world.is_up(id) {
-            continue;
-        }
-        let decided = pre_decisions.iter().any(|d| d.site == id && d.txn == TXN);
-        // Sites that never started participating (e.g. a no-op extra
-        // site) have no local state for the txn.
-        let participated = world.process(id).local_state(TXN).is_some();
-        if participated && !decided {
-            blocked.push(id);
+    if sc.recovery_at.is_none_or(|r| r > 1) {
+        let checkpoint = sc.recovery_at.map(|r| r - 1).unwrap_or(sc.deadline).min(sc.deadline);
+        world.run_until(SimTime::from_ticks(checkpoint));
+        let pre_decisions = decisions(world.trace());
+        for i in 0..world.n_procs() {
+            let id = ProcId(i);
+            if !world.is_up(id) {
+                continue;
+            }
+            let decided = pre_decisions.iter().any(|d| d.site == id && d.txn == TXN);
+            // Sites that never started participating (e.g. a no-op extra
+            // site) have no local state for the txn.
+            let participated = world.process(id).local_state(TXN).is_some();
+            if participated && !decided {
+                blocked.push(id);
+            }
         }
     }
     let nonblocking = blocked.is_empty();
@@ -461,6 +466,30 @@ mod tests {
         assert!(!r.decision_times.contains_key(&ProcId(1)), "{:?}", r.decision_times);
         // The majority side still decides.
         assert!(r.decision_times.contains_key(&ProcId(2)));
+    }
+
+    #[test]
+    fn immediate_recovery_skips_blocking_observation() {
+        // Regression: recovery_at = Some(0) used to clamp the Phase-1
+        // checkpoint to tick 0 and observe start-of-run state, reporting
+        // sites as blocked before anything had happened. With an
+        // immediate recovery there is no pre-recovery window, so the
+        // blocking observation is vacuous and the run must still reach
+        // a uniform decision.
+        for at in [0, 1] {
+            let r = run_scenario(&Scenario {
+                coordinator_crash: Some(CrashPoint::AfterVotes),
+                recovery_at: Some(at),
+                ..Scenario::default()
+            });
+            assert!(r.nonblocking, "recovery_at={at}: blocked {:?}", r.blocked_before_recovery);
+            assert!(r.blocked_before_recovery.is_empty());
+            assert!(r.uniform, "recovery_at={at}: decisions {:?}", r.decisions);
+            // The recovery event fires before the crash even happens, so
+            // it is a no-op and the coordinator stays down; the three
+            // cohorts still decide via the termination protocol.
+            assert_eq!(r.decision_times.len(), 3, "recovery_at={at}: {:?}", r.decision_times);
+        }
     }
 
     #[test]

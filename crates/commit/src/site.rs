@@ -21,6 +21,7 @@ enum Phase {
     BackupWait = 6,
     BlockedProbe = 7,
     DecisionReqWait = 8,
+    VoteReqWait = 9,
 }
 
 fn token(txn: TxnId, phase: Phase) -> TimerToken {
@@ -92,6 +93,7 @@ struct TxnState {
     acks: BTreeSet<ProcId>,
     election_running: bool,
     is_backup: bool,
+    prepare_retried: bool,
     collected: GlobalState,
 }
 
@@ -202,6 +204,7 @@ impl Site {
             Phase::BackupWait,
             Phase::BlockedProbe,
             Phase::DecisionReqWait,
+            Phase::VoteReqWait,
         ] {
             ctx.cancel_timer(token(txn, phase));
         }
@@ -402,6 +405,13 @@ impl Site {
         txn: TxnId,
         writes: Vec<(Item, Value)>,
     ) {
+        // A duplicated or reordered StartWork must not rewind protocol
+        // state: just re-acknowledge.
+        if self.local_state(txn).is_some() {
+            let ok = self.tstate.entry(txn).or_default().work_ok;
+            ctx.send(master, Msg::WorkDone { txn, ok });
+            return;
+        }
         self.db.begin(txn);
         self.set_state(ctx, txn, LocalState::Initial);
         let mut ok = true;
@@ -414,9 +424,30 @@ impl Site {
         let t = self.tstate.entry(txn).or_default();
         t.work_ok = ok;
         ctx.send(master, Msg::WorkDone { txn, ok });
+        // The thesis' q state times out too: a cohort that never hears
+        // a vote request may abort unilaterally — nobody can commit
+        // without its yes vote.
+        ctx.set_timer(self.timeout(), token(txn, Phase::VoteReqWait));
     }
 
     fn cohort_on_votereq(&mut self, ctx: &mut Ctx<Msg>, coord: ProcId, txn: TxnId) {
+        match self.local_state(txn) {
+            // Already aborted (e.g. the q-state timeout fired before a
+            // delayed vote request arrived): repeat the no vote.
+            Some(LocalState::Aborted) => {
+                ctx.send(coord, Msg::VoteNo { txn });
+                return;
+            }
+            Some(LocalState::Committed) => return,
+            // Duplicate vote request: repeat the yes vote without
+            // rewinding Prepared back to Wait.
+            Some(LocalState::Wait) | Some(LocalState::Prepared) => {
+                ctx.send(coord, Msg::VoteYes { txn });
+                return;
+            }
+            _ => {}
+        }
+        ctx.cancel_timer(token(txn, Phase::VoteReqWait));
         if self.cfg.vote_no || !self.tstate.entry(txn).or_default().work_ok {
             ctx.send(coord, Msg::VoteNo { txn });
             self.decide(ctx, txn, false);
@@ -457,9 +488,13 @@ impl Site {
             return;
         }
         t.collected.record(from, s);
-        // All operational sites reported (conservatively: everyone but
-        // the failed coordinator).
-        if t.collected.len() >= n - 1 {
+        // Finish early only once *every* site has reported. Cutting the
+        // wait at n-1 ("everyone but the failed coordinator") decided
+        // from an all-Wait vector while a merely-slowed coordinator was
+        // still prepared — split brain, found by the chaos campaign's
+        // agreement oracle. If some site really is down, the BackupWait
+        // timeout path finishes from whatever was collected.
+        if t.collected.len() >= n {
             ctx.cancel_timer(token(txn, Phase::BackupWait));
             self.finish_termination(ctx, txn);
         }
@@ -488,6 +523,17 @@ impl Process<Msg> for Site {
             Msg::Commit { .. } => self.decide(ctx, txn, true),
             Msg::Abort { .. } => self.decide(ctx, txn, false),
             Msg::Election { candidate, .. } => {
+                // Already decided: no election needed — hand the
+                // decision straight to the candidate. (Without this, a
+                // decided low-id site keeps vetoing the challenger's
+                // elections without ever announcing anything, and the
+                // undecided site livelocks; found by the chaos
+                // campaign's termination oracle.)
+                if let Some(s) = self.local_state(txn).filter(|s| s.is_final()) {
+                    let commit = s == LocalState::Committed;
+                    ctx.send(from, Msg::DecisionResp { txn, commit });
+                    return;
+                }
                 // Lowest id wins: veto and run our own election.
                 if ctx.id().0 < candidate.0 {
                     ctx.send(from, Msg::ElectionAck { txn });
@@ -548,10 +594,37 @@ impl Process<Msg> for Site {
             }
             x if x == Phase::AckWait as u64 => {
                 // Coordinator in p1 missing acks. The thesis' Figure 3.2
-                // aborts here; standard (safe) 3PC commits, because every
-                // operational site is already prepared. We implement the
-                // safe variant and flag the difference in EXPERIMENTS.md.
-                self.broadcast_decision(ctx, txn, true);
+                // aborts here; standard 3PC commits, because under the
+                // reliable-network assumption a missing ack can only mean
+                // a crashed cohort, and crashed cohorts learn the outcome
+                // on recovery. Under message loss the silent cohorts may
+                // be live but unprepared, and a unilateral commit races
+                // their termination protocol into split brain (found by
+                // the chaos campaign's agreement oracle). In quorum mode,
+                // re-send the possibly-lost prepares once, then fall back
+                // to quorum termination — as the lowest id, the
+                // coordinator wins any concurrent election, and its own
+                // prepared state keeps the commit reachable.
+                if self.cfg.quorum_termination {
+                    let retried = {
+                        let t = self.tstate.entry(txn).or_default();
+                        std::mem::replace(&mut t.prepare_retried, true)
+                    };
+                    if retried {
+                        self.become_backup(ctx, txn);
+                    } else {
+                        let acks =
+                            self.tstate.get(&txn).map(|t| t.acks.clone()).unwrap_or_default();
+                        for c in self.cohorts(ctx) {
+                            if !acks.contains(&c) {
+                                ctx.send(c, Msg::Prepare { txn });
+                            }
+                        }
+                        ctx.set_timer(self.timeout(), token(txn, Phase::AckWait));
+                    }
+                } else {
+                    self.broadcast_decision(ctx, txn, true);
+                }
             }
             x if x == Phase::PrepareWait as u64 => {
                 // Cohort in w2, no prepare: coordinator failed.
@@ -603,12 +676,29 @@ impl Process<Msg> for Site {
                     self.start_election(ctx, txn);
                 }
             }
+            x if x == Phase::VoteReqWait as u64
+                // In q with no vote request in sight: unilateral abort
+                // is safe — commit requires our yes vote, which we have
+                // not cast.
+                && self.local_state(txn) == Some(LocalState::Initial) =>
+            {
+                self.decide(ctx, txn, false);
+            }
             x if x == Phase::DecisionReqWait as u64 => {
                 // Nobody answered our decision request: apply the stable
                 // failure transition (thesis: fail in w2 → abort; fail in
                 // p → commit-side is resolved by peers, so default abort
                 // only from w2/q).
                 match self.stable_state.get(&txn).copied() {
+                    Some(LocalState::Wait) if self.cfg.quorum_termination => {
+                        // A yes-voter must not guess after recovery: its
+                        // vote may have enabled a commit whose decision
+                        // replies were lost (found by the chaos
+                        // campaign's agreement oracle). Keep asking,
+                        // like the prepared case.
+                        ctx.broadcast(Msg::DecisionReq { txn });
+                        ctx.set_timer(self.timeout(), token(txn, Phase::DecisionReqWait));
+                    }
                     Some(LocalState::Wait) | Some(LocalState::Initial) => {
                         self.decide(ctx, txn, false)
                     }

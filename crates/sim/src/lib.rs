@@ -44,7 +44,7 @@ mod time;
 mod trace;
 mod world;
 
-pub use network::{DelayModel, NetworkConfig, Partition};
+pub use network::{CutDirection, DelayModel, NetworkConfig, Partition};
 pub use process::{Ctx, Process, TimerToken};
 pub use time::{ProcId, SimTime};
 pub use trace::{Trace, TraceEntry, TraceEvent};

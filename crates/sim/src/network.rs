@@ -1,9 +1,12 @@
-//! Network model: message delay, loss, and partitions.
+//! Network model: message delay, loss, duplication, reordering, and
+//! (possibly asymmetric) partitions.
 //!
 //! The thesis' assumption set (Section 3.4) is the default
 //! configuration: FIFO channels, reliable network without partitioning,
-//! bounded delay. Loss and partitions can be switched on to exercise
-//! the failure/timeout machinery.
+//! bounded delay. Loss, duplication, reordering, and partitions can be
+//! switched on to exercise the failure/timeout machinery; the chaos
+//! campaign engine (`mcv-chaos`) additionally drives them per link and
+//! per time window.
 
 use crate::time::{ProcId, SimTime};
 use rand::Rng;
@@ -48,6 +51,13 @@ pub struct NetworkConfig {
     pub delay: DelayModel,
     /// Probability a message is silently dropped (0.0 = reliable).
     pub loss_probability: f64,
+    /// Probability a message is delivered twice, with independently
+    /// sampled delays (0.0 = exactly-once transport).
+    pub duplicate_probability: f64,
+    /// Probability a message bypasses the FIFO ordering clamp and gets
+    /// extra delay jitter, so it can overtake earlier traffic on the
+    /// same channel (0.0 = in-order when `fifo` is set).
+    pub reorder_probability: f64,
     /// Whether per-channel FIFO order is enforced (thesis assumption 1).
     pub fifo: bool,
 }
@@ -59,27 +69,78 @@ impl Default for NetworkConfig {
         NetworkConfig {
             delay: DelayModel::Uniform { min: 1, max: 5 },
             loss_probability: 0.0,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
             fifo: true,
         }
     }
 }
 
-/// A (symmetric) network partition: messages between the two sides are
-/// dropped while the partition is active.
-#[derive(Debug, Clone, Default)]
+/// Which directions a partition cuts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CutDirection {
+    /// Both directions are cut (the classic symmetric partition).
+    #[default]
+    Both,
+    /// Only messages *from* the named side to the rest are cut; inbound
+    /// traffic still flows (asymmetric partition).
+    Outbound,
+    /// Only messages from the rest *into* the named side are cut;
+    /// outbound traffic still flows (asymmetric partition).
+    Inbound,
+}
+
+/// A network partition: messages crossing the cut are dropped while the
+/// partition is active. Symmetric by default; the `one_way_*`
+/// constructors build asymmetric cuts where only one direction is lost
+/// — the half-open failure mode real networks exhibit.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Partition {
     side_a: BTreeSet<ProcId>,
+    direction: CutDirection,
 }
 
 impl Partition {
-    /// A partition isolating `side_a` from everyone else.
+    /// A symmetric partition isolating `side_a` from everyone else.
     pub fn isolate(side_a: impl IntoIterator<Item = ProcId>) -> Self {
-        Partition { side_a: side_a.into_iter().collect() }
+        Partition { side_a: side_a.into_iter().collect(), direction: CutDirection::Both }
     }
 
-    /// Whether a message from `a` to `b` crosses the cut.
+    /// An asymmetric cut: messages *from* `side_a` to the rest are
+    /// dropped, while messages into `side_a` are still delivered.
+    pub fn one_way_from(side_a: impl IntoIterator<Item = ProcId>) -> Self {
+        Partition { side_a: side_a.into_iter().collect(), direction: CutDirection::Outbound }
+    }
+
+    /// An asymmetric cut: messages from the rest *into* `side_a` are
+    /// dropped, while messages out of `side_a` are still delivered.
+    pub fn one_way_to(side_a: impl IntoIterator<Item = ProcId>) -> Self {
+        Partition { side_a: side_a.into_iter().collect(), direction: CutDirection::Inbound }
+    }
+
+    /// The cut's direction.
+    pub fn direction(&self) -> CutDirection {
+        self.direction
+    }
+
+    /// Whether `a` and `b` sit on opposite sides of the cut,
+    /// irrespective of direction. For symmetric partitions this is
+    /// exactly "the message is dropped".
     pub fn separates(&self, a: ProcId, b: ProcId) -> bool {
         self.side_a.contains(&a) != self.side_a.contains(&b)
+    }
+
+    /// Whether a message from `from` to `to` is dropped by this cut —
+    /// the directional check the simulator applies per send.
+    pub fn blocks(&self, from: ProcId, to: ProcId) -> bool {
+        if !self.separates(from, to) {
+            return false;
+        }
+        match self.direction {
+            CutDirection::Both => true,
+            CutDirection::Outbound => self.side_a.contains(&from),
+            CutDirection::Inbound => self.side_a.contains(&to),
+        }
     }
 }
 
@@ -117,9 +178,35 @@ mod tests {
     }
 
     #[test]
+    fn symmetric_partition_blocks_both_directions() {
+        let p = Partition::isolate([ProcId(0)]);
+        assert!(p.blocks(ProcId(0), ProcId(1)));
+        assert!(p.blocks(ProcId(1), ProcId(0)));
+        assert!(!p.blocks(ProcId(1), ProcId(2)));
+    }
+
+    #[test]
+    fn one_way_from_blocks_only_outbound() {
+        let p = Partition::one_way_from([ProcId(0)]);
+        assert!(p.blocks(ProcId(0), ProcId(1)));
+        assert!(!p.blocks(ProcId(1), ProcId(0)));
+        // Both directions still count as separated (membership differs).
+        assert!(p.separates(ProcId(1), ProcId(0)));
+    }
+
+    #[test]
+    fn one_way_to_blocks_only_inbound() {
+        let p = Partition::one_way_to([ProcId(0)]);
+        assert!(!p.blocks(ProcId(0), ProcId(1)));
+        assert!(p.blocks(ProcId(1), ProcId(0)));
+    }
+
+    #[test]
     fn default_is_reliable_fifo() {
         let c = NetworkConfig::default();
         assert_eq!(c.loss_probability, 0.0);
+        assert_eq!(c.duplicate_probability, 0.0);
+        assert_eq!(c.reorder_probability, 0.0);
         assert!(c.fifo);
     }
 }

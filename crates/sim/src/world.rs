@@ -81,14 +81,58 @@ pub struct RunStats {
     pub messages_sent: u64,
     /// Messages delivered.
     pub messages_delivered: u64,
-    /// Messages dropped (loss, partition, or dead receiver).
+    /// Messages dropped in total (loss, partition, scheduled drop
+    /// window, or dead receiver) — always the sum of the attributed
+    /// counters below plus dead-receiver drops.
     pub messages_dropped: u64,
+    /// Messages dropped by i.i.d. loss ([`NetworkConfig::loss_probability`]).
+    pub dropped_by_loss: u64,
+    /// Messages dropped by an active partition cut.
+    pub dropped_by_partition: u64,
+    /// Messages dropped by a scheduled per-link drop window.
+    pub dropped_by_window: u64,
+    /// Extra copies delivered due to duplication (probability or
+    /// scheduled dup window).
+    pub messages_duplicated: u64,
     /// Timers that actually fired (cancelled/crashed timers excluded).
     pub timer_fires: u64,
     /// Final simulated time.
     pub end_time: SimTime,
     /// Whether a process called [`Ctx::stop_world`].
     pub stopped_early: bool,
+}
+
+/// What a scheduled per-link window does to matching messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowKind {
+    /// Drop every matching message.
+    Drop,
+    /// Deliver every matching message twice (independent delays).
+    Duplicate,
+    /// Deliver with extra jitter and no FIFO clamp, so the message can
+    /// overtake earlier traffic on the same channel.
+    Reorder,
+}
+
+/// A scheduled fault window on a link pattern: `from`/`to` of `None`
+/// match any sender/receiver.
+#[derive(Debug, Clone)]
+struct LinkWindow {
+    from: Option<ProcId>,
+    to: Option<ProcId>,
+    start: SimTime,
+    until: SimTime,
+    kind: WindowKind,
+}
+
+impl LinkWindow {
+    fn matches(&self, now: SimTime, from: ProcId, to: ProcId, kind: WindowKind) -> bool {
+        self.kind == kind
+            && now >= self.start
+            && now < self.until
+            && self.from.is_none_or(|f| f == from)
+            && self.to.is_none_or(|t| t == to)
+    }
 }
 
 /// A deterministic discrete-event world of processes of type `P`
@@ -129,6 +173,7 @@ pub struct World<M, P> {
     fifo_last: std::collections::BTreeMap<(ProcId, ProcId), SimTime>,
     live_timers: LiveTimers,
     partitions: Vec<(Partition, SimTime, SimTime)>,
+    link_windows: Vec<LinkWindow>,
     stats: RunStats,
     trace: Trace,
     started: bool,
@@ -149,6 +194,7 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
             fifo_last: Default::default(),
             live_timers: Default::default(),
             partitions: Vec::new(),
+            link_windows: Vec::new(),
             stats: RunStats::default(),
             trace: Trace::new(),
             started: false,
@@ -213,6 +259,44 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
         self.partitions.push((partition, from, until));
     }
 
+    /// Drops every message matching the link pattern (`None` = any)
+    /// sent in `[start, until)`.
+    pub fn schedule_drop_window(
+        &mut self,
+        from: Option<ProcId>,
+        to: Option<ProcId>,
+        start: SimTime,
+        until: SimTime,
+    ) {
+        self.link_windows.push(LinkWindow { from, to, start, until, kind: WindowKind::Drop });
+    }
+
+    /// Duplicates every message matching the link pattern (`None` =
+    /// any) sent in `[start, until)`: two copies with independent
+    /// delays are delivered.
+    pub fn schedule_dup_window(
+        &mut self,
+        from: Option<ProcId>,
+        to: Option<ProcId>,
+        start: SimTime,
+        until: SimTime,
+    ) {
+        self.link_windows.push(LinkWindow { from, to, start, until, kind: WindowKind::Duplicate });
+    }
+
+    /// Reorders messages matching the link pattern (`None` = any) sent
+    /// in `[start, until)`: they skip the FIFO clamp and get extra
+    /// delay jitter, so they can overtake earlier traffic.
+    pub fn schedule_reorder_window(
+        &mut self,
+        from: Option<ProcId>,
+        to: Option<ProcId>,
+        start: SimTime,
+        until: SimTime,
+    ) {
+        self.link_windows.push(LinkWindow { from, to, start, until, kind: WindowKind::Reorder });
+    }
+
     fn push(&mut self, time: SimTime, kind: EventKind<M>) {
         self.seq += 1;
         self.queue.push(Reverse(Event { time, seq: self.seq, kind }));
@@ -231,7 +315,9 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                 && self.rng.gen_bool(self.config.network.loss_probability)
             {
                 self.stats.messages_dropped += 1;
+                self.stats.dropped_by_loss += 1;
                 mcv_obs::counter("sim.dropped", 1);
+                mcv_obs::counter("sim.dropped_by_loss", 1);
                 self.trace.push(self.time, TraceEvent::Dropped { from: id, to });
                 continue;
             }
@@ -239,22 +325,56 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
             let cut = self
                 .partitions
                 .iter()
-                .any(|(p, a, b)| self.time >= *a && self.time < *b && p.separates(id, to));
+                .any(|(p, a, b)| self.time >= *a && self.time < *b && p.blocks(id, to));
             if cut {
                 self.stats.messages_dropped += 1;
+                self.stats.dropped_by_partition += 1;
                 mcv_obs::counter("sim.dropped", 1);
+                mcv_obs::counter("sim.dropped_by_partition", 1);
                 self.trace.push(self.time, TraceEvent::Dropped { from: id, to });
                 continue;
             }
-            let mut deliver_at = self.time + self.config.network.delay.sample(&mut self.rng);
-            if self.config.network.fifo {
-                let last = self.fifo_last.get(&(id, to)).copied().unwrap_or(SimTime::ZERO);
-                if deliver_at <= last {
-                    deliver_at = last + SimTime::from_ticks(1);
-                }
-                self.fifo_last.insert((id, to), deliver_at);
+            // Scheduled drop window on this link?
+            let windowed =
+                |ws: &[LinkWindow], now, kind| ws.iter().any(|w| w.matches(now, id, to, kind));
+            if windowed(&self.link_windows, self.time, WindowKind::Drop) {
+                self.stats.messages_dropped += 1;
+                self.stats.dropped_by_window += 1;
+                mcv_obs::counter("sim.dropped", 1);
+                mcv_obs::counter("sim.dropped_by_window", 1);
+                self.trace.push(self.time, TraceEvent::Dropped { from: id, to });
+                continue;
             }
-            self.push(deliver_at, EventKind::Deliver { from: id, to, msg });
+            // Duplication: a dup window, or the i.i.d. probability.
+            let mut copies = 1;
+            if windowed(&self.link_windows, self.time, WindowKind::Duplicate)
+                || (self.config.network.duplicate_probability > 0.0
+                    && self.rng.gen_bool(self.config.network.duplicate_probability))
+            {
+                copies = 2;
+                self.stats.messages_duplicated += 1;
+                mcv_obs::counter("sim.duplicated", 1);
+            }
+            let reorder_window = windowed(&self.link_windows, self.time, WindowKind::Reorder);
+            for _ in 0..copies {
+                let mut deliver_at = self.time + self.config.network.delay.sample(&mut self.rng);
+                let reorder = reorder_window
+                    || (self.config.network.reorder_probability > 0.0
+                        && self.rng.gen_bool(self.config.network.reorder_probability));
+                if reorder {
+                    // Extra jitter up to 4x the delay bound; skips the
+                    // FIFO clamp so the copy can overtake older traffic.
+                    let bound = self.config.network.delay.upper_bound().ticks().max(1);
+                    deliver_at += SimTime::from_ticks(self.rng.gen_range(0..=4 * bound));
+                } else if self.config.network.fifo {
+                    let last = self.fifo_last.get(&(id, to)).copied().unwrap_or(SimTime::ZERO);
+                    if deliver_at <= last {
+                        deliver_at = last + SimTime::from_ticks(1);
+                    }
+                    self.fifo_last.insert((id, to), deliver_at);
+                }
+                self.push(deliver_at, EventKind::Deliver { from: id, to, msg: msg.clone() });
+            }
         }
         // Cancels first: they target timers that existed *before* this
         // callback, so a timer re-armed with the same token in the same
@@ -570,6 +690,9 @@ mod tests {
         assert!(stats.messages_dropped > 10);
         assert!(stats.messages_delivered > 10);
         assert_eq!(stats.messages_dropped + stats.messages_delivered, 100);
+        // All drops here come from i.i.d. loss, and attribution adds up.
+        assert_eq!(stats.dropped_by_loss, stats.messages_dropped);
+        assert_eq!(stats.dropped_by_partition, 0);
     }
 
     #[test]
@@ -583,6 +706,84 @@ mod tests {
         let stats = w.run();
         assert_eq!(stats.messages_delivered, 0);
         assert_eq!(stats.messages_dropped, 20);
+        assert_eq!(stats.dropped_by_partition, 20);
+        assert_eq!(stats.dropped_by_loss, 0);
+    }
+
+    /// Two floods in opposite directions, used by the asymmetric tests.
+    fn duplex_world(seed: u64) -> World<u64, Flood> {
+        let mut w = World::new(WorldConfig { seed, ..WorldConfig::default() });
+        w.add_process(Flood::new(ProcId(1), 10));
+        w.add_process(Flood::new(ProcId(0), 10));
+        w
+    }
+
+    #[test]
+    fn one_way_partition_blocks_only_one_direction() {
+        let mut w = duplex_world(3);
+        w.schedule_partition(
+            Partition::one_way_from([ProcId(0)]),
+            SimTime::ZERO,
+            SimTime::from_ticks(1_000),
+        );
+        let stats = w.run();
+        // p0 -> p1 cut; p1 -> p0 still flows.
+        assert_eq!(w.process(ProcId(1)).received.len(), 0);
+        assert_eq!(w.process(ProcId(0)).received.len(), 10);
+        assert_eq!(stats.dropped_by_partition, 10);
+        assert_eq!(stats.messages_delivered, 10);
+    }
+
+    #[test]
+    fn drop_window_cuts_matching_link_only() {
+        let mut w = duplex_world(4);
+        w.schedule_drop_window(
+            Some(ProcId(0)),
+            Some(ProcId(1)),
+            SimTime::ZERO,
+            SimTime::from_ticks(1_000),
+        );
+        let stats = w.run();
+        assert_eq!(w.process(ProcId(1)).received.len(), 0);
+        assert_eq!(w.process(ProcId(0)).received.len(), 10);
+        assert_eq!(stats.dropped_by_window, 10);
+        assert_eq!(stats.messages_dropped, 10);
+    }
+
+    #[test]
+    fn dup_window_delivers_twice() {
+        let mut w = flood_world(6);
+        w.schedule_dup_window(None, None, SimTime::ZERO, SimTime::from_ticks(1_000));
+        let stats = w.run();
+        assert_eq!(stats.messages_duplicated, 20);
+        assert_eq!(stats.messages_delivered, 40);
+        assert_eq!(w.process(ProcId(1)).received.len(), 40);
+    }
+
+    #[test]
+    fn duplicate_probability_delivers_extra_copies() {
+        let mut cfg = WorldConfig { seed: 9, ..WorldConfig::default() };
+        cfg.network.duplicate_probability = 0.5;
+        let mut w = World::new(cfg);
+        w.add_process(Flood::new(ProcId(1), 100));
+        w.add_process(Flood::new(ProcId(0), 0));
+        let stats = w.run();
+        assert!(stats.messages_duplicated > 10);
+        assert_eq!(stats.messages_delivered, 100 + stats.messages_duplicated);
+    }
+
+    #[test]
+    fn reorder_window_breaks_fifo_order() {
+        let mut w = flood_world(1);
+        w.schedule_reorder_window(None, None, SimTime::ZERO, SimTime::from_ticks(1_000));
+        w.run();
+        let got = &w.process(ProcId(1)).received;
+        assert_eq!(got.len(), 20);
+        let expected: Vec<u64> = (0..20).collect();
+        assert_ne!(got, &expected, "reorder window should break send order");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, expected, "every message still delivered exactly once");
     }
 
     #[test]

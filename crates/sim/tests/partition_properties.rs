@@ -1,0 +1,85 @@
+//! Property tests of the partition model: the symmetric cut is a true
+//! equivalence-class separator (symmetric, irreflexive, and exactly
+//! "one endpoint inside, one outside"), and the asymmetric variants cut
+//! exactly one direction of the same separation relation.
+
+use mcv_sim::{Partition, ProcId};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const N: usize = 8;
+
+fn side_strategy() -> impl Strategy<Value = BTreeSet<usize>> {
+    prop::collection::vec(0..N, 0..N).prop_map(|v| v.into_iter().collect())
+}
+
+fn procs(side: &BTreeSet<usize>) -> Vec<ProcId> {
+    side.iter().map(|i| ProcId(*i)).collect()
+}
+
+proptest! {
+    #[test]
+    fn separates_is_symmetric(side in side_strategy(), a in 0..N, b in 0..N) {
+        let p = Partition::isolate(procs(&side));
+        prop_assert_eq!(p.separates(ProcId(a), ProcId(b)), p.separates(ProcId(b), ProcId(a)));
+    }
+
+    #[test]
+    fn separates_is_irreflexive(side in side_strategy(), a in 0..N) {
+        let p = Partition::isolate(procs(&side));
+        prop_assert!(!p.separates(ProcId(a), ProcId(a)));
+        prop_assert!(!p.blocks(ProcId(a), ProcId(a)));
+    }
+
+    #[test]
+    fn separates_iff_exactly_one_endpoint_isolated(side in side_strategy(), a in 0..N, b in 0..N) {
+        let p = Partition::isolate(procs(&side));
+        let expected = side.contains(&a) != side.contains(&b);
+        prop_assert_eq!(p.separates(ProcId(a), ProcId(b)), expected);
+    }
+
+    #[test]
+    fn symmetric_partition_blocks_iff_it_separates(side in side_strategy(), a in 0..N, b in 0..N) {
+        let p = Partition::isolate(procs(&side));
+        prop_assert_eq!(p.blocks(ProcId(a), ProcId(b)), p.separates(ProcId(a), ProcId(b)));
+    }
+
+    #[test]
+    fn one_way_from_blocks_exactly_outbound(side in side_strategy(), a in 0..N, b in 0..N) {
+        let p = Partition::one_way_from(procs(&side));
+        let expected = side.contains(&a) && !side.contains(&b);
+        prop_assert_eq!(p.blocks(ProcId(a), ProcId(b)), expected);
+    }
+
+    #[test]
+    fn one_way_to_blocks_exactly_inbound(side in side_strategy(), a in 0..N, b in 0..N) {
+        let p = Partition::one_way_to(procs(&side));
+        let expected = !side.contains(&a) && side.contains(&b);
+        prop_assert_eq!(p.blocks(ProcId(a), ProcId(b)), expected);
+    }
+
+    #[test]
+    fn one_way_cuts_never_block_both_directions(side in side_strategy(), a in 0..N, b in 0..N) {
+        for p in [Partition::one_way_from(procs(&side)), Partition::one_way_to(procs(&side))] {
+            prop_assert!(!(p.blocks(ProcId(a), ProcId(b)) && p.blocks(ProcId(b), ProcId(a))));
+            // An asymmetric cut still only acts across the separation.
+            if p.blocks(ProcId(a), ProcId(b)) {
+                prop_assert!(p.separates(ProcId(a), ProcId(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn one_way_from_and_to_partition_the_symmetric_cut(
+        side in side_strategy(), a in 0..N, b in 0..N,
+    ) {
+        // Outbound + inbound cuts together block exactly what the
+        // symmetric cut blocks, and never both on the same message.
+        let sym = Partition::isolate(procs(&side));
+        let out = Partition::one_way_from(procs(&side));
+        let inb = Partition::one_way_to(procs(&side));
+        let (x, y) = (ProcId(a), ProcId(b));
+        prop_assert_eq!(sym.blocks(x, y), out.blocks(x, y) || inb.blocks(x, y));
+        prop_assert!(!(out.blocks(x, y) && inb.blocks(x, y)));
+    }
+}

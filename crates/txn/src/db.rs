@@ -235,6 +235,15 @@ impl SiteDb {
         self.volatile = None;
     }
 
+    /// Crashes the site with a torn write: the stable log's byte image
+    /// is truncated at offset `at` (clamped so forced decision records
+    /// are never lost — see [`Wal::torn_write`]) and volatile state is
+    /// wiped. Returns the number of log records lost to the tear.
+    pub fn crash_torn(&mut self, at: usize) -> usize {
+        self.volatile = None;
+        self.wal.torn_write(at)
+    }
+
     /// Recovers the site: rebuilds values from the stable log
     /// (checkpoint + redo committed), with a fresh lock table. In-doubt
     /// transactions remain unresolved — ask [`SiteDb::in_doubt`] and
@@ -422,6 +431,25 @@ mod tests {
         let h = db.history().unwrap();
         assert_eq!(h.len(), 2);
         assert!(h.is_conflict_serializable());
+    }
+
+    #[test]
+    fn torn_crash_preserves_committed_state() {
+        let mut db = SiteDb::new();
+        db.begin(TxnId(1));
+        db.write(TxnId(1), "X", 10).unwrap();
+        db.commit(TxnId(1)).unwrap();
+        db.begin(TxnId(2));
+        db.write(TxnId(2), "Y", 20).unwrap();
+        // Tear at byte 0: clamped to the forced prefix, so T1's commit
+        // survives while T2's unforced update is torn away.
+        let lost = db.crash_torn(0);
+        assert_eq!(lost, 1);
+        assert!(!db.is_up());
+        db.recover();
+        assert_eq!(db.value("X"), Some(10));
+        assert_eq!(db.value("Y"), None);
+        assert!(db.in_doubt().is_empty());
     }
 
     #[test]

@@ -190,6 +190,81 @@ impl Wal {
         }
         state
     }
+
+    /// The on-disk image of the log: one JSON record per line, in
+    /// append order. This is the byte representation torn-write
+    /// injection operates on.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for r in &self.records {
+            out.extend_from_slice(
+                serde_json::to_string(r).expect("log record serializes").as_bytes(),
+            );
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Rebuilds a log from a (possibly torn) byte image: complete JSON
+    /// lines are kept, a trailing partial or corrupt line — the torn
+    /// write — is discarded, exactly as a real recovery scan would.
+    pub fn from_bytes_lossy(bytes: &[u8]) -> Self {
+        let mut records = Vec::new();
+        for line in bytes.split(|b| *b == b'\n') {
+            if line.is_empty() {
+                continue;
+            }
+            match std::str::from_utf8(line).ok().and_then(|s| serde_json::from_str(s).ok()) {
+                Some(r) => records.push(r),
+                // A record that doesn't parse marks the torn tail; the
+                // log is a prefix-valid sequence, so stop here.
+                None => break,
+            }
+        }
+        Wal { records }
+    }
+
+    /// Byte length of the *forced* prefix of [`Wal::to_bytes`]: the
+    /// image through the last commit, abort, or checkpoint record.
+    /// Those are the force points of the undo/redo protocol (the log
+    /// is flushed before a decision is durable), so a torn write can
+    /// only affect bytes past this offset.
+    pub fn stable_len_bytes(&self) -> usize {
+        let last_forced = self
+            .records
+            .iter()
+            .rposition(|r| {
+                matches!(
+                    r,
+                    LogRecord::Commit { .. }
+                        | LogRecord::Abort { .. }
+                        | LogRecord::CheckpointDone { .. }
+                )
+            })
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        self.records[..last_forced]
+            .iter()
+            .map(|r| serde_json::to_string(r).expect("log record serializes").len() + 1)
+            .sum()
+    }
+
+    /// Simulates a torn (partial) write: the byte image is truncated at
+    /// offset `at` and the log reloaded from the surviving prefix, with
+    /// any trailing half-record discarded.
+    ///
+    /// The cut is clamped to [`Wal::stable_len_bytes`] — the force
+    /// discipline guarantees everything up to the last decision record
+    /// reached stable storage, so only the unforced tail (in-doubt
+    /// updates) can be lost. Returns the number of records lost.
+    pub fn torn_write(&mut self, at: usize) -> usize {
+        let bytes = self.to_bytes();
+        let cut = at.max(self.stable_len_bytes()).min(bytes.len());
+        let survived = Wal::from_bytes_lossy(&bytes[..cut]);
+        let lost = self.records.len() - survived.records.len();
+        *self = survived;
+        lost
+    }
 }
 
 impl fmt::Display for Wal {
@@ -284,6 +359,86 @@ mod tests {
         assert!(wal.has_update(TxnId(1), "X"));
         assert!(!wal.has_update(TxnId(1), "Y"));
         assert!(!wal.has_update(TxnId(2), "X"));
+    }
+
+    #[test]
+    fn byte_image_round_trips() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(1), "X", 0, 10);
+        wal.log_commit(TxnId(1));
+        let mut snap = BTreeMap::new();
+        snap.insert("X".to_string(), 10);
+        wal.log_checkpoint(snap);
+        wal.log_update(TxnId(2), "Y", 0, 5);
+        wal.log_abort(TxnId(2));
+        assert_eq!(Wal::from_bytes_lossy(&wal.to_bytes()), wal);
+    }
+
+    #[test]
+    fn from_bytes_discards_trailing_partial_record() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(1), "X", 0, 10);
+        wal.log_commit(TxnId(1));
+        wal.log_update(TxnId(2), "Y", 0, 5);
+        let bytes = wal.to_bytes();
+        // Cut mid-way through the last record's line.
+        let survived = Wal::from_bytes_lossy(&bytes[..bytes.len() - 3]);
+        assert_eq!(survived.len(), 2);
+        assert_eq!(survived.records()[..], wal.records()[..2]);
+    }
+
+    #[test]
+    fn stable_prefix_covers_through_last_decision() {
+        let mut wal = Wal::new();
+        assert_eq!(wal.stable_len_bytes(), 0);
+        wal.log_update(TxnId(1), "X", 0, 10);
+        assert_eq!(wal.stable_len_bytes(), 0);
+        wal.log_commit(TxnId(1));
+        let forced = wal.stable_len_bytes();
+        assert_eq!(forced, wal.to_bytes().len());
+        // An unforced tail update does not extend the stable prefix.
+        wal.log_update(TxnId(2), "Y", 0, 5);
+        assert_eq!(wal.stable_len_bytes(), forced);
+        assert!(wal.to_bytes().len() > forced);
+    }
+
+    #[test]
+    fn torn_write_is_clamped_to_forced_prefix() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(1), "X", 0, 10);
+        wal.log_commit(TxnId(1));
+        wal.log_update(TxnId(2), "Y", 0, 5);
+        // Tearing at offset 0 cannot lose the forced commit record.
+        let lost = wal.clone().torn_write(0);
+        assert_eq!(lost, 1);
+        let mut torn = wal.clone();
+        torn.torn_write(0);
+        assert_eq!(torn.committed().len(), 1);
+        assert_eq!(torn.len(), 2);
+        // Recovery is unchanged: only the in-doubt tail was lost.
+        assert_eq!(torn.recover(), wal.recover());
+    }
+
+    #[test]
+    fn torn_write_mid_record_drops_the_half_record() {
+        let mut wal = Wal::new();
+        wal.log_commit(TxnId(1));
+        wal.log_update(TxnId(2), "Y", 0, 5);
+        let full = wal.to_bytes().len();
+        // Tear a few bytes into the unforced update record.
+        let lost = wal.torn_write(full - 2);
+        assert_eq!(lost, 1);
+        assert_eq!(wal.len(), 1);
+    }
+
+    #[test]
+    fn torn_write_past_end_loses_nothing() {
+        let mut wal = Wal::new();
+        wal.log_update(TxnId(1), "X", 0, 1);
+        wal.log_commit(TxnId(1));
+        let lost = wal.torn_write(usize::MAX);
+        assert_eq!(lost, 0);
+        assert_eq!(wal.len(), 2);
     }
 
     #[test]

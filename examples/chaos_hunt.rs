@@ -1,0 +1,144 @@
+//! Chaos campaign over the executable commit protocols: sweep random
+//! but replayable fault schedules, check the atomic-commitment oracles,
+//! and shrink any violation to a minimal counterexample.
+//!
+//! Three modes:
+//!
+//! - `cargo run --release --example chaos_hunt` — hunt: a 200-seed
+//!   campaign against the naive Figure 3.2 timeout variant. Finds the
+//!   split-brain, shrinks it, writes the repro artifact to
+//!   `target/chaos/`, and prints the exact replay command.
+//! - `cargo run --release --example chaos_hunt -- --replay <file>` —
+//!   re-execute a written artifact and report whether it still
+//!   violates its oracle (it must: runs are byte-deterministic).
+//! - `cargo run --release --example chaos_hunt -- --smoke` — the CI
+//!   gate: a bounded fixed-seed sweep that must be all-green for the
+//!   election + quorum-termination protocol and must stay red for the
+//!   naive variant. Exits non-zero otherwise.
+
+use mcv::chaos::{Campaign, ChaosConfig, FaultPlan, ReproArtifact};
+use std::process::ExitCode;
+
+fn naive_campaign() -> Campaign {
+    let base = ChaosConfig { naive_timeouts: true, ..ChaosConfig::default() };
+    let plan = FaultPlan::tolerated(base.n_procs(), 300);
+    Campaign::new(base, plan)
+}
+
+fn hardened_campaign() -> Campaign {
+    let base = ChaosConfig { quorum_termination: true, ..ChaosConfig::default() };
+    let plan = FaultPlan::tolerated(base.n_procs(), 300);
+    Campaign::new(base, plan)
+}
+
+fn hunt() -> ExitCode {
+    println!("=== Chaos hunt: naive Figure 3.2 timeouts, 200 seeds of tolerated faults ===\n");
+    let campaign = naive_campaign();
+    let summary = campaign.run(200);
+    println!(
+        "{} runs, {} violating seeds: {:?}\n",
+        summary.runs,
+        summary.failures.len(),
+        summary.failures.iter().take(8).collect::<Vec<_>>()
+    );
+
+    let Some(v) = campaign.hunt(200) else {
+        println!("no violation found — unexpected for the naive variant");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "seed {} violated {}: shrunk {} -> {} fault events in {} runs",
+        v.seed,
+        v.oracle,
+        v.original_events,
+        v.artifact.config.schedule.len(),
+        v.shrink_runs
+    );
+    println!("evidence: {}", v.artifact.detail);
+    for ev in &v.artifact.config.schedule.events {
+        println!("  {ev:?}");
+    }
+
+    std::fs::create_dir_all("target/chaos").expect("create target/chaos");
+    let path = v.artifact.write("target/chaos").expect("write artifact");
+    println!("\nartifact: {}", path.display());
+    println!("replay:   cargo run --release --example chaos_hunt -- --replay {}", path.display());
+
+    println!("\n=== Control: election + quorum termination, same faults, 200 seeds ===\n");
+    let control = hardened_campaign().run(200);
+    println!("{}", control.to_report("chaos.control").summary());
+    if control.all_green() {
+        println!("control is all-green: the split brain is the naive timeouts' fault");
+        ExitCode::SUCCESS
+    } else {
+        println!("control failed: {:?}", control.failures);
+        ExitCode::FAILURE
+    }
+}
+
+fn replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let artifact = match ReproArtifact::from_json(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("malformed artifact {path}: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("replaying {} (oracle {})", artifact.id, artifact.violated);
+    let out = artifact.replay();
+    print!("{}", out.fingerprint);
+    for o in &out.oracles {
+        if !o.pass {
+            println!("FAIL {}: {}", o.name, o.detail);
+        }
+    }
+    if out.violates(&artifact.violated) {
+        println!("reproduced: the violation is deterministic");
+        ExitCode::SUCCESS
+    } else {
+        println!("did NOT reproduce — artifact and code have diverged");
+        ExitCode::FAILURE
+    }
+}
+
+fn smoke() -> ExitCode {
+    // Fixed seeds, bounded work: suitable for every CI run.
+    let green = hardened_campaign().run(50);
+    if !green.all_green() {
+        println!("chaos smoke: hardened protocol regressed: {:?}", green.failures);
+        return ExitCode::FAILURE;
+    }
+    let red = naive_campaign().run(50);
+    if red.failures.iter().all(|(_, o)| o != "ac1_agreement") {
+        println!("chaos smoke: naive variant no longer splits — oracles may have gone blind");
+        return ExitCode::FAILURE;
+    }
+    println!("chaos smoke OK: hardened 50/50 green, naive red on {} seeds", red.failures.len());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => hunt(),
+        Some("--smoke") => smoke(),
+        Some("--replay") => match args.get(1) {
+            Some(path) => replay(path),
+            None => {
+                eprintln!("usage: chaos_hunt [--smoke | --replay <artifact.json>]");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!("unknown argument {other}; usage: chaos_hunt [--smoke | --replay <file>]");
+            ExitCode::FAILURE
+        }
+    }
+}

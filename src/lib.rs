@@ -20,7 +20,10 @@
 //! - [`commit`] — executable 2PC/3PC with election, termination, and
 //!   failure injection, plus a Figure 3.2 model checker;
 //! - [`obs`] — observability: metrics, span tracing, and
-//!   machine-readable [`obs::RunReport`]s for any of the above.
+//!   machine-readable [`obs::RunReport`]s for any of the above;
+//! - [`chaos`] — randomized fault-schedule campaigns over the commit
+//!   protocols with atomic-commitment oracles and delta-debugging
+//!   shrinking to minimal, replayable counterexamples.
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@
 //! ```
 
 pub use mcv_blocks as blocks;
+pub use mcv_chaos as chaos;
 pub use mcv_commit as commit;
 pub use mcv_core as core;
 pub use mcv_logic as logic;
