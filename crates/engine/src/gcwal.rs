@@ -1,0 +1,227 @@
+//! Group-commit write-ahead logging.
+//!
+//! Wraps [`mcv_txn::ForcedWal`] behind a mutex and models the force as
+//! a device operation with configurable latency. In group-commit mode
+//! a dedicated log-writer thread serializes the pending tail once per
+//! device operation and every commit that arrived while the device was
+//! busy rides the next force — so under concurrency
+//! `forces < commits`. With group commit off, every committer pays a
+//! full device operation of its own (`forces == commits`), which is
+//! the baseline the `exp.gc` experiment compares against.
+//!
+//! Commit acknowledgements wait on a durable cursor that only advances
+//! *after* the device latency has elapsed — a commit is never acked
+//! before its log record is durable.
+
+use mcv_txn::{LogRecord, TxnId};
+use std::collections::BTreeSet;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug)]
+pub(crate) struct GroupWal {
+    inner: Mutex<GwInner>,
+    /// Wakes the log-writer thread (group mode).
+    work: Condvar,
+    /// Wakes committers waiting for durability.
+    forced: Condvar,
+    group: bool,
+    force_latency: Duration,
+    /// How long the writer dwells after the first force request before
+    /// serializing, so committers that are a few microseconds behind
+    /// make this batch instead of the next (the classic group-commit
+    /// timer).
+    group_window: Duration,
+}
+
+#[derive(Debug, Default)]
+struct GwInner {
+    log: mcv_txn::ForcedWal,
+    /// Highest LSN some committer asked to have forced.
+    requested: usize,
+    /// Records that are durable (serialized *and* past device latency).
+    durable: usize,
+    /// A device operation is in flight (serializes forces in
+    /// per-commit mode).
+    forcing: bool,
+    shutdown: bool,
+    /// Commit records appended.
+    commits: u64,
+    /// Device operations performed.
+    forces: u64,
+}
+
+impl GroupWal {
+    pub(crate) fn new(group: bool, force_latency: Duration, group_window: Duration) -> Self {
+        GroupWal {
+            inner: Mutex::new(GwInner::default()),
+            work: Condvar::new(),
+            forced: Condvar::new(),
+            group,
+            force_latency,
+            group_window,
+        }
+    }
+
+    /// Appends a record without forcing (updates, aborts).
+    pub(crate) fn append(&self, rec: LogRecord) {
+        let mut g = self.inner.lock().expect("wal mutex");
+        g.log.append(rec);
+    }
+
+    /// Appends `txn`'s commit record and blocks until it is durable.
+    pub(crate) fn append_commit_and_wait(&self, txn: TxnId) {
+        let mut g = self.inner.lock().expect("wal mutex");
+        let lsn = g.log.append(LogRecord::Commit { txn });
+        g.commits += 1;
+        if self.group {
+            g.requested = g.requested.max(lsn);
+            self.work.notify_one();
+            while g.durable < lsn && !g.shutdown {
+                g = self.forced.wait(g).expect("wal mutex");
+            }
+        } else {
+            // Per-commit force: this committer always pays one full
+            // device operation, even if a concurrent force already
+            // covered its record (an fsync per commit is the point of
+            // the baseline).
+            while g.forcing {
+                g = self.forced.wait(g).expect("wal mutex");
+            }
+            g.forcing = true;
+            g.log.force();
+            let target = g.log.forced_records();
+            g.forces += 1;
+            drop(g);
+            self.sleep_device();
+            let mut g = self.inner.lock().expect("wal mutex");
+            g.durable = g.durable.max(target);
+            g.forcing = false;
+            self.forced.notify_all();
+        }
+    }
+
+    /// The log-writer loop (group mode). Runs until shutdown; each
+    /// iteration serializes the entire pending tail in one device
+    /// operation, so commits queued during the previous operation's
+    /// latency are batched.
+    pub(crate) fn writer_loop(&self) {
+        loop {
+            {
+                let mut g = self.inner.lock().expect("wal mutex");
+                while !g.shutdown && g.requested <= g.log.forced_records() {
+                    g = self.work.wait(g).expect("wal mutex");
+                }
+                if g.shutdown && g.requested <= g.log.forced_records() {
+                    return;
+                }
+                if !self.group_window.is_zero() {
+                    // Dwell with the mutex free so near-simultaneous
+                    // committers land in this batch, then serialize.
+                    drop(g);
+                    std::thread::sleep(self.group_window);
+                    g = self.inner.lock().expect("wal mutex");
+                }
+                g.log.force();
+                g.forces += 1;
+            }
+            // Device busy: latency elapses with the mutex free, so new
+            // commit records accumulate for the next batch.
+            self.sleep_device();
+            let mut g = self.inner.lock().expect("wal mutex");
+            let target = g.log.forced_records();
+            g.durable = g.durable.max(target);
+            self.forced.notify_all();
+        }
+    }
+
+    fn sleep_device(&self) {
+        if !self.force_latency.is_zero() {
+            std::thread::sleep(self.force_latency);
+        }
+    }
+
+    /// Stops the writer thread and releases any waiting committers.
+    pub(crate) fn shutdown(&self) {
+        let mut g = self.inner.lock().expect("wal mutex");
+        g.shutdown = true;
+        self.work.notify_all();
+        self.forced.notify_all();
+    }
+
+    /// The bytes a crash at this instant would leave on disk.
+    pub(crate) fn durable_image(&self) -> Vec<u8> {
+        self.inner.lock().expect("wal mutex").log.durable_image().to_vec()
+    }
+
+    /// Transactions with a commit record appended (volatile view, for
+    /// oracle filtering; use [`GroupWal::durable_image`] for the
+    /// crash-surviving set).
+    pub(crate) fn committed(&self) -> BTreeSet<TxnId> {
+        self.inner.lock().expect("wal mutex").log.wal().committed()
+    }
+
+    /// `(commit records, device operations, total records)`.
+    pub(crate) fn stats(&self) -> (u64, u64, u64) {
+        let g = self.inner.lock().expect("wal mutex");
+        (g.commits, g.forces, g.log.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn per_commit_mode_forces_once_per_commit() {
+        let wal = GroupWal::new(false, Duration::ZERO, Duration::ZERO);
+        for t in 1..=5 {
+            wal.append(LogRecord::Update {
+                txn: TxnId(t),
+                item: "X".into(),
+                old: 0,
+                new: t as i64,
+            });
+            wal.append_commit_and_wait(TxnId(t));
+        }
+        let (commits, forces, _) = wal.stats();
+        assert_eq!(commits, 5);
+        assert_eq!(forces, 5);
+    }
+
+    #[test]
+    fn group_mode_batches_concurrent_commits() {
+        let wal = Arc::new(GroupWal::new(true, Duration::from_millis(2), Duration::ZERO));
+        let writer = {
+            let wal = Arc::clone(&wal);
+            std::thread::spawn(move || wal.writer_loop())
+        };
+        let committers: Vec<_> = (1..=8)
+            .map(|t| {
+                let wal = Arc::clone(&wal);
+                std::thread::spawn(move || {
+                    wal.append(LogRecord::Update {
+                        txn: TxnId(t),
+                        item: "X".into(),
+                        old: 0,
+                        new: t as i64,
+                    });
+                    wal.append_commit_and_wait(TxnId(t));
+                })
+            })
+            .collect();
+        for c in committers {
+            c.join().expect("committer");
+        }
+        let (commits, forces, _) = wal.stats();
+        assert_eq!(commits, 8);
+        assert!(forces >= 1, "at least one device op");
+        assert!(forces < commits, "group commit must batch: {forces} forces / {commits} commits");
+        // Every committer was acked only after its record became durable.
+        let crash = mcv_txn::Wal::from_bytes_lossy(&wal.durable_image());
+        assert_eq!(crash.committed().len(), 8);
+        wal.shutdown();
+        writer.join().expect("writer");
+    }
+}

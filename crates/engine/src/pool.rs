@@ -1,0 +1,140 @@
+//! A bounded worker pool with admission backpressure.
+//!
+//! `submit` blocks while the queue is full, so a fast producer cannot
+//! build an unbounded backlog — the closed-loop drivers lean on this
+//! to keep at most `queue_cap` transactions admitted but not started.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    cap: usize,
+    closed: bool,
+}
+
+#[derive(Default)]
+struct Shared {
+    q: Mutex<Queue>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// A fixed-size worker pool over a bounded FIFO queue.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads servicing a queue of at most
+    /// `queue_cap` pending jobs.
+    pub fn new(workers: usize, queue_cap: usize) -> Pool {
+        assert!(workers > 0, "pool needs at least one worker");
+        assert!(queue_cap > 0, "pool needs queue capacity");
+        let shared = Arc::new(Shared {
+            q: Mutex::new(Queue { jobs: VecDeque::new(), cap: queue_cap, closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let mut q = shared.q.lock().expect("pool mutex");
+                        loop {
+                            if let Some(job) = q.jobs.pop_front() {
+                                shared.not_full.notify_one();
+                                break job;
+                            }
+                            if q.closed {
+                                return;
+                            }
+                            q = shared.not_empty.wait(q).expect("pool mutex");
+                        }
+                    };
+                    job();
+                })
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Enqueues `job`, blocking while the queue is at capacity
+    /// (admission backpressure).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut q = self.shared.q.lock().expect("pool mutex");
+        while q.jobs.len() >= q.cap {
+            q = self.shared.not_full.wait(q).expect("pool mutex");
+        }
+        assert!(!q.closed, "submit after join");
+        q.jobs.push_back(Box::new(job));
+        self.shared.not_empty.notify_one();
+    }
+
+    /// Closes the queue, drains remaining jobs, and joins all workers.
+    pub fn join(mut self) {
+        {
+            let mut q = self.shared.q.lock().expect("pool mutex");
+            q.closed = true;
+            self.shared.not_empty.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("pool worker");
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        // `join` drains `workers`; a straight drop still closes the
+        // queue so workers exit rather than wait forever.
+        let mut q = self.shared.q.lock().expect("pool mutex");
+        q.closed = true;
+        self.shared.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = Pool::new(4, 8);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            pool.submit(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        pool.join();
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        // One slow worker, capacity 2: the producer can never observe
+        // more than 2 queued jobs.
+        let pool = Pool::new(1, 2);
+        let peak = Arc::new(AtomicU64::new(0));
+        for _ in 0..10 {
+            let peak = Arc::clone(&peak);
+            let shared = Arc::clone(&pool.shared);
+            pool.submit(move || {
+                let depth = shared.q.lock().expect("pool mutex").jobs.len() as u64;
+                peak.fetch_max(depth, Ordering::Relaxed);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            });
+        }
+        pool.join();
+        assert!(peak.load(Ordering::Relaxed) <= 2);
+    }
+}

@@ -1,0 +1,475 @@
+//! Closed-loop workload drivers over the engine.
+//!
+//! A driver admits a fixed number of transactions through the bounded
+//! [`Pool`](crate::Pool), retries deadlock victims with fresh (younger)
+//! transaction ids, records per-transaction latency, and — after the
+//! run quiesces — checks the three oracles the thesis cares about:
+//! conflict-serializability of the sampled history, the bank-transfer
+//! sum invariant, and recovery equivalence (the durable log replays to
+//! exactly the engine's quiesced state).
+
+use crate::engine::{latency_histogram, Engine, EngineConfig, EngineError};
+use crate::pool::Pool;
+use mcv_obs::{Histogram, MetricsSnapshot};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// How items are chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mix {
+    /// Uniform over all items.
+    Uniform,
+    /// Zipfian with skew `theta` (YCSB convention, `0 < theta < 1`;
+    /// 0.99 is the YCSB default "hotspot" skew).
+    Zipfian {
+        /// Skew parameter.
+        theta: f64,
+    },
+}
+
+/// What each transaction does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// `ops_per_txn` point operations, each a write with probability
+    /// `write_pct`/100, items drawn by `mix`.
+    ReadWrite {
+        /// Item-selection distribution.
+        mix: Mix,
+        /// Percentage of operations that write.
+        write_pct: u8,
+        /// Operations per transaction.
+        ops_per_txn: usize,
+    },
+    /// Transfer a random amount between two distinct accounts (read
+    /// both, write both). The sum of all balances is invariant under
+    /// every committed prefix — the driver's built-in consistency
+    /// oracle.
+    BankTransfer,
+}
+
+/// Parameters of one driver run.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Engine parameters.
+    pub engine: EngineConfig,
+    /// Worker threads (concurrent clients).
+    pub clients: usize,
+    /// Transactions to admit (committed count; deadlock retries do not
+    /// consume admissions).
+    pub txns: u64,
+    /// Number of distinct items (accounts for [`WorkloadKind::BankTransfer`]).
+    pub items: usize,
+    /// The per-transaction behavior.
+    pub workload: WorkloadKind,
+    /// Root seed; each admission derives its own generator from it.
+    pub seed: u64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            engine: EngineConfig::default(),
+            clients: 4,
+            txns: 1_000,
+            items: 1_024,
+            workload: WorkloadKind::ReadWrite { mix: Mix::Uniform, write_pct: 50, ops_per_txn: 8 },
+            seed: 42,
+        }
+    }
+}
+
+/// Everything a driver run produced.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Deadlock-victim retries performed.
+    pub retries: u64,
+    /// Wall-clock duration of the admission-to-quiesce window, ns.
+    pub elapsed_ns: u64,
+    /// Per-transaction commit latency, µs.
+    pub latency_us: Histogram,
+    /// Engine + driver metrics (`engine.*` counters, `wall.*` extras).
+    pub metrics: MetricsSnapshot,
+    /// Verdict of the conflict-serializability oracle on the sampled
+    /// committed history.
+    pub serializable: bool,
+    /// Transactions / operations in the sample the oracle saw.
+    pub sampled_txns: usize,
+    /// Operations in the sample.
+    pub sampled_ops: usize,
+    /// `Some(true)` when the bank-sum invariant held on the recovered
+    /// state (`None` for non-bank workloads).
+    pub bank_invariant_ok: Option<bool>,
+    /// Whether replaying the durable log reproduces the engine's
+    /// quiesced volatile state exactly.
+    pub recovered_matches: bool,
+    /// Commit records appended.
+    pub commits: u64,
+    /// Log-device operations performed.
+    pub forces: u64,
+}
+
+impl DriverReport {
+    /// Committed transactions per wall-clock second.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.elapsed_ns == 0 {
+            return 0.0;
+        }
+        self.committed as f64 / (self.elapsed_ns as f64 / 1e9)
+    }
+
+    /// Whether every oracle passed.
+    pub fn oracles_ok(&self) -> bool {
+        self.serializable && self.recovered_matches && self.bank_invariant_ok.unwrap_or(true)
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let fpc = if self.commits == 0 { 0.0 } else { self.forces as f64 / self.commits as f64 };
+        let mut s = format!(
+            "committed      {}\nretries        {}\nthroughput     {:.0} txn/s\n\
+             latency p50    {} us\nlatency p95    {} us\nlatency p99    {} us\n\
+             wal forces     {} ({:.3} per commit)\ndeadlocks      {}\n\
+             serializable   {} ({} txns / {} ops sampled)\nrecovery match {}",
+            self.committed,
+            self.retries,
+            self.throughput_tps(),
+            self.latency_us.percentile(50.0),
+            self.latency_us.percentile(95.0),
+            self.latency_us.percentile(99.0),
+            self.forces,
+            fpc,
+            self.metrics.counter("engine.locks.deadlocks"),
+            self.serializable,
+            self.sampled_txns,
+            self.sampled_ops,
+            self.recovered_matches,
+        );
+        if let Some(ok) = self.bank_invariant_ok {
+            s.push_str(&format!("\nbank invariant {ok}"));
+        }
+        s
+    }
+}
+
+/// YCSB-style Zipfian item selector (Gray et al.'s rejection-free
+/// formula with precomputed zeta).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// A selector over `0..n` with skew `theta`.
+    pub fn new(n: usize, theta: f64) -> Zipfian {
+        assert!(n > 0, "zipfian over empty domain");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta }
+    }
+
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws one item index in `0..n` (index 0 is the hottest).
+    pub fn next(&self, rng: &mut impl RngCore) -> usize {
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        idx.min(self.n - 1)
+    }
+}
+
+struct DriverShared {
+    latency: Mutex<Histogram>,
+    retries: AtomicU64,
+}
+
+/// Initial balance per bank account.
+pub const BANK_INITIAL_BALANCE: i64 = 100;
+
+fn item_name(i: usize) -> String {
+    format!("item{i:05}")
+}
+
+/// Runs one closed-loop workload to completion and evaluates the
+/// oracles. Deterministic in its transaction *specs* (seeded per
+/// admission); interleavings and therefore counters are
+/// scheduling-dependent.
+pub fn run_driver(cfg: &DriverConfig) -> DriverReport {
+    assert!(cfg.items >= 2, "driver needs at least two items");
+    let engine = Engine::new(cfg.engine.clone());
+
+    let bank = matches!(cfg.workload, WorkloadKind::BankTransfer);
+    if bank {
+        // Fund the accounts in chunks (one huge txn would hold every
+        // lock; chunks keep the WAL's checkpointless replay honest).
+        for chunk in (0..cfg.items).collect::<Vec<_>>().chunks(256) {
+            let mut t = engine.begin();
+            for &i in chunk {
+                t.write(&item_name(i), BANK_INITIAL_BALANCE).expect("setup write");
+            }
+            t.commit().expect("setup commit");
+        }
+    }
+
+    // Setup transactions (account funding) are not admissions; the
+    // report counts workload commits only.
+    let setup_commits = engine.metrics_snapshot().counter("engine.txn.committed");
+
+    let shared = Arc::new(DriverShared {
+        latency: Mutex::new(latency_histogram()),
+        retries: AtomicU64::new(0),
+    });
+    let pool = Pool::new(cfg.clients, cfg.clients * 2);
+    let start = Instant::now();
+    for i in 0..cfg.txns {
+        let engine = engine.clone();
+        let shared = Arc::clone(&shared);
+        let spec_seed = cfg.seed ^ (i.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let workload = cfg.workload;
+        let items = cfg.items;
+        pool.submit(move || {
+            let t0 = Instant::now();
+            run_one(&engine, &shared, workload, items, spec_seed);
+            let us = t0.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            shared.latency.lock().expect("latency mutex").record(us);
+        });
+    }
+    pool.join();
+    let elapsed_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+
+    // Oracles, on the quiesced engine.
+    let history = engine.sampled_history();
+    let serializable = history.is_conflict_serializable();
+    let sampled_txns = history.transactions().len();
+    let sampled_ops = history.len();
+
+    let recovered = mcv_txn::Wal::from_bytes_lossy(&engine.durable_image()).recover();
+    let volatile = engine.state();
+    let keys: std::collections::BTreeSet<&String> =
+        recovered.keys().chain(volatile.keys()).collect();
+    let recovered_matches = keys
+        .into_iter()
+        .all(|k| recovered.get(k).copied().unwrap_or(0) == volatile.get(k).copied().unwrap_or(0));
+
+    let bank_invariant_ok = bank.then(|| {
+        let total: i64 =
+            (0..cfg.items).map(|i| recovered.get(&item_name(i)).copied().unwrap_or(0)).sum();
+        total == BANK_INITIAL_BALANCE * cfg.items as i64
+    });
+
+    let mut metrics = engine.metrics_snapshot();
+    let retries = shared.retries.load(Ordering::Relaxed);
+    metrics.counters.insert("engine.txn.retries".to_owned(), retries);
+    let latency = shared.latency.lock().expect("latency mutex").clone();
+    metrics.histograms.insert("wall.engine.latency_us".to_owned(), latency.clone());
+    let commits = metrics.counter("engine.wal.commits");
+    let forces = metrics.counter("engine.wal.forces");
+    let committed = metrics.counter("engine.txn.committed") - setup_commits;
+    let mut report = DriverReport {
+        committed,
+        retries,
+        elapsed_ns,
+        latency_us: latency,
+        metrics,
+        serializable,
+        sampled_txns,
+        sampled_ops,
+        bank_invariant_ok,
+        recovered_matches,
+        commits,
+        forces,
+    };
+    report.metrics.gauges.insert("wall.engine.tput_tps".to_owned(), report.throughput_tps());
+    report
+}
+
+/// Executes one transaction spec, retrying deadlock victims with a
+/// fresh transaction until it commits.
+fn run_one(
+    engine: &Engine,
+    shared: &DriverShared,
+    workload: WorkloadKind,
+    items: usize,
+    seed: u64,
+) {
+    loop {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = engine.begin();
+        match attempt(engine, t, &mut rng, workload, items) {
+            Ok(()) => return,
+            Err(EngineError::Deadlock { .. }) => {
+                shared.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(e) => panic!("driver transaction failed: {e}"),
+        }
+    }
+}
+
+fn attempt(
+    _engine: &Engine,
+    mut t: crate::engine::Txn,
+    rng: &mut StdRng,
+    workload: WorkloadKind,
+    items: usize,
+) -> Result<(), EngineError> {
+    match workload {
+        WorkloadKind::ReadWrite { mix, write_pct, ops_per_txn } => {
+            let zipf = match mix {
+                Mix::Zipfian { theta } => Some(Zipfian::new(items, theta)),
+                Mix::Uniform => None,
+            };
+            for _ in 0..ops_per_txn {
+                let idx = match &zipf {
+                    Some(z) => z.next(rng),
+                    None => rng.gen_range(0..items),
+                };
+                let name = item_name(idx);
+                if rng.gen_range(0..100u8) < write_pct {
+                    let v = rng.gen_range(0..1_000_000i64);
+                    match t.write(&name, v) {
+                        Ok(()) => {}
+                        Err(e) => {
+                            t.abort();
+                            return Err(e);
+                        }
+                    }
+                } else {
+                    match t.read(&name) {
+                        Ok(_) => {}
+                        Err(e) => {
+                            t.abort();
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            t.commit()
+        }
+        WorkloadKind::BankTransfer => {
+            let a = rng.gen_range(0..items);
+            let mut b = rng.gen_range(0..items);
+            if b == a {
+                b = (a + 1) % items;
+            }
+            let amount = rng.gen_range(1..=10i64);
+            let (na, nb) = (item_name(a), item_name(b));
+            let result = (|| {
+                let va = t.read(&na)?;
+                let vb = t.read(&nb)?;
+                t.write(&na, va - amount)?;
+                t.write(&nb, vb + amount)?;
+                Ok(())
+            })();
+            match result {
+                Ok(()) => t.commit(),
+                Err(e) => {
+                    t.abort();
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipfian_prefers_low_indices() {
+        let z = Zipfian::new(1_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0u64;
+        const DRAWS: u64 = 10_000;
+        for _ in 0..DRAWS {
+            if z.next(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Under uniform the first 10 of 1000 items get ~1% of draws;
+        // zipf(0.99) concentrates far more than that.
+        assert!(head > DRAWS / 4, "zipf head share too small: {head}/{DRAWS}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let z = Zipfian::new(17, 0.5);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5_000 {
+            assert!(z.next(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn uniform_read_write_run_passes_oracles() {
+        let cfg = DriverConfig {
+            engine: EngineConfig { group_commit: true, ..Default::default() },
+            clients: 4,
+            txns: 200,
+            items: 64,
+            workload: WorkloadKind::ReadWrite { mix: Mix::Uniform, write_pct: 50, ops_per_txn: 6 },
+            seed: 1,
+        };
+        let report = run_driver(&cfg);
+        assert_eq!(report.committed, 200);
+        assert!(report.serializable, "history must be conflict-serializable");
+        assert!(report.recovered_matches, "recovery must reproduce quiesced state");
+        assert!(report.commits >= 200);
+    }
+
+    #[test]
+    fn bank_transfer_run_preserves_total_balance() {
+        let cfg = DriverConfig {
+            engine: EngineConfig { group_commit: true, ..Default::default() },
+            clients: 4,
+            txns: 150,
+            items: 16,
+            workload: WorkloadKind::BankTransfer,
+            seed: 3,
+        };
+        let report = run_driver(&cfg);
+        assert_eq!(report.bank_invariant_ok, Some(true));
+        assert!(report.serializable);
+        assert!(report.recovered_matches);
+    }
+
+    #[test]
+    fn zipfian_contended_run_stays_serializable() {
+        let cfg = DriverConfig {
+            engine: EngineConfig { shards: 4, group_commit: true, ..Default::default() },
+            clients: 4,
+            txns: 150,
+            items: 8,
+            workload: WorkloadKind::ReadWrite {
+                mix: Mix::Zipfian { theta: 0.9 },
+                write_pct: 60,
+                ops_per_txn: 4,
+            },
+            seed: 5,
+        };
+        let report = run_driver(&cfg);
+        assert_eq!(report.committed, 150);
+        assert!(report.serializable);
+    }
+}

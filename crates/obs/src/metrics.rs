@@ -177,6 +177,43 @@ impl Histogram {
         }
     }
 
+    /// The `q`-th percentile (`q` in `[0, 100]`) estimated by linear
+    /// interpolation inside the bucket holding the target rank.
+    ///
+    /// The interpolation range of a bucket is `[prev_bound + 1, bound]`
+    /// (the overflow bucket interpolates up to `max`); the result is
+    /// clamped to `[min, max]` so single-sample and single-bucket
+    /// histograms report exact values. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        // Rank of the target sample, 1-based: ceil(q% of count), at least 1.
+        let rank = ((q / 100.0 * self.count as f64).ceil() as u64).max(1);
+        if rank >= self.count {
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let lo = if i == 0 { 0 } else { self.bounds[i - 1] + 1 };
+                let hi = if i < self.bounds.len() { self.bounds[i] } else { self.max };
+                let (lo, hi) = (lo.max(self.min).min(hi), hi.min(self.max));
+                // Midpoint position of the target rank inside this
+                // bucket, in (0, 1) — rank r of n sits at (r - ½)/n.
+                let frac = ((rank - seen) as f64 - 0.5) / n as f64;
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est.round() as u64).clamp(self.min, self.max);
+            }
+            seen += n;
+        }
+        self.max
+    }
+
     /// Adds every sample of `other` (bucket-wise; bounds must match).
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.bounds, other.bounds, "histogram bounds mismatch");
@@ -254,6 +291,54 @@ mod tests {
         assert_eq!(h.sum, 562);
         assert_eq!(h.min, 5);
         assert_eq!(h.max, 500);
+    }
+
+    #[test]
+    fn percentile_interpolates_within_buckets() {
+        let mut h = Histogram::with_bounds(vec![10, 100, 1000]);
+        // 100 samples uniform over 1..=100: 10 in [1,10], 90 in [11,100].
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p50 lands at rank 50: 40th sample of the [11,100] bucket.
+        let p50 = h.percentile(50.0);
+        assert!((45..=55).contains(&p50), "p50 = {p50}");
+        let p95 = h.percentile(95.0);
+        assert!((90..=100).contains(&p95), "p95 = {p95}");
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.percentile(0.0), 1);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(Histogram::default().percentile(50.0), 0);
+        let mut single = Histogram::with_bounds(vec![10, 100]);
+        single.record(42);
+        for q in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(single.percentile(q), 42);
+        }
+        // Overflow-bucket samples interpolate up to the recorded max.
+        let mut over = Histogram::with_bounds(vec![10]);
+        over.record(5000);
+        over.record(9000);
+        assert_eq!(over.percentile(100.0), 9000);
+        assert!(over.percentile(50.0) <= 9000);
+        assert!(over.percentile(50.0) >= 5000);
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q() {
+        let mut h = Histogram::default();
+        for v in [1u64, 3, 9, 20, 80, 300, 1200, 5000, 20000, 70000] {
+            h.record(v);
+        }
+        let mut last = 0;
+        for q in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+            let p = h.percentile(q);
+            assert!(p >= last, "percentile({q}) = {p} < {last}");
+            last = p;
+        }
+        assert_eq!(last, 70000);
     }
 
     #[test]

@@ -40,6 +40,6 @@ mod wal;
 pub use checkpoint::{CheckpointStore, Snapshot};
 pub use db::{DbError, SiteDb};
 pub use ids::{Item, TxnId, TxnStatus, Value};
-pub use locks::{LockError, LockManager, LockMode, LockOutcome};
+pub use locks::{shard_of, youngest_victim, LockError, LockManager, LockMode, LockOutcome};
 pub use schedule::{History, Op, OpKind};
-pub use wal::{LogRecord, Wal};
+pub use wal::{ForcedWal, LogRecord, Wal};

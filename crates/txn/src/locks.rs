@@ -32,12 +32,39 @@ pub enum LockOutcome {
     Granted,
     /// The request conflicts and was queued; the transaction must wait.
     Queued,
-    /// Granting would deadlock; the requester should abort (it is the
-    /// victim).
+    /// Granting would deadlock. The `victim` is chosen deterministically
+    /// (see [`LockManager::deadlock_victim`]); the caller must abort it —
+    /// usually, but not necessarily, the requester itself.
     WouldDeadlock {
         /// The waits-for cycle found, as transaction ids.
         cycle: Vec<TxnId>,
+        /// The deterministic victim: youngest transaction in the cycle.
+        victim: TxnId,
     },
+}
+
+/// The deterministic youngest-victim rule shared by [`LockManager`] and
+/// the concurrent engine's deadlock detector: the victim is the
+/// transaction with the numerically greatest [`TxnId`] in the cycle
+/// (ids are handed out monotonically, so the greatest id is the
+/// youngest transaction — the one with the least work to redo).
+/// Panics on an empty cycle.
+pub fn youngest_victim(cycle: &[TxnId]) -> TxnId {
+    *cycle.iter().max().expect("deadlock cycle is non-empty")
+}
+
+/// Maps `item` to one of `shards` lock-table/data shards (FNV-1a hash).
+/// Shared between the engine's sharded lock table and anything else
+/// that partitions the item space, so co-located items stay co-located
+/// across layers. Panics if `shards` is zero.
+pub fn shard_of(item: &str, shards: usize) -> usize {
+    assert!(shards > 0, "shard_of: zero shards");
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in item.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % shards as u64) as usize
 }
 
 /// Errors violating the locking discipline.
@@ -89,6 +116,11 @@ pub struct LockManager {
     shrinking: BTreeSet<TxnId>,
     /// Waits-for edges for deadlock detection.
     waits_for: BTreeMap<TxnId, BTreeSet<TxnId>>,
+    /// Monotone request counter driving `first_touch`.
+    seq: u64,
+    /// Sequence number of each transaction's first lock request, for
+    /// the victim-selection tie-break.
+    first_touch: BTreeMap<TxnId, u64>,
 }
 
 impl LockManager {
@@ -111,6 +143,9 @@ impl LockManager {
         if self.shrinking.contains(&txn) {
             return Err(LockError::ShrinkingPhase(txn));
         }
+        self.seq += 1;
+        let seq = self.seq;
+        self.first_touch.entry(txn).or_insert(seq);
         let item = item.into();
         let entry = self.table.entry(item.clone()).or_default();
         let compatible = match mode {
@@ -148,7 +183,8 @@ impl LockManager {
         if let Some(cycle) = self.find_cycle(txn) {
             // Undo the tentative edges for this request.
             self.waits_for.remove(&txn);
-            return Ok(LockOutcome::WouldDeadlock { cycle });
+            let victim = self.deadlock_victim(&cycle);
+            return Ok(LockOutcome::WouldDeadlock { cycle, victim });
         }
         self.table.get_mut(&item).expect("entry just touched").waiting.push_back((txn, mode));
         Ok(LockOutcome::Queued)
@@ -206,6 +242,7 @@ impl LockManager {
     pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, Item, LockMode)> {
         self.shrinking.insert(txn);
         self.waits_for.remove(&txn);
+        self.first_touch.remove(&txn);
         for edges in self.waits_for.values_mut() {
             edges.remove(&txn);
         }
@@ -260,6 +297,24 @@ impl LockManager {
     /// Whether `item` is write-locked (the 1-bit write-lock flag).
     pub fn write_locked(&self, item: &str) -> bool {
         self.table.get(item).is_some_and(|e| e.exclusive.is_some())
+    }
+
+    /// Deterministic deadlock-victim selection over `cycle`.
+    ///
+    /// Rule (documented so the engine's abort/retry loop stays
+    /// reproducible): the **youngest** transaction in the cycle is the
+    /// victim — primarily the numerically greatest [`TxnId`] (ids are
+    /// assigned monotonically); among hypothetical equal ids, the one
+    /// whose *first lock acquisition* came latest. Since `TxnId`s are
+    /// unique in any one manager, the tie-break never fires in
+    /// practice, but pinning it keeps the rule total.
+    ///
+    /// Panics on an empty cycle.
+    pub fn deadlock_victim(&self, cycle: &[TxnId]) -> TxnId {
+        *cycle
+            .iter()
+            .max_by_key(|t| (t.0, self.first_touch.get(t).copied().unwrap_or(0)))
+            .expect("deadlock cycle is non-empty")
     }
 
     /// DFS cycle search in the waits-for graph starting from `from`.
@@ -361,11 +416,69 @@ mod tests {
         lm.acquire(TxnId(2), "Y", LockMode::Exclusive).unwrap();
         assert_eq!(lm.acquire(TxnId(1), "Y", LockMode::Exclusive).unwrap(), LockOutcome::Queued);
         match lm.acquire(TxnId(2), "X", LockMode::Exclusive).unwrap() {
-            LockOutcome::WouldDeadlock { cycle } => {
+            LockOutcome::WouldDeadlock { cycle, victim } => {
                 assert!(cycle.contains(&TxnId(2)));
+                assert_eq!(victim, TxnId(2));
             }
             other => panic!("expected deadlock, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn victim_selection_is_youngest_not_requester() {
+        // T1 (older) closes the cycle, but the deterministic victim is
+        // the youngest member, T3 — not the requester.
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(3), "X", LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(1), "Y", LockMode::Exclusive).unwrap();
+        lm.acquire(TxnId(3), "Y", LockMode::Exclusive).unwrap();
+        match lm.acquire(TxnId(1), "X", LockMode::Exclusive).unwrap() {
+            LockOutcome::WouldDeadlock { cycle, victim } => {
+                assert_eq!(victim, TxnId(3));
+                assert_eq!(victim, youngest_victim(&cycle));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn victim_selection_is_deterministic_across_replays() {
+        // Same request sequence, same victim — every time.
+        let run = || {
+            let mut lm = LockManager::new();
+            lm.acquire(TxnId(5), "A", LockMode::Exclusive).unwrap();
+            lm.acquire(TxnId(2), "B", LockMode::Exclusive).unwrap();
+            lm.acquire(TxnId(9), "C", LockMode::Exclusive).unwrap();
+            lm.acquire(TxnId(5), "B", LockMode::Exclusive).unwrap();
+            lm.acquire(TxnId(2), "C", LockMode::Exclusive).unwrap();
+            match lm.acquire(TxnId(9), "A", LockMode::Exclusive).unwrap() {
+                LockOutcome::WouldDeadlock { victim, .. } => victim,
+                other => panic!("expected deadlock, got {other:?}"),
+            }
+        };
+        assert_eq!(run(), TxnId(9));
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn youngest_victim_picks_max_id() {
+        assert_eq!(youngest_victim(&[TxnId(4), TxnId(11), TxnId(7)]), TxnId(11));
+        assert_eq!(youngest_victim(&[TxnId(1)]), TxnId(1));
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1usize, 2, 16, 61] {
+            for item in ["X", "Y", "acct0", "acct12345", ""] {
+                let s = shard_of(item, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(item, shards), "stable for {item}");
+            }
+        }
+        // Not everything lands in one shard.
+        let spread: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| shard_of(&format!("item{i}"), 16)).collect();
+        assert!(spread.len() > 4, "hash should spread: {spread:?}");
     }
 
     #[test]

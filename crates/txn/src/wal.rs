@@ -267,6 +267,126 @@ impl Wal {
     }
 }
 
+/// A [`Wal`] with an explicit force (durability) cursor — the
+/// group-commit hook the concurrent engine builds on.
+///
+/// [`Wal`] models durability implicitly: [`Wal::stable_len_bytes`]
+/// assumes every decision record was forced the instant it was
+/// appended, which is exactly the per-transaction force discipline the
+/// thesis states — and exactly what a group-commit log amortizes away.
+/// `ForcedWal` makes the force explicit: appends land in a volatile
+/// tail, and only [`ForcedWal::force`] moves them into the durable
+/// byte image (one "device write" per call, covering *all* pending
+/// records). A crash at any instant surrenders exactly
+/// [`ForcedWal::durable_image`]; committers therefore must not
+/// acknowledge until their commit record's index is below the forced
+/// cursor.
+///
+/// # Examples
+///
+/// ```
+/// use mcv_txn::{ForcedWal, LogRecord, TxnId, Wal};
+/// let mut fw = ForcedWal::new();
+/// fw.append(LogRecord::Update { txn: TxnId(1), item: "X".into(), old: 0, new: 7 });
+/// let lsn = fw.append(LogRecord::Commit { txn: TxnId(1) });
+/// assert!(!fw.is_forced(lsn));
+/// fw.force();
+/// assert!(fw.is_forced(lsn));
+/// let survivor = Wal::from_bytes_lossy(fw.durable_image());
+/// assert_eq!(survivor.recover().get("X"), Some(&7));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ForcedWal {
+    wal: Wal,
+    /// Byte image of the forced prefix — what a crash surrenders.
+    durable: Vec<u8>,
+    /// Number of records covered by `durable`.
+    forced_records: usize,
+    /// Number of force operations performed.
+    forces: u64,
+}
+
+impl ForcedWal {
+    /// An empty log with nothing forced.
+    pub fn new() -> Self {
+        ForcedWal::default()
+    }
+
+    /// Appends `record` to the volatile tail and returns its LSN (the
+    /// record count after the append): the log is forced through this
+    /// record once `forced_records() >= lsn`.
+    pub fn append(&mut self, record: LogRecord) -> usize {
+        self.wal.records.push(record);
+        self.wal.records.len()
+    }
+
+    /// The full in-memory log (forced prefix + volatile tail).
+    pub fn wal(&self) -> &Wal {
+        &self.wal
+    }
+
+    /// Number of records in the log, forced or not.
+    pub fn len(&self) -> usize {
+        self.wal.records.len()
+    }
+
+    /// Whether the log has no records at all.
+    pub fn is_empty(&self) -> bool {
+        self.wal.records.is_empty()
+    }
+
+    /// Number of records covered by the durable image.
+    pub fn forced_records(&self) -> usize {
+        self.forced_records
+    }
+
+    /// Whether the record at `lsn` (as returned by [`ForcedWal::append`])
+    /// has reached stable storage.
+    pub fn is_forced(&self, lsn: usize) -> bool {
+        self.forced_records >= lsn
+    }
+
+    /// How many force operations ran so far. Group commit shows up as
+    /// `forces() < number of commit records`: one device write covers
+    /// many committers.
+    pub fn forces(&self) -> u64 {
+        self.forces
+    }
+
+    /// Number of appended-but-unforced records.
+    pub fn pending(&self) -> usize {
+        self.wal.records.len() - self.forced_records
+    }
+
+    /// Forces the entire volatile tail to stable storage in one device
+    /// write and returns the number of records newly made durable.
+    /// Counts as one force even when several commit records are
+    /// covered — the whole point of group commit. A force with nothing
+    /// pending is a no-op and is **not** counted.
+    pub fn force(&mut self) -> usize {
+        let newly = self.pending();
+        if newly == 0 {
+            return 0;
+        }
+        for r in &self.wal.records[self.forced_records..] {
+            self.durable.extend_from_slice(
+                serde_json::to_string(r).expect("log record serializes").as_bytes(),
+            );
+            self.durable.push(b'\n');
+        }
+        self.forced_records = self.wal.records.len();
+        self.forces += 1;
+        newly
+    }
+
+    /// The byte image of the forced prefix — exactly what survives a
+    /// crash at this instant. Feed it to [`Wal::from_bytes_lossy`] to
+    /// recover.
+    pub fn durable_image(&self) -> &[u8] {
+        &self.durable
+    }
+}
+
 impl fmt::Display for Wal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for r in &self.records {
@@ -439,6 +559,44 @@ mod tests {
         let lost = wal.torn_write(usize::MAX);
         assert_eq!(lost, 0);
         assert_eq!(wal.len(), 2);
+    }
+
+    #[test]
+    fn forced_wal_batches_many_commits_into_one_force() {
+        let mut fw = ForcedWal::new();
+        let mut last = 0;
+        for t in 1..=5u64 {
+            fw.append(LogRecord::Update { txn: TxnId(t), item: "X".into(), old: 0, new: t as i64 });
+            last = fw.append(LogRecord::Commit { txn: TxnId(t) });
+        }
+        assert_eq!(fw.pending(), 10);
+        assert!(!fw.is_forced(last));
+        assert_eq!(fw.force(), 10);
+        assert_eq!(fw.forces(), 1);
+        assert!(fw.is_forced(last));
+        assert_eq!(fw.pending(), 0);
+        // Forcing with nothing pending neither writes nor counts.
+        assert_eq!(fw.force(), 0);
+        assert_eq!(fw.forces(), 1);
+    }
+
+    #[test]
+    fn forced_wal_durable_image_is_the_forced_prefix() {
+        let mut fw = ForcedWal::new();
+        fw.append(LogRecord::Update { txn: TxnId(1), item: "X".into(), old: 0, new: 10 });
+        fw.append(LogRecord::Commit { txn: TxnId(1) });
+        fw.force();
+        fw.append(LogRecord::Update { txn: TxnId(2), item: "Y".into(), old: 0, new: 20 });
+        fw.append(LogRecord::Commit { txn: TxnId(2) });
+        // T2's commit is appended but unforced: a crash now loses it.
+        let crash = Wal::from_bytes_lossy(fw.durable_image());
+        assert_eq!(crash.committed(), BTreeSet::from([TxnId(1)]));
+        assert_eq!(crash.recover().get("X"), Some(&10));
+        assert_eq!(crash.recover().get("Y"), None);
+        fw.force();
+        let after = Wal::from_bytes_lossy(fw.durable_image());
+        assert_eq!(after, *fw.wal());
+        assert_eq!(after.recover().get("Y"), Some(&20));
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Stress the concurrent transaction engine and judge the run with the
+//! thesis' own oracles.
+//!
+//! ```text
+//! cargo run --release --example engine_stress                # defaults
+//! cargo run --release --example engine_stress -- \
+//!     --threads 8 --shards 32 --txns 5000 --workload zipf    # tuned run
+//! cargo run --release --example engine_stress -- --smoke     # CI gate
+//! ```
+//!
+//! Flags: `--threads N` (workers), `--shards N`, `--txns N`,
+//! `--items N`, `--force-us N` (modeled log-device latency),
+//! `--workload uniform|zipf|bank`, `--no-group-commit`, `--seed N`.
+//!
+//! `--smoke` is the `./ci` gate: a short fixed-seed 4-thread run of
+//! each workload; exits non-zero unless every oracle passes
+//! (conflict-serializability of the sampled history, recovery
+//! equivalence of the durable log, bank-sum invariant) and group
+//! commit demonstrably batches (`forces < commits`).
+
+use mcv::engine::{run_driver, DriverConfig, EngineConfig, Mix, WorkloadKind};
+use std::process::ExitCode;
+
+struct Args {
+    threads: usize,
+    shards: usize,
+    txns: u64,
+    items: usize,
+    force_us: u64,
+    workload: WorkloadKind,
+    group_commit: bool,
+    seed: u64,
+    smoke: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            threads: 4,
+            shards: 16,
+            txns: 2_000,
+            items: 2_048,
+            force_us: 300,
+            workload: WorkloadKind::ReadWrite { mix: Mix::Uniform, write_pct: 50, ops_per_txn: 8 },
+            group_commit: true,
+            seed: 42,
+            smoke: false,
+        }
+    }
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    let next_num = |it: &mut dyn Iterator<Item = String>, flag: &str| -> Result<u64, String> {
+        it.next()
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse::<u64>()
+            .map_err(|e| format!("{flag}: {e}"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => args.threads = next_num(&mut it, "--threads")? as usize,
+            "--shards" => args.shards = next_num(&mut it, "--shards")? as usize,
+            "--txns" => args.txns = next_num(&mut it, "--txns")?,
+            "--items" => args.items = next_num(&mut it, "--items")? as usize,
+            "--force-us" => args.force_us = next_num(&mut it, "--force-us")?,
+            "--seed" => args.seed = next_num(&mut it, "--seed")?,
+            "--no-group-commit" => args.group_commit = false,
+            "--smoke" => args.smoke = true,
+            "--workload" => {
+                let w = it.next().ok_or("--workload needs uniform|zipf|bank")?;
+                args.workload = match w.as_str() {
+                    "uniform" => {
+                        WorkloadKind::ReadWrite { mix: Mix::Uniform, write_pct: 50, ops_per_txn: 8 }
+                    }
+                    "zipf" => WorkloadKind::ReadWrite {
+                        mix: Mix::Zipfian { theta: 0.9 },
+                        write_pct: 50,
+                        ops_per_txn: 8,
+                    },
+                    "bank" => WorkloadKind::BankTransfer,
+                    other => return Err(format!("unknown workload {other:?}")),
+                };
+            }
+            "--help" | "-h" => {
+                return Err("usage: engine_stress [--threads N] [--shards N] [--txns N] \
+                            [--items N] [--force-us N] [--workload uniform|zipf|bank] \
+                            [--no-group-commit] [--seed N] [--smoke]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown flag {other:?}; try --help")),
+        }
+    }
+    Ok(args)
+}
+
+fn config(args: &Args) -> DriverConfig {
+    DriverConfig {
+        engine: EngineConfig {
+            shards: args.shards,
+            group_commit: args.group_commit,
+            force_latency_us: args.force_us,
+            group_window_us: if args.group_commit { 50 } else { 0 },
+            ..Default::default()
+        },
+        clients: args.threads,
+        txns: args.txns,
+        items: args.items,
+        workload: args.workload,
+        seed: args.seed,
+    }
+}
+
+fn run_once(args: &Args) -> ExitCode {
+    let cfg = config(args);
+    println!(
+        "engine_stress: {} threads, {} shards, {} txns, {} items, {} us force, group commit {}",
+        args.threads, args.shards, args.txns, args.items, args.force_us, args.group_commit
+    );
+    let (report, data) = mcv::obs::collect(|| {
+        let report = run_driver(&cfg);
+        mcv::obs::absorb(&report.metrics);
+        report
+    });
+    println!("\n{}\n", report.summary());
+    let obs_report = data.into_report("engine_stress").fact("seed", args.seed);
+    println!("{}", obs_report.summary());
+    if report.oracles_ok() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ORACLE VIOLATION — see report above");
+        ExitCode::FAILURE
+    }
+}
+
+fn smoke() -> ExitCode {
+    // Short fixed-seed runs of each workload shape on 4 threads; all
+    // oracles must pass and group commit must actually batch.
+    let shapes: &[(&str, WorkloadKind)] = &[
+        ("uniform", WorkloadKind::ReadWrite { mix: Mix::Uniform, write_pct: 50, ops_per_txn: 8 }),
+        (
+            "zipf",
+            WorkloadKind::ReadWrite {
+                mix: Mix::Zipfian { theta: 0.9 },
+                write_pct: 50,
+                ops_per_txn: 8,
+            },
+        ),
+        ("bank", WorkloadKind::BankTransfer),
+    ];
+    for (name, workload) in shapes {
+        let args = Args {
+            txns: 400,
+            items: if matches!(workload, WorkloadKind::BankTransfer) { 32 } else { 512 },
+            force_us: 200,
+            workload: *workload,
+            ..Args::default()
+        };
+        let report = run_driver(&config(&args));
+        let batched = report.forces < report.commits;
+        println!(
+            "smoke {name:<8} committed={} serializable={} recovery={} bank={:?} \
+             forces/commits={}/{}",
+            report.committed,
+            report.serializable,
+            report.recovered_matches,
+            report.bank_invariant_ok,
+            report.forces,
+            report.commits,
+        );
+        if !report.oracles_ok() {
+            eprintln!("smoke {name}: ORACLE VIOLATION");
+            return ExitCode::FAILURE;
+        }
+        if !batched {
+            eprintln!("smoke {name}: group commit did not batch");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("engine smoke: all oracles green");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    match parse() {
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+        Ok(args) if args.smoke => smoke(),
+        Ok(args) => run_once(&args),
+    }
+}

@@ -23,7 +23,11 @@
 //!   machine-readable [`obs::RunReport`]s for any of the above;
 //! - [`chaos`] — randomized fault-schedule campaigns over the commit
 //!   protocols with atomic-commitment oracles and delta-debugging
-//!   shrinking to minimal, replayable counterexamples.
+//!   shrinking to minimal, replayable counterexamples;
+//! - [`engine`] — a multi-threaded transaction engine (sharded strict
+//!   2PL, cross-shard deadlock detection, group-commit WAL, worker
+//!   pool) whose concurrent histories are checked against the same
+//!   serializability and recovery oracles the models use.
 //!
 //! # Examples
 //!
@@ -50,6 +54,7 @@ pub use mcv_blocks as blocks;
 pub use mcv_chaos as chaos;
 pub use mcv_commit as commit;
 pub use mcv_core as core;
+pub use mcv_engine as engine;
 pub use mcv_logic as logic;
 pub use mcv_module as module;
 pub use mcv_obs as obs;
