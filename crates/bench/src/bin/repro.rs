@@ -23,6 +23,7 @@ use std::path::PathBuf;
 
 fn main() {
     let mut json_dir: Option<PathBuf> = None;
+    let mut check_bench: Option<PathBuf> = None;
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
@@ -34,13 +35,26 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        } else if a == "--check-bench" {
+            match raw.next() {
+                Some(path) => check_bench = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--check-bench requires a baseline JSON path");
+                    std::process::exit(2);
+                }
+            }
         } else {
             args.push(a);
         }
     }
+    if let Some(path) = check_bench {
+        run_bench_gate(&path);
+        return;
+    }
     let known = artifacts();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!("usage: repro [--json <dir>] <artifact-id>... | all | list");
+        eprintln!("       repro --check-bench <baseline.json>   # gate exp.tput vs baseline");
         eprintln!("artifact ids:");
         for (id, _) in &known {
             eprintln!("  {id}");
@@ -102,4 +116,35 @@ fn main() {
             }
         }
     }
+}
+
+/// Re-runs the engine benchmark (`exp.tput`) and gates its metrics
+/// against the committed baseline; exits 1 on any regression. The
+/// tolerances are [`mcv_bench::engine_gate_rules`] (documented in
+/// EXPERIMENTS.md).
+fn run_bench_gate(baseline_path: &std::path::Path) {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => match mcv_obs::RunReport::from_json(&text) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("--check-bench: {} is not a RunReport: {e}", baseline_path.display());
+                std::process::exit(2);
+            }
+        },
+        Err(e) => {
+            eprintln!("--check-bench: cannot read {}: {e}", baseline_path.display());
+            std::process::exit(2);
+        }
+    };
+    println!("==================== bench gate (exp.tput) ====================");
+    let (text, data) = mcv_obs::collect(mcv_bench::exp_tput);
+    println!("{text}");
+    let current = data.into_report("BENCH_engine");
+    let outcome = mcv_bench::check_bench(&baseline, &current, &mcv_bench::engine_gate_rules());
+    print!("{}", outcome.summary());
+    if !outcome.ok() {
+        eprintln!("bench gate FAILED against {}", baseline_path.display());
+        std::process::exit(1);
+    }
+    println!("bench gate OK against {}", baseline_path.display());
 }

@@ -125,7 +125,7 @@ pub fn fig3_1() -> String {
     for entry in world.trace().entries() {
         use mcv_sim::TraceEvent::*;
         match &entry.event {
-            Deliver { from, to } => {
+            Deliver { from, to, .. } => {
                 out.push_str(&format!("  {} message {from} -> {to}\n", entry.time))
             }
             Note { proc, text } => out.push_str(&format!("  {} {proc}: {text}\n", entry.time)),

@@ -1,0 +1,228 @@
+//! Bench-regression gate: diffs a current benchmark [`RunReport`]
+//! against a committed baseline with per-metric tolerances.
+//!
+//! The gate is deliberately coarse: deterministic counters must match
+//! the baseline exactly, wall-clock throughput gauges must stay above
+//! a fraction of the baseline (machines differ, thermal noise exists —
+//! the gate catches order-of-magnitude regressions, not 5% drift), and
+//! scheduling-dependent counters are reported but never gated.
+//! `repro --check-bench <baseline.json>` runs the engine benchmark,
+//! applies [`engine_gate_rules`], and exits nonzero on any regression.
+
+use mcv_obs::RunReport;
+
+/// How much a metric may deviate from the baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Must equal the baseline exactly (deterministic counters).
+    Exact,
+    /// Higher-is-better metric: current must be at least this fraction
+    /// of the baseline (e.g. `0.4` = tolerate a 60% drop, fail beyond).
+    MinRatio(f64),
+    /// Reported in the notes, never gated (scheduling-dependent).
+    Ignore,
+}
+
+/// One gate rule: a metric-name pattern with its tolerance. A pattern
+/// ending in `*` matches by prefix, otherwise exactly. First matching
+/// rule wins; unmatched metrics are reported but not gated.
+#[derive(Debug, Clone)]
+pub struct GateRule {
+    /// Metric-name pattern (`engine.txn.committed` or `wall.engine.*`).
+    pub pattern: String,
+    /// The tolerance applied to matching metrics.
+    pub tolerance: Tolerance,
+}
+
+impl GateRule {
+    fn new(pattern: &str, tolerance: Tolerance) -> Self {
+        GateRule { pattern: pattern.to_owned(), tolerance }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        match self.pattern.strip_suffix('*') {
+            Some(prefix) => name.starts_with(prefix),
+            None => name == self.pattern,
+        }
+    }
+}
+
+/// The tolerances for `BENCH_engine.json` (the `exp.tput` record), as
+/// documented in `EXPERIMENTS.md`:
+///
+/// - `engine.txn.committed` is exact — the driver admits a fixed
+///   transaction quota per run, so the committed count is deterministic
+///   even though interleavings are not.
+/// - `wall.engine.tput.*` and `wall.engine.speedup.*` are wall-clock
+///   gauges: the gate requires ≥ 40% of the baseline, catching real
+///   regressions (a lost group-commit batch, an accidental serial
+///   section) while shrugging off machine noise.
+/// - Everything else under `engine.*` (aborts, conflicts, forces,
+///   samples) is scheduling-dependent and only reported.
+pub fn engine_gate_rules() -> Vec<GateRule> {
+    vec![
+        GateRule::new("engine.txn.committed", Tolerance::Exact),
+        GateRule::new("wall.engine.tput.*", Tolerance::MinRatio(0.4)),
+        GateRule::new("wall.engine.speedup.*", Tolerance::MinRatio(0.4)),
+        GateRule::new("engine.*", Tolerance::Ignore),
+        GateRule::new("wall.*", Tolerance::Ignore),
+        GateRule::new("chaos.*", Tolerance::Ignore),
+    ]
+}
+
+/// Result of gating one report against its baseline.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// Metrics a non-`Ignore` rule was applied to.
+    pub checked: usize,
+    /// Human-readable description of every metric that failed its
+    /// tolerance. Empty means the gate passes.
+    pub regressions: Vec<String>,
+    /// Non-gated observations (ignored or unmatched metrics that
+    /// changed), for the log.
+    pub notes: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// One-paragraph rendering for the console.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "bench gate: {} metric(s) checked, {} regression(s), {} note(s)\n",
+            self.checked,
+            self.regressions.len(),
+            self.notes.len()
+        );
+        for r in &self.regressions {
+            out.push_str(&format!("  REGRESSION {r}\n"));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("  note {n}\n"));
+        }
+        out
+    }
+}
+
+/// Diffs `current` against `baseline` and applies `rules`.
+pub fn check_bench(baseline: &RunReport, current: &RunReport, rules: &[GateRule]) -> GateOutcome {
+    let delta = baseline.metrics.diff(&current.metrics);
+    let mut out = GateOutcome::default();
+    let tolerance_of = |name: &str| rules.iter().find(|r| r.matches(name)).map(|r| r.tolerance);
+    for (name, d) in &delta.counters {
+        match tolerance_of(name) {
+            Some(Tolerance::Exact) => {
+                out.checked += 1;
+                if d.delta != 0 {
+                    out.regressions.push(format!(
+                        "{name}: expected exactly {}, got {} (delta {:+})",
+                        d.base, d.current, d.delta
+                    ));
+                }
+            }
+            Some(Tolerance::MinRatio(frac)) => {
+                out.checked += 1;
+                if (d.current as f64) < frac * d.base as f64 {
+                    out.regressions.push(format!(
+                        "{name}: {} is below {frac} x baseline {}",
+                        d.current, d.base
+                    ));
+                }
+            }
+            Some(Tolerance::Ignore) | None => {
+                if d.delta != 0 {
+                    out.notes.push(format!("{name}: {} -> {}", d.base, d.current));
+                }
+            }
+        }
+    }
+    for (name, d) in &delta.gauges {
+        let (base, current) = (d.base.unwrap_or(0.0), d.current.unwrap_or(0.0));
+        match tolerance_of(name) {
+            Some(Tolerance::Exact) => {
+                out.checked += 1;
+                if d.delta != 0.0 {
+                    out.regressions.push(format!("{name}: expected exactly {base}, got {current}"));
+                }
+            }
+            Some(Tolerance::MinRatio(frac)) => {
+                out.checked += 1;
+                if current < frac * base {
+                    out.regressions
+                        .push(format!("{name}: {current:.1} is below {frac} x baseline {base:.1}"));
+                }
+            }
+            Some(Tolerance::Ignore) | None => {
+                if d.delta != 0.0 {
+                    out.notes.push(format!("{name}: {base:.1} -> {current:.1}"));
+                }
+            }
+        }
+    }
+    for (name, d) in &delta.histogram_counts {
+        if d.delta != 0 {
+            out.notes.push(format!("{name}: {} -> {} samples", d.base, d.current));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcv_obs::MetricsSnapshot;
+    use std::collections::BTreeMap;
+
+    fn report(counters: &[(&str, u64)], gauges: &[(&str, f64)]) -> RunReport {
+        let mut r = RunReport::new("t");
+        r.metrics = MetricsSnapshot {
+            counters: counters.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+            gauges: gauges.iter().map(|(k, v)| ((*k).to_owned(), *v)).collect(),
+            histograms: BTreeMap::new(),
+        };
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass_the_engine_gate() {
+        let r = report(
+            &[("engine.txn.committed", 4000), ("engine.txn.aborted", 17)],
+            &[("wall.engine.tput.w4", 9000.0)],
+        );
+        let out = check_bench(&r, &r.clone(), &engine_gate_rules());
+        assert!(out.ok(), "{}", out.summary());
+        assert_eq!(out.checked, 2);
+    }
+
+    #[test]
+    fn committed_count_drift_is_a_regression() {
+        let base = report(&[("engine.txn.committed", 4000)], &[]);
+        let cur = report(&[("engine.txn.committed", 3999)], &[]);
+        let out = check_bench(&base, &cur, &engine_gate_rules());
+        assert!(!out.ok());
+        assert!(out.regressions[0].contains("engine.txn.committed"));
+    }
+
+    #[test]
+    fn throughput_within_ratio_passes_below_fails() {
+        let base = report(&[], &[("wall.engine.tput.w4", 10_000.0)]);
+        let ok = report(&[], &[("wall.engine.tput.w4", 5_000.0)]);
+        let bad = report(&[], &[("wall.engine.tput.w4", 3_000.0)]);
+        assert!(check_bench(&base, &ok, &engine_gate_rules()).ok());
+        let out = check_bench(&base, &bad, &engine_gate_rules());
+        assert!(!out.ok());
+        assert!(out.regressions[0].contains("wall.engine.tput.w4"));
+    }
+
+    #[test]
+    fn scheduling_dependent_counters_are_notes_not_gates() {
+        let base = report(&[("engine.locks.conflicts", 100)], &[]);
+        let cur = report(&[("engine.locks.conflicts", 9_999)], &[]);
+        let out = check_bench(&base, &cur, &engine_gate_rules());
+        assert!(out.ok());
+        assert_eq!(out.notes.len(), 1);
+    }
+}

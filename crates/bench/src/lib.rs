@@ -15,5 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 
 pub use experiments::*;
+pub use gate::{check_bench, engine_gate_rules, GateOutcome, GateRule, Tolerance};

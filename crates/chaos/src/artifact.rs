@@ -56,6 +56,25 @@ impl ReproArtifact {
         Ok(path)
     }
 
+    /// Writes the flight-recorder window as `<id>.trace.jsonl` next to
+    /// the artifact (wall-clock timestamps stripped, so replays of the
+    /// same counterexample produce identical files).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_trace(
+        &self,
+        dir: impl AsRef<Path>,
+        trace: &mcv_trace::CausalTrace,
+    ) -> io::Result<std::path::PathBuf> {
+        let path = dir.as_ref().join(format!("{}.trace.jsonl", self.id));
+        let mut stripped = trace.clone();
+        stripped.strip_wall();
+        stripped.write_jsonl(&path)?;
+        Ok(path)
+    }
+
     /// Re-executes the packaged configuration. The run is
     /// deterministic, so the violation reproduces exactly.
     pub fn replay(&self) -> ChaosOutcome {

@@ -88,6 +88,7 @@ impl Campaign {
                 oracle: oracle.clone(),
                 original_events: cfg.schedule.len(),
                 shrink_runs: shrunk.runs,
+                trace: min_out.trace,
                 artifact: ReproArtifact::new(shrunk.config, oracle, min_detail),
             });
         }
@@ -106,6 +107,9 @@ pub struct Violation {
     pub original_events: usize,
     /// Runs spent shrinking.
     pub shrink_runs: usize,
+    /// The flight-recorder window of the minimal run — the causal
+    /// events leading up to the violation.
+    pub trace: mcv_trace::CausalTrace,
     /// The minimal, replayable counterexample.
     pub artifact: ReproArtifact,
 }

@@ -36,6 +36,6 @@ mod shrink;
 pub use artifact::ReproArtifact;
 pub use campaign::{Campaign, CampaignSummary, Violation};
 pub use oracle::{OracleResult, ORACLE_NAMES};
-pub use runner::{run_chaos, ChaosConfig, ChaosOutcome};
+pub use runner::{run_chaos, ChaosConfig, ChaosOutcome, FLIGHT_RECORDER_CAP};
 pub use schedule::{CutKind, FaultEvent, FaultPlan, FaultSchedule};
 pub use shrink::{shrink, Shrunk};

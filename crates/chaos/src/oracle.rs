@@ -51,14 +51,18 @@ pub const ORACLE_NAMES: &[&str] = &[
     "termination",
     "serializability",
     "wal_consistency",
+    "causal_order",
 ];
 
 /// Evaluates every oracle over the finished world. `wal_damage` holds
-/// violations the runner detected at torn-write injection time.
+/// violations the runner detected at torn-write injection time;
+/// `trace` is the run's causal event trace (possibly a flight-recorder
+/// window).
 pub fn evaluate(
     world: &World<Msg, Site>,
     cfg: &ChaosConfig,
     wal_damage: &[String],
+    trace: &mcv_trace::CausalTrace,
 ) -> Vec<OracleResult> {
     let ds = decisions(world.trace());
     let txns: Vec<TxnId> = (1..=cfg.n_transactions.max(1) as u64).map(TxnId).collect();
@@ -170,6 +174,15 @@ pub fn evaluate(
         }
     }
     out.push(OracleResult::check("wal_consistency", wal_bad));
+
+    // Causal order: the recorded event trace satisfies happens-before
+    // — no deliver precedes its send, per-site Lamport clocks are
+    // strictly monotone, and no commit ack precedes the force that
+    // made it durable. Ring-buffer windows are checked in the
+    // eviction-tolerant mode.
+    let hb = mcv_trace::check(trace);
+    let causal: Vec<String> = hb.violations.iter().take(5).map(|v| v.to_string()).collect();
+    out.push(OracleResult::check("causal_order", causal));
 
     debug_assert_eq!(out.len(), ORACLE_NAMES.len());
     for o in &out {

@@ -5,6 +5,12 @@ use crate::oracle::{evaluate, OracleResult};
 use crate::schedule::{CutKind, FaultEvent, FaultSchedule};
 use mcv_commit::{build_world, Msg, Protocol, Scenario, Site};
 use mcv_sim::{Partition, ProcId, RunStats, SimTime, World};
+use std::sync::Arc;
+
+/// Flight-recorder capacity: every chaos run keeps at least this many
+/// trailing causal events, so a violating run always ships a window of
+/// what led up to the violation.
+pub const FLIGHT_RECORDER_CAP: usize = 4096;
 
 /// Full configuration of one chaos run: the protocol scenario plus the
 /// fault schedule. Serializable, so a violating run can be shipped as
@@ -82,6 +88,10 @@ pub struct ChaosOutcome {
     /// A deterministic digest of the observable execution (decisions
     /// and message counts); equal digests mean equal runs.
     pub fingerprint: String,
+    /// The causal event trace of the run: the full trace when an outer
+    /// recorder was installed, otherwise the flight-recorder window
+    /// (last [`FLIGHT_RECORDER_CAP`] events).
+    pub trace: mcv_trace::CausalTrace,
 }
 
 impl ChaosOutcome {
@@ -103,7 +113,24 @@ impl ChaosOutcome {
 
 /// Runs one chaos configuration to its deadline and evaluates the
 /// oracles. Deterministic: equal configs give equal outcomes.
+///
+/// The flight recorder is always on: with no outer trace sink
+/// installed, the run records into a bounded ring of
+/// [`FLIGHT_RECORDER_CAP`] events whose snapshot rides the outcome. An
+/// already-installed recorder (tests, the trace explorer) takes
+/// precedence and receives the events instead.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
+    match mcv_trace::installed() {
+        Some(rec) => run_chaos_traced(cfg, &rec),
+        None => {
+            let rec = mcv_trace::Recorder::ring(FLIGHT_RECORDER_CAP);
+            let snap = Arc::clone(&rec);
+            mcv_trace::with_recorder(rec, || run_chaos_traced(cfg, &snap))
+        }
+    }
+}
+
+fn run_chaos_traced(cfg: &ChaosConfig, rec: &Arc<mcv_trace::Recorder>) -> ChaosOutcome {
     let _span = mcv_obs::Span::enter("chaos.run");
     let sc = cfg.scenario();
     let mut world = build_world(&sc);
@@ -188,9 +215,10 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     }
     let stats = world.run_until(SimTime::from_ticks(cfg.deadline));
 
-    let oracles = evaluate(&world, cfg, &wal_damage);
+    let trace = rec.snapshot();
+    let oracles = evaluate(&world, cfg, &wal_damage, &trace);
     let fingerprint = fingerprint(&world, &stats);
-    ChaosOutcome { stats, oracles, fingerprint }
+    ChaosOutcome { stats, oracles, fingerprint, trace }
 }
 
 /// A deterministic digest of the run: every observed decision plus the

@@ -169,6 +169,11 @@ impl Site {
         self.tstate.entry(txn).or_default().state = Some(s);
         self.stable_state.insert(txn, s);
         ctx.note(format!("state {txn} {s}"));
+        mcv_trace::emit(
+            ctx.id().0,
+            ctx.now().ticks(),
+            mcv_trace::EventKind::State { txn: txn.0, state: s.to_string() },
+        );
     }
 
     fn decide(&mut self, ctx: &mut Ctx<Msg>, txn: TxnId, commit: bool) {
@@ -187,6 +192,12 @@ impl Site {
         }
         self.set_state(ctx, txn, final_state);
         ctx.note(format!("decide {txn} {}", if commit { "commit" } else { "abort" }));
+        let decision = if commit {
+            mcv_trace::EventKind::Commit { txn: txn.0 }
+        } else {
+            mcv_trace::EventKind::Abort { txn: txn.0 }
+        };
+        mcv_trace::emit(ctx.id().0, ctx.now().ticks(), decision);
         if let std::collections::btree_map::Entry::Vacant(e) = self.metrics.decisions.entry(txn) {
             e.insert((ctx.now(), commit));
             if let Some(since) = self.metrics.blocked_since.get(&txn) {

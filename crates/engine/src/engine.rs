@@ -105,6 +105,10 @@ pub(crate) struct Inner {
     next_txn: AtomicU64,
     sampler: Mutex<Sampler>,
     counters: EngineCounters,
+    /// Causal trace sink captured from the constructing thread at
+    /// [`Engine::new`]; shared by all worker threads. `None` makes
+    /// every trace branch in the hot paths a single cheap test.
+    trace: Option<Arc<mcv_trace::Recorder>>,
 }
 
 /// A multi-threaded transaction engine. Cheap to clone (`Arc` inside);
@@ -132,10 +136,12 @@ impl Engine {
     /// log-writer thread.
     pub fn new(cfg: EngineConfig) -> Engine {
         assert!(cfg.shards > 0, "engine needs at least one shard");
+        let trace = mcv_trace::installed();
         let wal = Arc::new(GroupWal::new(
             cfg.group_commit,
             Duration::from_micros(cfg.force_latency_us),
             Duration::from_micros(cfg.group_window_us),
+            trace.clone(),
         ));
         let writer = if cfg.group_commit {
             let wal = Arc::clone(&wal);
@@ -154,6 +160,7 @@ impl Engine {
                 next_txn: AtomicU64::new(1),
                 sampler: Mutex::new(Sampler::default()),
                 counters: EngineCounters::default(),
+                trace,
             }),
         }
     }
@@ -353,8 +360,26 @@ impl Engine {
     /// mutex entirely.
     fn release_locks(&self, txn: TxnId, touched: &BTreeSet<usize>, ever_blocked: bool) {
         let mut had_waiters = false;
+        let mut released = self.inner.trace.as_ref().map(|_| Vec::new());
         for &s in touched {
-            had_waiters |= self.inner.shards[s].state.lock().expect("shard mutex").release_all(txn);
+            had_waiters |= self.inner.shards[s]
+                .state
+                .lock()
+                .expect("shard mutex")
+                .release_all(txn, released.as_mut());
+        }
+        if let (Some(t), Some(items)) = (&self.inner.trace, released) {
+            for item in items {
+                let c = t.record(
+                    t.lane(),
+                    0,
+                    None,
+                    mcv_trace::EventKind::LockRelease { txn: txn.0, item: item.clone() },
+                );
+                // Published so a later blocked acquire of the same item
+                // can cite the release that unblocked it.
+                t.set_mark(&format!("release:{item}"), c);
+            }
         }
         if ever_blocked || had_waiters {
             let mut g = self.inner.graph.m.lock().expect("graph mutex");
@@ -441,6 +466,14 @@ impl Txn {
     pub fn commit(mut self) -> Result<(), EngineError> {
         self.check_active()?;
         self.engine.inner.wal.append_commit_and_wait(self.id);
+        if let Some(t) = &self.engine.inner.trace {
+            // The ack was enabled by the device force covering our
+            // commit record; the `wal.force` mark is published before
+            // the durable cursor advances, so it is in place by the
+            // time the wait above returns.
+            let cause = t.mark("wal.force");
+            t.record(t.lane(), 0, cause, mcv_trace::EventKind::Commit { txn: self.id.0 });
+        }
         self.engine.release_locks(self.id, &self.touched, self.ever_blocked);
         self.engine.inner.counters.committed.fetch_add(1, Ordering::Relaxed);
         self.active = false;
@@ -466,12 +499,36 @@ impl Txn {
             Ok((s, blocked)) => {
                 self.ever_blocked |= blocked;
                 self.touched.insert(s);
+                if let Some(t) = &self.engine.inner.trace {
+                    // A grant after blocking was enabled by the prior
+                    // holder's release — cite it so the wait shows up
+                    // as a causal edge between the two transactions.
+                    let cause = if blocked { t.mark(&format!("release:{item}")) } else { None };
+                    t.record(
+                        t.lane(),
+                        0,
+                        cause,
+                        mcv_trace::EventKind::LockAcquire {
+                            txn: self.id.0,
+                            item: item.to_owned(),
+                            exclusive: matches!(mode, LockMode::Exclusive),
+                        },
+                    );
+                }
                 Ok(s)
             }
             Err(e) => {
                 // A deadlock victim necessarily blocked; make sure the
                 // rollback takes the full graph-cleanup path.
                 self.ever_blocked = true;
+                if let Some(t) = &self.engine.inner.trace {
+                    t.record(
+                        t.lane(),
+                        0,
+                        None,
+                        mcv_trace::EventKind::LockAbort { txn: self.id.0, item: item.to_owned() },
+                    );
+                }
                 Err(e)
             }
         }
@@ -485,6 +542,9 @@ impl Txn {
             self.engine.inner.shards[*s].state.lock().expect("shard mutex").set(item, *before);
         }
         self.engine.inner.wal.append(LogRecord::Abort { txn: self.id });
+        if let Some(t) = &self.engine.inner.trace {
+            t.record(t.lane(), 0, None, mcv_trace::EventKind::Abort { txn: self.id.0 });
+        }
         self.engine.release_locks(self.id, &self.touched, self.ever_blocked);
         self.engine.inner.counters.aborted.fetch_add(1, Ordering::Relaxed);
         self.active = false;
@@ -618,6 +678,55 @@ mod tests {
         let snap = engine.metrics_snapshot();
         assert!(snap.counter("engine.locks.deadlocks") >= 1);
         assert!(engine.sampled_history().is_conflict_serializable());
+    }
+
+    #[test]
+    fn traced_engine_run_passes_hb_check_and_commits_cite_forces() {
+        let ((), trace) = mcv_trace::record_trace(None, || {
+            let engine = Engine::new(EngineConfig { group_commit: true, ..Default::default() });
+            let threads: Vec<_> = (0..2)
+                .map(|w| {
+                    let engine = engine.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..5 {
+                            let mut t = engine.begin();
+                            let r = t
+                                .read("ctr")
+                                .and_then(|v| t.write("ctr", v + 1))
+                                .and_then(|()| t.write(&format!("w{w}.{i}"), i));
+                            match r {
+                                Ok(()) => t.commit().expect("commit"),
+                                Err(_) => t.abort(),
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().expect("worker");
+            }
+        });
+        let report = mcv_trace::check(&trace);
+        assert!(report.ok(), "{}", report.summary());
+        // Every commit ack cites the WAL force that made it durable.
+        let commits: Vec<_> = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, mcv_trace::EventKind::Commit { .. }))
+            .collect();
+        assert!(!commits.is_empty());
+        let index = trace.by_id();
+        for c in &commits {
+            let cause = c.cause.and_then(|id| index.get(&id).copied()).expect("commit has a cause");
+            assert!(
+                matches!(cause.kind, mcv_trace::EventKind::WalForce { .. }),
+                "commit cause is a force, got {}",
+                cause.kind
+            );
+        }
+        // Worker lanes are distinct: events span at least 2 sites.
+        let sites: BTreeSet<usize> = trace.events.iter().map(|e| e.site).collect();
+        assert!(sites.len() >= 2, "expected multiple lanes, got {sites:?}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use mcv_txn::{LogRecord, TxnId};
 use std::collections::BTreeSet;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 #[derive(Debug)]
@@ -32,6 +32,9 @@ pub(crate) struct GroupWal {
     /// make this batch instead of the next (the classic group-commit
     /// timer).
     group_window: Duration,
+    /// Causal trace sink captured at engine construction; `None` means
+    /// every record call below is a no-op branch.
+    trace: Option<Arc<mcv_trace::Recorder>>,
 }
 
 #[derive(Debug, Default)]
@@ -52,7 +55,12 @@ struct GwInner {
 }
 
 impl GroupWal {
-    pub(crate) fn new(group: bool, force_latency: Duration, group_window: Duration) -> Self {
+    pub(crate) fn new(
+        group: bool,
+        force_latency: Duration,
+        group_window: Duration,
+        trace: Option<Arc<mcv_trace::Recorder>>,
+    ) -> Self {
         GroupWal {
             inner: Mutex::new(GwInner::default()),
             work: Condvar::new(),
@@ -60,13 +68,43 @@ impl GroupWal {
             group,
             force_latency,
             group_window,
+            trace,
         }
     }
 
-    /// Appends a record without forcing (updates, aborts).
-    pub(crate) fn append(&self, rec: LogRecord) {
+    /// Records a `WalAppend` trace event for `rec` at `lsn`.
+    fn trace_append(&self, rec: &LogRecord, lsn: usize) {
+        let Some(t) = &self.trace else { return };
+        let (txn, what) = match rec {
+            LogRecord::Update { txn, .. } => (*txn, "update"),
+            LogRecord::Commit { txn } => (*txn, "commit"),
+            LogRecord::Abort { txn } => (*txn, "abort"),
+            LogRecord::CheckpointDone { .. } => (TxnId(0), "checkpoint"),
+        };
+        t.record(
+            t.lane(),
+            0,
+            None,
+            mcv_trace::EventKind::WalAppend { txn: txn.0, lsn: lsn as u64, what: what.to_owned() },
+        );
+    }
+
+    /// Records a `WalForce` trace event covering `upto` and publishes
+    /// it under the `wal.force` mark so commit acks can cite it.
+    fn trace_force(&self, upto: usize) {
+        let Some(t) = &self.trace else { return };
+        let c = t.record(t.lane(), 0, None, mcv_trace::EventKind::WalForce { upto: upto as u64 });
+        t.set_mark("wal.force", c);
+    }
+
+    /// Appends a record without forcing (updates, aborts); returns its
+    /// log sequence number.
+    pub(crate) fn append(&self, rec: LogRecord) -> usize {
         let mut g = self.inner.lock().expect("wal mutex");
-        g.log.append(rec);
+        let lsn = g.log.append(rec.clone());
+        drop(g);
+        self.trace_append(&rec, lsn);
+        lsn
     }
 
     /// Appends `txn`'s commit record and blocks until it is durable.
@@ -74,6 +112,11 @@ impl GroupWal {
         let mut g = self.inner.lock().expect("wal mutex");
         let lsn = g.log.append(LogRecord::Commit { txn });
         g.commits += 1;
+        if self.trace.is_some() {
+            drop(g);
+            self.trace_append(&LogRecord::Commit { txn }, lsn);
+            g = self.inner.lock().expect("wal mutex");
+        }
         if self.group {
             g.requested = g.requested.max(lsn);
             self.work.notify_one();
@@ -94,6 +137,9 @@ impl GroupWal {
             g.forces += 1;
             drop(g);
             self.sleep_device();
+            // Recorded before the durable cursor moves, so the force
+            // always precedes the ack it enables in the trace.
+            self.trace_force(target);
             let mut g = self.inner.lock().expect("wal mutex");
             g.durable = g.durable.max(target);
             g.forcing = false;
@@ -130,6 +176,13 @@ impl GroupWal {
             self.sleep_device();
             let mut g = self.inner.lock().expect("wal mutex");
             let target = g.log.forced_records();
+            if self.trace.is_some() {
+                // Recorded before the durable cursor moves, so the
+                // force always precedes the acks it enables.
+                drop(g);
+                self.trace_force(target);
+                g = self.inner.lock().expect("wal mutex");
+            }
             g.durable = g.durable.max(target);
             self.forced.notify_all();
         }
@@ -175,7 +228,7 @@ mod tests {
 
     #[test]
     fn per_commit_mode_forces_once_per_commit() {
-        let wal = GroupWal::new(false, Duration::ZERO, Duration::ZERO);
+        let wal = GroupWal::new(false, Duration::ZERO, Duration::ZERO, None);
         for t in 1..=5 {
             wal.append(LogRecord::Update {
                 txn: TxnId(t),
@@ -192,7 +245,7 @@ mod tests {
 
     #[test]
     fn group_mode_batches_concurrent_commits() {
-        let wal = Arc::new(GroupWal::new(true, Duration::from_millis(2), Duration::ZERO));
+        let wal = Arc::new(GroupWal::new(true, Duration::from_millis(2), Duration::ZERO, None));
         let writer = {
             let wal = Arc::clone(&wal);
             std::thread::spawn(move || wal.writer_loop())

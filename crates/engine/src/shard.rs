@@ -129,19 +129,25 @@ impl ShardState {
     /// Releases every lock and pending request of `txn` in this shard
     /// (strict 2PL: called only at commit/abort). Returns whether any
     /// entry `txn` was involved in still has waiters — callers only
-    /// need the global wakeup path when it does.
-    pub(crate) fn release_all(&mut self, txn: TxnId) -> bool {
+    /// need the global wakeup path when it does. When `released` is
+    /// given, the items `txn` actually *held* (not merely queued on)
+    /// are appended to it, so the caller can trace the releases.
+    pub(crate) fn release_all(&mut self, txn: TxnId, mut released: Option<&mut Vec<Item>>) -> bool {
         let mut had_waiters = false;
-        self.locks.retain(|_, entry| {
-            let involved = entry.sharers.remove(&txn)
-                | (entry.exclusive == Some(txn))
-                | entry.waiting.iter().any(|(t, _)| *t == txn);
+        self.locks.retain(|item, entry| {
+            let held = entry.sharers.remove(&txn) | (entry.exclusive == Some(txn));
+            let involved = held | entry.waiting.iter().any(|(t, _)| *t == txn);
             if entry.exclusive == Some(txn) {
                 entry.exclusive = None;
             }
             entry.waiting.retain(|(t, _)| *t != txn);
             if involved && !entry.waiting.is_empty() {
                 had_waiters = true;
+            }
+            if held {
+                if let Some(out) = released.as_deref_mut() {
+                    out.push(item.clone());
+                }
             }
             !entry.is_idle()
         });
@@ -185,7 +191,7 @@ mod tests {
         // releases, but T2 is queued ahead — T3 must see T2 as a blocker.
         let b = blockers(s.try_or_enqueue(TxnId(3), "X", S));
         assert!(b.contains(&TxnId(2)));
-        s.release_all(TxnId(1));
+        s.release_all(TxnId(1), None);
         // Head of queue gets through now.
         assert!(granted(s.try_or_enqueue(TxnId(2), "X", X)));
     }
@@ -204,8 +210,8 @@ mod tests {
         let mut s = ShardState::default();
         assert!(granted(s.try_or_enqueue(TxnId(1), "X", X)));
         let _ = s.try_or_enqueue(TxnId(2), "X", S);
-        s.release_all(TxnId(1));
-        s.release_all(TxnId(2));
+        s.release_all(TxnId(1), None);
+        s.release_all(TxnId(2), None);
         assert!(s.locks.is_empty());
     }
 
@@ -215,7 +221,7 @@ mod tests {
         assert!(granted(s.try_or_enqueue(TxnId(1), "X", X)));
         let _ = s.try_or_enqueue(TxnId(2), "X", X);
         s.dequeue(TxnId(2), "X");
-        s.release_all(TxnId(1));
+        s.release_all(TxnId(1), None);
         assert!(s.locks.is_empty());
     }
 }

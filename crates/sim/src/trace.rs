@@ -15,6 +15,11 @@ pub enum TraceEvent {
         from: ProcId,
         /// Receiver.
         to: ProcId,
+        /// Per-receiver delivery sequence number (from 1, monotone in
+        /// delivery order even under reorder/dup schedules) — the
+        /// stable key for correlating deliveries across `RunStats`,
+        /// notes, and causal traces.
+        seq: u64,
     },
     /// A message was dropped (loss, partition, or dead receiver).
     Dropped {
@@ -112,8 +117,8 @@ impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for e in &self.entries {
             match &e.event {
-                TraceEvent::Deliver { from, to } => {
-                    writeln!(f, "{} deliver {from} -> {to}", e.time)?
+                TraceEvent::Deliver { from, to, seq } => {
+                    writeln!(f, "{} deliver {from} -> {to} #{seq}", e.time)?
                 }
                 TraceEvent::Dropped { from, to } => writeln!(f, "{} DROP {from} -> {to}", e.time)?,
                 TraceEvent::Timer { proc, token } => {

@@ -39,11 +39,16 @@ impl Default for WorldConfig {
     }
 }
 
+/// Causal-trace payload carried by an in-flight message: the `Send`
+/// event's cause token and the message label, present only when a
+/// trace sink was active at send time.
+type SendTag = Option<(mcv_trace::Cause, String)>;
+
 #[derive(Debug)]
 enum EventKind<M> {
     Start(ProcId),
-    Deliver { from: ProcId, to: ProcId, msg: M },
-    Timer { proc: ProcId, token: TimerToken, tid: u64 },
+    Deliver { from: ProcId, to: ProcId, msg: M, sent: SendTag },
+    Timer { proc: ProcId, token: TimerToken, tid: u64, set: Option<mcv_trace::Cause> },
     Crash(ProcId),
     Recover(ProcId),
 }
@@ -176,6 +181,7 @@ pub struct World<M, P> {
     link_windows: Vec<LinkWindow>,
     stats: RunStats,
     trace: Trace,
+    deliver_seq: Vec<u64>,
     started: bool,
 }
 
@@ -197,6 +203,7 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
             link_windows: Vec::new(),
             stats: RunStats::default(),
             trace: Trace::new(),
+            deliver_seq: Vec::new(),
             started: false,
         }
     }
@@ -206,6 +213,7 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
         let id = ProcId(self.procs.len());
         self.procs.push(p);
         self.up.push(true);
+        self.deliver_seq.push(0);
         id
     }
 
@@ -304,12 +312,22 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
 
     fn apply_ctx(&mut self, id: ProcId, ctx: Ctx<M>) -> bool {
         let self_crash = ctx.crash;
+        let tracing = mcv_trace::active();
         for note in &ctx.notes {
             self.trace.push(self.time, TraceEvent::Note { proc: id, text: note.clone() });
+            mcv_trace::emit(
+                id.0,
+                self.time.ticks(),
+                mcv_trace::EventKind::Note { text: note.clone() },
+            );
         }
         for (to, msg) in ctx.sends {
             self.stats.messages_sent += 1;
             mcv_obs::counter("sim.sent", 1);
+            // The message label is only rendered when a sink is live.
+            let label =
+                if tracing { mcv_trace::label_of(&format!("{msg:?}")) } else { String::new() };
+            let t_drop = |label: String| mcv_trace::EventKind::Drop { from: id.0, to: to.0, label };
             // Loss?
             if self.config.network.loss_probability > 0.0
                 && self.rng.gen_bool(self.config.network.loss_probability)
@@ -319,6 +337,7 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                 mcv_obs::counter("sim.dropped", 1);
                 mcv_obs::counter("sim.dropped_by_loss", 1);
                 self.trace.push(self.time, TraceEvent::Dropped { from: id, to });
+                mcv_trace::emit(id.0, self.time.ticks(), t_drop(label));
                 continue;
             }
             // Partition?
@@ -332,6 +351,7 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                 mcv_obs::counter("sim.dropped", 1);
                 mcv_obs::counter("sim.dropped_by_partition", 1);
                 self.trace.push(self.time, TraceEvent::Dropped { from: id, to });
+                mcv_trace::emit(id.0, self.time.ticks(), t_drop(label));
                 continue;
             }
             // Scheduled drop window on this link?
@@ -343,6 +363,7 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                 mcv_obs::counter("sim.dropped", 1);
                 mcv_obs::counter("sim.dropped_by_window", 1);
                 self.trace.push(self.time, TraceEvent::Dropped { from: id, to });
+                mcv_trace::emit(id.0, self.time.ticks(), t_drop(label));
                 continue;
             }
             // Duplication: a dup window, or the i.i.d. probability.
@@ -356,6 +377,14 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                 mcv_obs::counter("sim.duplicated", 1);
             }
             let reorder_window = windowed(&self.link_windows, self.time, WindowKind::Reorder);
+            // One Send event per message; duplicated copies share it as
+            // their causal antecedent.
+            let sent = mcv_trace::emit(
+                id.0,
+                self.time.ticks(),
+                mcv_trace::EventKind::Send { to: to.0, label: label.clone() },
+            )
+            .map(|cause| (cause, label));
             for _ in 0..copies {
                 let mut deliver_at = self.time + self.config.network.delay.sample(&mut self.rng);
                 let reorder = reorder_window
@@ -373,7 +402,10 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                     }
                     self.fifo_last.insert((id, to), deliver_at);
                 }
-                self.push(deliver_at, EventKind::Deliver { from: id, to, msg: msg.clone() });
+                self.push(
+                    deliver_at,
+                    EventKind::Deliver { from: id, to, msg: msg.clone(), sent: sent.clone() },
+                );
             }
         }
         // Cancels first: they target timers that existed *before* this
@@ -394,11 +426,14 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
             self.tid += 1;
             let tid = self.tid;
             self.live_timers.insert((id, token, tid));
-            self.push(self.time + delay, EventKind::Timer { proc: id, token, tid });
+            let set =
+                mcv_trace::emit(id.0, self.time.ticks(), mcv_trace::EventKind::TimerSet { token });
+            self.push(self.time + delay, EventKind::Timer { proc: id, token, tid, set });
         }
         if self_crash && self.up[id.0] {
             self.up[id.0] = false;
             self.trace.push(self.time, TraceEvent::Crash { proc: id });
+            mcv_trace::emit(id.0, self.time.ticks(), mcv_trace::EventKind::Crash);
             self.procs[id.0].on_crash();
             let dead: Vec<_> =
                 self.live_timers.iter().filter(|(p, _, _)| *p == id).cloned().collect();
@@ -436,34 +471,62 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                 self.procs[id.0].on_start(&mut ctx);
                 self.apply_ctx(id, ctx)
             }
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver { from, to, msg, sent } => {
                 if !self.up[to.0] {
                     self.stats.messages_dropped += 1;
                     mcv_obs::counter("sim.dropped", 1);
                     self.trace.push(self.time, TraceEvent::Dropped { from, to });
+                    let (cause, label) = sent.map(|(c, l)| (Some(c), l)).unwrap_or_default();
+                    mcv_trace::emit_caused(
+                        to.0,
+                        self.time.ticks(),
+                        cause,
+                        mcv_trace::EventKind::Drop { from: from.0, to: to.0, label },
+                    );
                     false
                 } else {
                     self.stats.messages_delivered += 1;
                     mcv_obs::counter("sim.delivered", 1);
-                    self.trace.push(self.time, TraceEvent::Deliver { from, to });
+                    self.deliver_seq[to.0] += 1;
+                    let seq = self.deliver_seq[to.0];
+                    self.trace.push(self.time, TraceEvent::Deliver { from, to, seq });
+                    let (cause, label) = sent.map(|(c, l)| (Some(c), l)).unwrap_or_default();
+                    let delivered = mcv_trace::emit_caused(
+                        to.0,
+                        self.time.ticks(),
+                        cause,
+                        mcv_trace::EventKind::Deliver { from: from.0, label, deliver_seq: seq },
+                    );
+                    let prev = mcv_trace::set_context(delivered);
                     let mut ctx =
                         Ctx::new(to, n, self.time).with_local(local(&self.config, to, self.time));
                     self.procs[to.0].on_message(&mut ctx, from, msg);
-                    self.apply_ctx(to, ctx)
+                    let stop = self.apply_ctx(to, ctx);
+                    mcv_trace::set_context(prev);
+                    stop
                 }
             }
-            EventKind::Timer { proc, token, tid } => {
+            EventKind::Timer { proc, token, tid, set } => {
                 if self.up[proc.0] && self.live_timers.remove(&(proc, token, tid)) {
                     self.stats.timer_fires += 1;
                     mcv_obs::counter("sim.timer_fires", 1);
                     self.trace.push(self.time, TraceEvent::Timer { proc, token });
+                    let fired = mcv_trace::emit_caused(
+                        proc.0,
+                        self.time.ticks(),
+                        set,
+                        mcv_trace::EventKind::TimerFire { token },
+                    );
+                    let prev = mcv_trace::set_context(fired);
                     let mut ctx = Ctx::new(proc, n, self.time).with_local(local(
                         &self.config,
                         proc,
                         self.time,
                     ));
                     self.procs[proc.0].on_timer(&mut ctx, token);
-                    self.apply_ctx(proc, ctx)
+                    let stop = self.apply_ctx(proc, ctx);
+                    mcv_trace::set_context(prev);
+                    stop
                 } else {
                     false
                 }
@@ -472,6 +535,7 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                 if self.up[id.0] {
                     self.up[id.0] = false;
                     self.trace.push(self.time, TraceEvent::Crash { proc: id });
+                    mcv_trace::emit(id.0, self.time.ticks(), mcv_trace::EventKind::Crash);
                     self.procs[id.0].on_crash();
                     // Pending timers of a crashed process die with it.
                     let dead: Vec<_> =
@@ -486,10 +550,15 @@ impl<M: Clone + std::fmt::Debug, P: Process<M>> World<M, P> {
                 if !self.up[id.0] {
                     self.up[id.0] = true;
                     self.trace.push(self.time, TraceEvent::Recover { proc: id });
+                    let recovered =
+                        mcv_trace::emit(id.0, self.time.ticks(), mcv_trace::EventKind::Recover);
+                    let prev = mcv_trace::set_context(recovered);
                     let mut ctx =
                         Ctx::new(id, n, self.time).with_local(local(&self.config, id, self.time));
                     self.procs[id.0].on_recover(&mut ctx);
-                    self.apply_ctx(id, ctx)
+                    let stop = self.apply_ctx(id, ctx);
+                    mcv_trace::set_context(prev);
+                    stop
                 } else {
                     false
                 }
@@ -784,6 +853,45 @@ mod tests {
         let mut sorted = got.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, expected, "every message still delivered exactly once");
+    }
+
+    #[test]
+    fn delivery_seq_is_monotone_under_reorder() {
+        // Reordering scrambles payload order, but the per-site delivery
+        // sequence number stays 1..=n in delivery order — the stable
+        // correlation key the positional scheme lacked.
+        let mut w = flood_world(1);
+        w.schedule_reorder_window(None, None, SimTime::ZERO, SimTime::from_ticks(1_000));
+        w.run();
+        let seqs: Vec<u64> = w
+            .trace()
+            .entries()
+            .iter()
+            .filter_map(|e| match e.event {
+                TraceEvent::Deliver { to: ProcId(1), seq, .. } => Some(seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(seqs, (1..=20).collect::<Vec<u64>>());
+        let payloads = &w.process(ProcId(1)).received;
+        assert_ne!(payloads, &(0..20).collect::<Vec<u64>>(), "payloads arrive out of order");
+    }
+
+    #[test]
+    fn causal_trace_of_a_run_is_hb_clean() {
+        let ((), trace) = mcv_trace::record_trace(None, || {
+            let mut w = flood_world(3);
+            w.schedule_dup_window(None, None, SimTime::ZERO, SimTime::from_ticks(2));
+            w.run();
+        });
+        assert!(!trace.is_empty());
+        let report = mcv_trace::check(&trace);
+        assert!(report.ok(), "{:?}", report.violations);
+        // Every deliver cites its send.
+        assert!(trace
+            .events
+            .iter()
+            .all(|e| !matches!(e.kind, mcv_trace::EventKind::Deliver { .. }) || e.cause.is_some()));
     }
 
     #[test]

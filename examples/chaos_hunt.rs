@@ -61,7 +61,16 @@ fn hunt() -> ExitCode {
 
     std::fs::create_dir_all("target/chaos").expect("create target/chaos");
     let path = v.artifact.write("target/chaos").expect("write artifact");
+    let trace_path = v.artifact.write_trace("target/chaos", &v.trace).expect("write trace");
     println!("\nartifact: {}", path.display());
+    println!(
+        "trace:    {} ({} events in the flight-recorder window)",
+        trace_path.display(),
+        v.trace.len()
+    );
+    if let Some(localized) = mcv::trace::explain_divergence(&v.trace) {
+        println!("\nflight recorder localizes the divergence:\n{localized}");
+    }
     println!("replay:   cargo run --release --example chaos_hunt -- --replay {}", path.display());
 
     println!("\n=== Control: election + quorum termination, same faults, 200 seeds ===\n");
@@ -98,6 +107,16 @@ fn replay(path: &str) -> ExitCode {
         if !o.pass {
             println!("FAIL {}: {}", o.name, o.detail);
         }
+    }
+    // The replay re-records the flight recorder; dump its window next
+    // to the artifact so the causal evidence ships with the repro.
+    let dir = std::path::Path::new(path).parent().unwrap_or(std::path::Path::new("."));
+    match artifact.write_trace(dir, &out.trace) {
+        Ok(p) => println!("flight recorder: {} ({} events)", p.display(), out.trace.len()),
+        Err(e) => eprintln!("could not write flight-recorder dump: {e}"),
+    }
+    if let Some(localized) = mcv::trace::explain_divergence(&out.trace) {
+        println!("\nflight recorder localizes the divergence:\n{localized}");
     }
     if out.violates(&artifact.violated) {
         println!("reproduced: the violation is deterministic");

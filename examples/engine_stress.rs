@@ -20,6 +20,23 @@
 
 use mcv::engine::{run_driver, DriverConfig, EngineConfig, Mix, WorkloadKind};
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Writes the flight-recorder window to `target/chaos/<id>.trace.jsonl`
+/// and prints where the happens-before audit localizes the problem.
+fn dump_flight(rec: &Arc<mcv::trace::Recorder>, id: &str) {
+    let trace = rec.snapshot();
+    let _ = std::fs::create_dir_all("target/chaos");
+    let path = std::path::Path::new("target/chaos").join(format!("{id}.trace.jsonl"));
+    match trace.write_jsonl(&path) {
+        Ok(()) => eprintln!("flight recorder: {} ({} events)", path.display(), trace.len()),
+        Err(e) => eprintln!("could not write flight-recorder dump: {e}"),
+    }
+    let hb = mcv::trace::check(&trace);
+    if !hb.ok() {
+        eprint!("{}", hb.summary());
+    }
+}
 
 struct Args {
     threads: usize,
@@ -118,10 +135,16 @@ fn run_once(args: &Args) -> ExitCode {
         "engine_stress: {} threads, {} shards, {} txns, {} items, {} us force, group commit {}",
         args.threads, args.shards, args.txns, args.items, args.force_us, args.group_commit
     );
-    let (report, data) = mcv::obs::collect(|| {
-        let report = run_driver(&cfg);
-        mcv::obs::absorb(&report.metrics);
-        report
+    // Flight recorder: the run records causal events into a bounded
+    // ring; on oracle failure the last-N window is dumped for triage.
+    let rec = mcv::trace::Recorder::ring(mcv::chaos::FLIGHT_RECORDER_CAP);
+    let flight = Arc::clone(&rec);
+    let (report, data) = mcv::trace::with_recorder(rec, || {
+        mcv::obs::collect(|| {
+            let report = run_driver(&cfg);
+            mcv::obs::absorb(&report.metrics);
+            report
+        })
     });
     println!("\n{}\n", report.summary());
     let obs_report = data.into_report("engine_stress").fact("seed", args.seed);
@@ -130,6 +153,7 @@ fn run_once(args: &Args) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("ORACLE VIOLATION — see report above");
+        dump_flight(&flight, "engine_stress");
         ExitCode::FAILURE
     }
 }
@@ -157,7 +181,9 @@ fn smoke() -> ExitCode {
             workload: *workload,
             ..Args::default()
         };
-        let report = run_driver(&config(&args));
+        let rec = mcv::trace::Recorder::ring(mcv::chaos::FLIGHT_RECORDER_CAP);
+        let flight = Arc::clone(&rec);
+        let report = mcv::trace::with_recorder(rec, || run_driver(&config(&args)));
         let batched = report.forces < report.commits;
         println!(
             "smoke {name:<8} committed={} serializable={} recovery={} bank={:?} \
@@ -171,6 +197,7 @@ fn smoke() -> ExitCode {
         );
         if !report.oracles_ok() {
             eprintln!("smoke {name}: ORACLE VIOLATION");
+            dump_flight(&flight, &format!("engine_smoke_{name}"));
             return ExitCode::FAILURE;
         }
         if !batched {

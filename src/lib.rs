@@ -21,6 +21,9 @@
 //!   failure injection, plus a Figure 3.2 model checker;
 //! - [`obs`] — observability: metrics, span tracing, and
 //!   machine-readable [`obs::RunReport`]s for any of the above;
+//! - [`trace`] — causal event tracing: Lamport-clocked typed events,
+//!   a happens-before checker, flight-recorder ring buffers, and the
+//!   explorer behind the `trace` bin;
 //! - [`chaos`] — randomized fault-schedule campaigns over the commit
 //!   protocols with atomic-commitment oracles and delta-debugging
 //!   shrinking to minimal, replayable counterexamples;
@@ -59,4 +62,5 @@ pub use mcv_logic as logic;
 pub use mcv_module as module;
 pub use mcv_obs as obs;
 pub use mcv_sim as sim;
+pub use mcv_trace as trace;
 pub use mcv_txn as txn;
