@@ -13,17 +13,19 @@
 //! [`mcv_obs::RunReport`] (metrics + spans + wall-clock) is written to
 //! `<dir>/<id>.json`. Counters are deterministic across identically
 //! seeded runs; only `wall.*` metrics and span/report wall-clock fields
-//! vary. The concurrent-engine artifacts (`exp.tput`, `exp.gc`) are the
-//! exception: their `engine.*` counters depend on thread scheduling.
-//! `exp.tput` additionally writes its RunReport as
-//! `<dir>/BENCH_engine.json`, the canonical engine benchmark record.
+//! vary. The concurrent artifacts (`exp.tput`, `exp.gc`, `exp.dist`)
+//! are the exception: their `engine.*`/`dist.*` wall metrics depend on
+//! thread scheduling. `exp.tput` additionally writes its RunReport as
+//! `<dir>/BENCH_engine.json` and `exp.dist` as `<dir>/BENCH_dist.json`
+//! — the canonical benchmark records. `--check-bench` takes one or
+//! more baseline files and dispatches each on its report id.
 
 use mcv_bench::artifacts;
 use std::path::PathBuf;
 
 fn main() {
     let mut json_dir: Option<PathBuf> = None;
-    let mut check_bench: Option<PathBuf> = None;
+    let mut baselines: Vec<PathBuf> = Vec::new();
     let mut args: Vec<String> = Vec::new();
     let mut raw = std::env::args().skip(1);
     while let Some(a) = raw.next() {
@@ -36,25 +38,35 @@ fn main() {
                 }
             }
         } else if a == "--check-bench" {
+            // Greedy: every following non-flag argument is a baseline,
+            // so `--check-bench baselines/*.json` gates them all.
             match raw.next() {
-                Some(path) => check_bench = Some(PathBuf::from(path)),
+                Some(path) => baselines.push(PathBuf::from(path)),
                 None => {
-                    eprintln!("--check-bench requires a baseline JSON path");
+                    eprintln!("--check-bench requires at least one baseline JSON path");
                     std::process::exit(2);
                 }
             }
+        } else if !baselines.is_empty() && a.ends_with(".json") {
+            baselines.push(PathBuf::from(a));
         } else {
             args.push(a);
         }
     }
-    if let Some(path) = check_bench {
-        run_bench_gate(&path);
+    if !baselines.is_empty() {
+        let mut failed = false;
+        for path in &baselines {
+            failed |= !run_bench_gate(path);
+        }
+        if failed {
+            std::process::exit(1);
+        }
         return;
     }
     let known = artifacts();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
         eprintln!("usage: repro [--json <dir>] <artifact-id>... | all | list");
-        eprintln!("       repro --check-bench <baseline.json>   # gate exp.tput vs baseline");
+        eprintln!("       repro --check-bench <baseline.json>...   # gate benchmarks vs baselines");
         eprintln!("artifact ids:");
         for (id, _) in &known {
             eprintln!("  {id}");
@@ -100,15 +112,20 @@ fn main() {
                         std::process::exit(1);
                     }
                 }
-                if *id == "exp.tput" {
-                    // The engine throughput run is the repo's benchmark
-                    // record; mirror it under the BENCH_ name.
+                // The throughput runs are the repo's benchmark
+                // records; mirror them under their BENCH_ names.
+                let bench_id = match *id {
+                    "exp.tput" => Some("BENCH_engine"),
+                    "exp.dist" => Some("BENCH_dist"),
+                    _ => None,
+                };
+                if let Some(bench_id) = bench_id {
                     let mut bench = report;
-                    bench.id = "BENCH_engine".to_owned();
+                    bench.id = bench_id.to_owned();
                     match mcv_obs::write_report(dir, &bench) {
                         Ok(path) => eprintln!("[obs] wrote {}", path.display()),
                         Err(e) => {
-                            eprintln!("[obs] failed to write BENCH_engine.json: {e}");
+                            eprintln!("[obs] failed to write {bench_id}.json: {e}");
                             std::process::exit(1);
                         }
                     }
@@ -118,11 +135,13 @@ fn main() {
     }
 }
 
-/// Re-runs the engine benchmark (`exp.tput`) and gates its metrics
-/// against the committed baseline; exits 1 on any regression. The
-/// tolerances are [`mcv_bench::engine_gate_rules`] (documented in
-/// EXPERIMENTS.md).
-fn run_bench_gate(baseline_path: &std::path::Path) {
+/// Re-runs the benchmark a baseline records and gates its metrics
+/// against that baseline; returns false on regression. The baseline's
+/// report id picks the benchmark and its tolerances: `BENCH_engine`
+/// re-runs `exp.tput` under [`mcv_bench::engine_gate_rules`],
+/// `BENCH_dist` re-runs `exp.dist` under
+/// [`mcv_bench::dist_gate_rules`] (both documented in EXPERIMENTS.md).
+fn run_bench_gate(baseline_path: &std::path::Path) -> bool {
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(text) => match mcv_obs::RunReport::from_json(&text) {
             Ok(r) => r,
@@ -136,15 +155,29 @@ fn run_bench_gate(baseline_path: &std::path::Path) {
             std::process::exit(2);
         }
     };
-    println!("==================== bench gate (exp.tput) ====================");
-    let (text, data) = mcv_obs::collect(mcv_bench::exp_tput);
+    let (artifact, generator, rules): (&str, fn() -> String, Vec<mcv_bench::GateRule>) =
+        match baseline.id.as_str() {
+            "BENCH_engine" => ("exp.tput", mcv_bench::exp_tput, mcv_bench::engine_gate_rules()),
+            "BENCH_dist" => ("exp.dist", mcv_bench::exp_dist, mcv_bench::dist_gate_rules()),
+            other => {
+                eprintln!(
+                    "--check-bench: unknown baseline id {other:?} in {} \
+                     (expected BENCH_engine or BENCH_dist)",
+                    baseline_path.display()
+                );
+                std::process::exit(2);
+            }
+        };
+    println!("==================== bench gate ({artifact}) ====================");
+    let (text, data) = mcv_obs::collect(generator);
     println!("{text}");
-    let current = data.into_report("BENCH_engine");
-    let outcome = mcv_bench::check_bench(&baseline, &current, &mcv_bench::engine_gate_rules());
+    let current = data.into_report(baseline.id.clone());
+    let outcome = mcv_bench::check_bench(&baseline, &current, &rules);
     print!("{}", outcome.summary());
     if !outcome.ok() {
         eprintln!("bench gate FAILED against {}", baseline_path.display());
-        std::process::exit(1);
+        return false;
     }
     println!("bench gate OK against {}", baseline_path.display());
+    true
 }

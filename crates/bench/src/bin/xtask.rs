@@ -1,0 +1,267 @@
+//! Repository chores the `./ci` pipeline leans on:
+//!
+//! ```text
+//! xtask docsync                                # doc-inventory lint
+//! xtask ci-report <gatelog> [--out <file>] [--flake]
+//! ```
+//!
+//! `docsync` fails (exit 1) if any workspace crate is absent from the
+//! DESIGN.md crate inventory or the README crate list — the docs drift
+//! the moment a crate lands without them.
+//!
+//! `ci-report` turns the gate log the `./ci` script accumulates (one
+//! `<name> <pass|fail> <seconds>` line per gate) into a summary table
+//! on stdout and a machine-readable [`mcv_obs::RunReport`] at `--out`
+//! (default `ci-report.json`), with the report's wall-clock fields
+//! stripped so identical gate outcomes diff clean; the per-gate wall
+//! times survive as facts — they are the report's content. With
+//! `--flake`, gates named `<name>@r<round>` are grouped by base name
+//! and any gate whose verdict differs between rounds is reported as
+//! FLAKY.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("docsync") => docsync(),
+        Some("ci-report") => ci_report(&args[1..]),
+        _ => {
+            eprintln!("usage: xtask docsync | xtask ci-report <gatelog> [--out <file>] [--flake]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The repository root, resolved from this crate's manifest directory
+/// (`crates/bench`), so the lint works from any working directory.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Workspace member crate names: every `crates/*/Cargo.toml` (the root
+/// manifest's members list is the glob `"crates/*"`), each member's
+/// `name = "..."`. Vendored shims under `vendor/` are deliberately out
+/// of scope — they mirror external APIs, not this project's design.
+fn workspace_crates(root: &Path) -> Result<Vec<String>, String> {
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("cannot read {}: {e}", crates_dir.display()))?;
+    let mut names = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("cannot list {}: {e}", crates_dir.display()))?;
+        let member_manifest = entry.path().join("Cargo.toml");
+        if !member_manifest.is_file() {
+            continue;
+        }
+        let text = std::fs::read_to_string(&member_manifest)
+            .map_err(|e| format!("cannot read {}: {e}", member_manifest.display()))?;
+        let name = text
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("name = \""))
+            .and_then(|rest| rest.strip_suffix('"'))
+            .ok_or_else(|| format!("{}: no package name", member_manifest.display()))?;
+        names.push(name.to_owned());
+    }
+    if names.is_empty() {
+        return Err(format!("no member crates found under {}", crates_dir.display()));
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn docsync() -> ExitCode {
+    let root = repo_root();
+    let crates = match workspace_crates(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("docsync: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut missing = Vec::new();
+    for doc in ["DESIGN.md", "README.md"] {
+        let text = match std::fs::read_to_string(root.join(doc)) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("docsync: cannot read {doc}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        for name in &crates {
+            if !text.contains(name.as_str()) {
+                missing.push(format!("{doc} never mentions workspace crate {name}"));
+            }
+        }
+    }
+    if missing.is_empty() {
+        println!(
+            "docsync OK: {} workspace crates covered by DESIGN.md and README.md",
+            crates.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for m in &missing {
+            eprintln!("docsync: {m}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// One parsed gate-log line.
+#[derive(Debug, Clone, PartialEq)]
+struct Gate {
+    name: String,
+    pass: bool,
+    secs: u64,
+}
+
+fn parse_gatelog(text: &str) -> Result<Vec<Gate>, String> {
+    let mut gates = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(verdict), Some(secs)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("malformed gate line {line:?}"));
+        };
+        let pass = match verdict {
+            "pass" => true,
+            "fail" => false,
+            other => return Err(format!("gate {name}: verdict {other:?} is not pass|fail")),
+        };
+        let secs = secs.parse().map_err(|_| format!("gate {name}: bad seconds {secs:?}"))?;
+        gates.push(Gate { name: name.to_owned(), pass, secs });
+    }
+    Ok(gates)
+}
+
+/// Gates whose verdict differs between `@r<round>` reruns of the same
+/// base name — the flake detector's output.
+fn divergent(gates: &[Gate]) -> Vec<String> {
+    let mut by_base: BTreeMap<&str, (bool, bool)> = BTreeMap::new();
+    for g in gates {
+        let base = g.name.split('@').next().unwrap_or(&g.name);
+        let e = by_base.entry(base).or_insert((false, false));
+        if g.pass {
+            e.0 = true;
+        } else {
+            e.1 = true;
+        }
+    }
+    by_base.iter().filter(|(_, (p, f))| *p && *f).map(|(b, _)| (*b).to_owned()).collect()
+}
+
+fn ci_report(args: &[String]) -> ExitCode {
+    let mut out_path = PathBuf::from("ci-report.json");
+    let mut flake = false;
+    let mut log_path = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out_path = PathBuf::from(p),
+                None => {
+                    eprintln!("ci-report: --out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--flake" => flake = true,
+            other => log_path = Some(PathBuf::from(other)),
+        }
+    }
+    let Some(log_path) = log_path else {
+        eprintln!("usage: xtask ci-report <gatelog> [--out <file>] [--flake]");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(&log_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ci-report: cannot read {}: {e}", log_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let gates = match parse_gatelog(&text) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("ci-report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let passed = gates.iter().filter(|g| g.pass).count();
+    let failed = gates.len() - passed;
+    let total_secs: u64 = gates.iter().map(|g| g.secs).sum();
+    println!("  {:<40} {:>7} {:>7}", "gate", "status", "wall");
+    for g in &gates {
+        println!("  {:<40} {:>7} {:>6}s", g.name, if g.pass { "pass" } else { "FAIL" }, g.secs);
+    }
+    println!("  {:<40} {:>7} {:>6}s", format!("total ({} gates)", gates.len()), "", total_secs);
+
+    let flaky = if flake { divergent(&gates) } else { Vec::new() };
+    for f in &flaky {
+        println!("  FLAKY: {f} diverged between rounds");
+    }
+
+    let mut report = mcv_obs::RunReport::new("ci")
+        .fact("gates", gates.len())
+        .fact("passed", passed)
+        .fact("failed", failed)
+        .fact("flaky", flaky.len());
+    for g in &gates {
+        report = report
+            .fact(format!("gate.{}.status", g.name), if g.pass { "pass" } else { "fail" })
+            .fact(format!("gate.{}.secs", g.name), g.secs);
+    }
+    for f in &flaky {
+        report = report.fact(format!("flaky.{f}"), "diverged");
+    }
+    report.strip_wall();
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("ci-report: cannot write {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+    println!("  report: {}", out_path.display());
+
+    if failed > 0 || !flaky.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gatelog_round_trips() {
+        let gates = parse_gatelog("fmt pass 1\ntests fail 42\n").expect("parses");
+        assert_eq!(
+            gates,
+            vec![
+                Gate { name: "fmt".into(), pass: true, secs: 1 },
+                Gate { name: "tests".into(), pass: false, secs: 42 },
+            ]
+        );
+        assert!(parse_gatelog("fmt maybe 1").is_err());
+    }
+
+    #[test]
+    fn divergence_needs_both_verdicts_for_one_base_name() {
+        let gates = parse_gatelog(
+            "dist_smoke@r1 pass 3\ndist_smoke@r2 fail 3\nchaos_smoke@r1 fail 2\nchaos_smoke@r2 fail 2\n",
+        )
+        .expect("parses");
+        assert_eq!(divergent(&gates), vec!["dist_smoke".to_owned()]);
+    }
+
+    #[test]
+    fn workspace_crates_include_the_known_ones() {
+        let crates = workspace_crates(&repo_root()).expect("workspace parses");
+        for expected in ["mcv-core", "mcv-dist", "mcv-bench"] {
+            assert!(crates.iter().any(|c| c == expected), "{expected} missing from {crates:?}");
+        }
+    }
+}

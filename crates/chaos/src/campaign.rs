@@ -40,11 +40,17 @@ impl Campaign {
     /// failure is kept (seed + violated oracle), but nothing is shrunk
     /// — use [`Campaign::hunt`] for counterexample extraction.
     pub fn run(&self, n_seeds: u64) -> CampaignSummary {
+        self.run_seeds(0, n_seeds)
+    }
+
+    /// Sweeps seeds `seed_base..seed_base + n_seeds`. Distinct bases
+    /// give the CI flake detector disjoint seed populations per round.
+    pub fn run_seeds(&self, seed_base: u64, n_seeds: u64) -> CampaignSummary {
         let _span = mcv_obs::Span::enter("chaos.campaign");
         let mut passes: BTreeMap<String, u64> = BTreeMap::new();
         let mut fails: BTreeMap<String, u64> = BTreeMap::new();
         let mut failures = Vec::new();
-        for seed in 0..n_seeds {
+        for seed in seed_base..seed_base + n_seeds {
             let cfg = self.config_for(seed);
             let out = run_chaos(&cfg);
             mcv_obs::counter("chaos.runs", 1);

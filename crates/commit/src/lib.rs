@@ -47,4 +47,4 @@ mod site;
 pub use decision::{termination_decision, GlobalState};
 pub use harness::{build_world, run_scenario, Report, Scenario, TXN};
 pub use msg::{CrashPoint, LocalState, Msg, Protocol};
-pub use site::{Site, SiteConfig, SiteMetrics, TxnPlan};
+pub use site::{LocalStore, Site, SiteConfig, SiteMetrics, TxnPlan};

@@ -29,12 +29,14 @@ pub struct ObservedDecision {
 
 /// Extracts all `decide` notes from a trace.
 ///
-/// A well-formed note is exactly `decide T<n> commit` or
-/// `decide T<n> abort`. Malformed notes — a missing verdict, a
-/// transaction id without the `T` prefix or with a non-numeric tail,
-/// or an unexpected verdict word — are skipped rather than guessed at:
-/// misreading an unknown verdict as an abort would fabricate an
-/// atomicity violation.
+/// A well-formed decision note is exactly `decide T<n> commit` or
+/// `decide T<n> abort`. Sites also emit `state T<n> <fsm-state>` notes
+/// (which `mcv-dist` parses to establish protocol participation); those
+/// and any other non-`decide` notes pass through untouched. Malformed
+/// `decide` notes — a missing verdict, a transaction id without the `T`
+/// prefix or with a non-numeric tail, or an unexpected verdict word —
+/// are skipped rather than guessed at: misreading an unknown verdict as
+/// an abort would fabricate an atomicity violation.
 pub fn decisions(trace: &Trace) -> Vec<ObservedDecision> {
     let mut out = Vec::new();
     for (time, site, text) in trace.notes() {

@@ -118,12 +118,70 @@ impl SiteMetrics {
     }
 }
 
+/// The transactional storage a [`Site`] drives: what the commit FSM
+/// needs from its local database, and nothing more. [`SiteDb`] (the
+/// simulator's WAL-backed store) implements it, and so does
+/// `mcv-dist`'s adapter over a live `mcv-engine` shard — the same FSM
+/// then governs a genuinely concurrent engine.
+///
+/// `commit`/`abort` return `Err` when the transaction is not active
+/// (e.g. resumed after a crash); the site falls back to
+/// [`LocalStore::resolve`], which settles an in-doubt transaction from
+/// stable storage.
+// `Err(())` carries no payload by design: the FSM reacts identically
+// to every failure (vote no / fall back to `resolve`), and the stores'
+// own error types differ.
+#[allow(clippy::result_unit_err)]
+pub trait LocalStore {
+    /// Starts `txn` locally.
+    fn begin(&mut self, txn: TxnId);
+    /// Applies one write of `txn`; `Err` means the work failed and the
+    /// site must vote no.
+    fn write(&mut self, txn: TxnId, item: &str, value: Value) -> Result<(), ()>;
+    /// Durably commits an active `txn`.
+    fn commit(&mut self, txn: TxnId) -> Result<(), ()>;
+    /// Rolls back an active `txn`.
+    fn abort(&mut self, txn: TxnId) -> Result<(), ()>;
+    /// Settles an in-doubt `txn` (post-recovery decision application).
+    fn resolve(&mut self, txn: TxnId, commit: bool);
+    /// Loses volatile state (site crash).
+    fn crash(&mut self);
+    /// Restarts from stable storage.
+    fn recover(&mut self);
+}
+
+impl LocalStore for SiteDb {
+    fn begin(&mut self, txn: TxnId) {
+        SiteDb::begin(self, txn);
+    }
+    fn write(&mut self, txn: TxnId, item: &str, value: Value) -> Result<(), ()> {
+        SiteDb::write(self, txn, item, value).map_err(|_| ())
+    }
+    fn commit(&mut self, txn: TxnId) -> Result<(), ()> {
+        SiteDb::commit(self, txn).map_err(|_| ())
+    }
+    fn abort(&mut self, txn: TxnId) -> Result<(), ()> {
+        SiteDb::abort(self, txn).map_err(|_| ())
+    }
+    fn resolve(&mut self, txn: TxnId, commit: bool) {
+        SiteDb::resolve(self, txn, commit);
+    }
+    fn crash(&mut self) {
+        SiteDb::crash(self);
+    }
+    fn recover(&mut self) {
+        SiteDb::recover(self);
+    }
+}
+
 /// A site process: one of the networked participants of Figure 3.3.
+/// Generic over its [`LocalStore`]; defaults to the simulator's
+/// [`SiteDb`] so existing call sites are unchanged.
 #[derive(Debug)]
-pub struct Site {
+pub struct Site<S = SiteDb> {
     cfg: SiteConfig,
     /// The site's transactional database (stable + volatile halves).
-    pub db: SiteDb,
+    pub db: S,
     /// Stable protocol-state log (assumption 4: logging on stable
     /// storage). Survives crashes.
     stable_state: BTreeMap<TxnId, LocalState>,
@@ -134,12 +192,19 @@ pub struct Site {
     me: Option<ProcId>,
 }
 
-impl Site {
+impl Site<SiteDb> {
     /// A new site with the given configuration.
     pub fn new(cfg: SiteConfig) -> Self {
+        Site::with_store(cfg, SiteDb::new())
+    }
+}
+
+impl<S: LocalStore> Site<S> {
+    /// A new site driving an arbitrary [`LocalStore`].
+    pub fn with_store(cfg: SiteConfig, store: S) -> Self {
         Site {
             cfg,
-            db: SiteDb::new(),
+            db: store,
             stable_state: BTreeMap::new(),
             tstate: BTreeMap::new(),
             metrics: SiteMetrics::default(),
@@ -512,7 +577,7 @@ impl Site {
     }
 }
 
-impl Process<Msg> for Site {
+impl<S: LocalStore> Process<Msg> for Site<S> {
     fn on_start(&mut self, ctx: &mut Ctx<Msg>) {
         self.me = Some(ctx.id());
         if self.is_coordinator(ctx) {

@@ -1,0 +1,235 @@
+//! One node of the distributed topology: a commit-protocol
+//! [`Site`](mcv_commit::Site) hosted on its own OS thread, driven by
+//! the transport instead of the discrete-event simulator.
+//!
+//! The loop reproduces the simulator world's effect and trace
+//! discipline exactly — notes, then sends, then cancels (targeting
+//! pre-existing timers), then newly armed timers, then self-crash;
+//! `Deliver` events cite their `Send`, `TimerFire` cites its
+//! `TimerSet`, and the triggering event is installed as the ambient
+//! trace context around each callback — so the causal checker of
+//! `mcv-trace` accepts distributed executions under the same rules as
+//! simulated ones.
+
+use crate::runtime::Ledger;
+use crate::transport::{NetMsg, NodeEvent};
+use mcv_commit::{LocalStore, Msg, Site};
+use mcv_sim::{ProcId, Process, SimTime, TimerToken};
+use mcv_trace::Cause;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Everything a node thread needs besides its `Site`.
+pub(crate) struct NodeSeat {
+    pub id: usize,
+    pub n: usize,
+    pub tick_us: u64,
+    pub start: Instant,
+    pub rx: Receiver<NodeEvent>,
+    pub net: Sender<NetMsg>,
+    pub ledger: Arc<Ledger>,
+}
+
+struct NodeLoop<S: LocalStore> {
+    seat: NodeSeat,
+    site: Site<S>,
+    up: bool,
+    deliver_seq: u64,
+    next_tid: u64,
+    /// Pending timers: `(fire_tick, tid)`, min-first.
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Live timer metadata: `tid -> (token, TimerSet cause)`. Cancelled
+    /// or crashed-away timers are removed here; their heap entries are
+    /// skipped lazily.
+    live: BTreeMap<u64, (TimerToken, Option<Cause>)>,
+}
+
+/// Runs one node to completion (shutdown or transport hang-up).
+pub(crate) fn run_node<S: LocalStore>(seat: NodeSeat, site: Site<S>) {
+    let mut n = NodeLoop {
+        seat,
+        site,
+        up: true,
+        deliver_seq: 0,
+        next_tid: 0,
+        heap: BinaryHeap::new(),
+        live: BTreeMap::new(),
+    };
+    n.run();
+}
+
+impl<S: LocalStore> NodeLoop<S> {
+    fn now_tick(&self) -> u64 {
+        (self.seat.start.elapsed().as_micros() as u64) / self.seat.tick_us.max(1)
+    }
+
+    fn ctx(&self, t: u64) -> mcv_sim::Ctx<Msg> {
+        mcv_sim::Ctx::external(ProcId(self.seat.id), self.seat.n, SimTime::from_ticks(t))
+    }
+
+    /// Applies one callback's effects in the simulator world's order.
+    fn drain(&mut self, mut ctx: mcv_sim::Ctx<Msg>, t: u64) {
+        let fx = ctx.take_effects();
+        for note in &fx.notes {
+            self.seat.ledger.note(self.seat.id, t, note);
+            mcv_trace::emit(self.seat.id, t, mcv_trace::EventKind::Note { text: note.clone() });
+        }
+        let tracing = mcv_trace::active();
+        for (to, msg) in fx.sends {
+            mcv_obs::counter("dist.sent", 1);
+            let label =
+                if tracing { mcv_trace::label_of(&format!("{msg:?}")) } else { String::new() };
+            // The network thread records the Send (or Drop) event on
+            // our behalf, citing this ambient cause — a lost channel
+            // means the run is shutting down.
+            let _ = self.seat.net.send(NetMsg::Send {
+                from: self.seat.id,
+                to: to.0,
+                msg,
+                label,
+                cause: mcv_trace::context(),
+            });
+        }
+        // Cancels first: they target timers that existed before this
+        // callback, so a timer re-armed with the same token survives.
+        for token in fx.cancels {
+            self.live.retain(|_, (tk, _)| *tk != token);
+        }
+        for (delay, token) in fx.timers {
+            self.next_tid += 1;
+            let set = mcv_trace::emit(self.seat.id, t, mcv_trace::EventKind::TimerSet { token });
+            self.live.insert(self.next_tid, (token, set));
+            self.heap.push(Reverse((t + delay.ticks(), self.next_tid)));
+        }
+        if fx.crash && self.up {
+            self.crash(t);
+        }
+    }
+
+    fn crash(&mut self, t: u64) {
+        self.up = false;
+        self.seat.ledger.set_up(self.seat.id, false);
+        mcv_obs::counter("dist.crashes", 1);
+        mcv_trace::emit(self.seat.id, t, mcv_trace::EventKind::Crash);
+        self.site.on_crash();
+        // Pending timers of a crashed node die with it.
+        self.live.clear();
+        self.heap.clear();
+    }
+
+    /// Fires every live timer whose tick has passed.
+    fn fire_due(&mut self) {
+        loop {
+            let t = self.now_tick();
+            let Some(&Reverse((due, tid))) = self.heap.peek() else { return };
+            if due > t {
+                return;
+            }
+            self.heap.pop();
+            let Some((token, set)) = self.live.remove(&tid) else { continue };
+            if !self.up {
+                continue;
+            }
+            mcv_obs::counter("dist.timer_fires", 1);
+            let fired = mcv_trace::emit_caused(
+                self.seat.id,
+                t,
+                set,
+                mcv_trace::EventKind::TimerFire { token },
+            );
+            let prev = mcv_trace::set_context(fired);
+            let mut ctx = self.ctx(t);
+            self.site.on_timer(&mut ctx, token);
+            self.drain(ctx, t);
+            mcv_trace::set_context(prev);
+        }
+    }
+
+    /// The nearest live timer's deadline in ticks, if any.
+    fn next_deadline(&mut self) -> Option<u64> {
+        while let Some(&Reverse((due, tid))) = self.heap.peek() {
+            if self.live.contains_key(&tid) {
+                return Some(due);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    fn run(&mut self) {
+        let t0 = self.now_tick();
+        let mut ctx = self.ctx(t0);
+        self.site.on_start(&mut ctx);
+        self.drain(ctx, t0);
+        loop {
+            self.fire_due();
+            let now_us = self.seat.start.elapsed().as_micros() as u64;
+            let wait = self
+                .next_deadline()
+                .map(|due| {
+                    Duration::from_micros((due * self.seat.tick_us.max(1)).saturating_sub(now_us))
+                })
+                .unwrap_or(Duration::from_millis(5))
+                .min(Duration::from_millis(5))
+                .max(Duration::from_micros(50));
+            match self.seat.rx.recv_timeout(wait) {
+                Ok(NodeEvent::Deliver { from, msg, sent }) => self.deliver(from, msg, sent),
+                Ok(NodeEvent::Crash) => {
+                    let t = self.now_tick();
+                    if self.up {
+                        self.crash(t);
+                    }
+                }
+                Ok(NodeEvent::Recover) => self.recover(),
+                Ok(NodeEvent::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+        }
+    }
+
+    fn deliver(&mut self, from: usize, msg: Msg, sent: Option<(Cause, String)>) {
+        let t = self.now_tick();
+        let (cause, label) = sent.map(|(c, l)| (Some(c), l)).unwrap_or_default();
+        if !self.up {
+            // A dead receiver loses the message, receiver-sited like
+            // the simulator's drop-at-delivery.
+            mcv_obs::counter("dist.dropped", 1);
+            mcv_trace::emit_caused(
+                self.seat.id,
+                t,
+                cause,
+                mcv_trace::EventKind::Drop { from, to: self.seat.id, label },
+            );
+            return;
+        }
+        mcv_obs::counter("dist.delivered", 1);
+        self.deliver_seq += 1;
+        let delivered = mcv_trace::emit_caused(self.seat.id, t, cause, {
+            mcv_trace::EventKind::Deliver { from, label, deliver_seq: self.deliver_seq }
+        });
+        let prev = mcv_trace::set_context(delivered);
+        let mut ctx = self.ctx(t);
+        self.site.on_message(&mut ctx, ProcId(from), msg);
+        self.drain(ctx, t);
+        mcv_trace::set_context(prev);
+    }
+
+    fn recover(&mut self) {
+        if self.up {
+            return;
+        }
+        let t = self.now_tick();
+        self.up = true;
+        self.seat.ledger.set_up(self.seat.id, true);
+        mcv_obs::counter("dist.recoveries", 1);
+        let recovered = mcv_trace::emit(self.seat.id, t, mcv_trace::EventKind::Recover);
+        let prev = mcv_trace::set_context(recovered);
+        let mut ctx = self.ctx(t);
+        self.site.on_recover(&mut ctx);
+        self.drain(ctx, t);
+        mcv_trace::set_context(prev);
+    }
+}

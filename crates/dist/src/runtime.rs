@@ -1,0 +1,441 @@
+//! Assembles and runs one distributed execution: per-shard engines on
+//! their own node threads, the coordinator, the network thread, and
+//! the stop monitor.
+
+use crate::node::{run_node, NodeSeat};
+use crate::store::{CoordStore, EngineStore};
+use crate::transport::{NetMsg, Network, NodeEvent};
+use mcv_chaos::{FaultEvent, FaultSchedule, OracleResult};
+use mcv_commit::{CrashPoint, Protocol, Site, SiteConfig, TxnPlan};
+use mcv_engine::{Engine, EngineConfig};
+use mcv_sim::ProcId;
+use mcv_txn::TxnId;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Global (cross-shard) transaction ids start here. The per-shard
+/// engines' own allocators count up from 1, so the two id spaces never
+/// collide; `Engine::begin_at` relies on the caller maintaining this
+/// split.
+pub const GLOBAL_TXN_BASE: u64 = 1_000_000;
+
+/// Full configuration of one distributed run. Serializable, so a
+/// violating run ships as a replayable artifact.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DistConfig {
+    /// Number of data shards; the topology is node 0 (coordinator,
+    /// no shard) plus nodes `1..=n_shards` (one engine each).
+    pub n_shards: usize,
+    /// Number of cross-shard transactions, all started at once.
+    pub n_txns: usize,
+    /// Items each transaction writes at each shard.
+    pub writes_per_shard: usize,
+    /// Seed for delays, fault schedules and workload generation.
+    pub seed: u64,
+    /// Per-phase protocol timeout in ticks.
+    pub timeout: u64,
+    /// Real microseconds per simulation tick — the bridge between the
+    /// chaos schedules' tick times and the threaded transport.
+    pub tick_us: u64,
+    /// Uniform per-hop network delay, in `1..=delay_ticks` ticks.
+    pub delay_ticks: u64,
+    /// Use the naive Figure 3.2 timeout transitions instead of
+    /// election + termination — unsafe with two or more shards.
+    pub naive_timeouts: bool,
+    /// Quorum-checked termination (the hardened default). Without it
+    /// a recovered yes-voter whose decision requests go unanswered
+    /// applies the thesis' `w2 -> abort` failure transition — a guess
+    /// that splits the brain when its yes vote already enabled a
+    /// commit (the cross-shard campaign finds this within 300 seeds).
+    pub quorum_termination: bool,
+    /// Targeted crash: `(node, point)` — the classic coordinator
+    /// windows, injected at protocol positions rather than wall times.
+    pub crash_at: Option<(usize, CrashPoint)>,
+    /// This node votes no on everything (AC2 probes).
+    pub vote_no: Option<usize>,
+    /// Timed faults (ticks), in the `mcv-chaos` vocabulary.
+    pub schedule: FaultSchedule,
+    /// All scheduled faults lie before this tick; the run only
+    /// declares success after it has passed.
+    pub horizon: u64,
+    /// Hard wall-clock stop in milliseconds.
+    pub deadline_ms: u64,
+}
+
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig {
+            n_shards: 3,
+            n_txns: 2,
+            writes_per_shard: 2,
+            seed: 0,
+            timeout: 40,
+            tick_us: 200,
+            delay_ticks: 3,
+            naive_timeouts: false,
+            quorum_termination: true,
+            crash_at: None,
+            vote_no: None,
+            schedule: FaultSchedule::none(),
+            horizon: 150,
+            deadline_ms: 5_000,
+        }
+    }
+}
+
+impl DistConfig {
+    /// Total node count (coordinator + shards).
+    pub fn n_nodes(&self) -> usize {
+        self.n_shards + 1
+    }
+
+    /// The global transaction ids this run drives.
+    pub fn global_txns(&self) -> Vec<TxnId> {
+        (0..self.n_txns as u64).map(|i| TxnId(GLOBAL_TXN_BASE + i)).collect()
+    }
+
+    /// The coordinator's transaction plans. Every shard appears as a
+    /// cohort in every plan (3PC needs `WorkDone` from all cohorts);
+    /// item names are namespaced per transaction so concurrent global
+    /// transactions never contend for the same 2PL locks across shards
+    /// — a distributed deadlock would otherwise stall node threads,
+    /// and cross-engine cycles are invisible to each engine's local
+    /// detector.
+    pub fn plans(&self) -> Vec<TxnPlan> {
+        self.global_txns()
+            .iter()
+            .enumerate()
+            .map(|(i, txn)| TxnPlan {
+                txn: *txn,
+                writes: (1..=self.n_shards)
+                    .map(|s| {
+                        let writes = (0..self.writes_per_shard)
+                            .map(|j| (format!("g{i}_s{s}_{j}"), (i * 100 + j) as i64))
+                            .collect();
+                        (ProcId(s), writes)
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// Shared run ledger: decisions, liveness, and raw notes — the input
+/// to the cross-node oracles.
+#[derive(Debug)]
+pub(crate) struct Ledger {
+    inner: Mutex<LedgerInner>,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct LedgerInner {
+    /// `(tick, node, text)` in arrival order.
+    pub notes: Vec<(u64, usize, String)>,
+    pub up: Vec<bool>,
+    /// First decision per `(node, txn)`; `true` = commit.
+    pub decided: BTreeMap<(usize, u64), bool>,
+    /// Nodes that entered the protocol for a transaction (noted a
+    /// state transition for it). A node that crashed or was
+    /// partitioned away before the vote request arrived never joins
+    /// and owes no decision — the same exemption the simulator's
+    /// termination oracle grants via `local_state(txn).is_none()`.
+    pub participated: BTreeSet<(usize, u64)>,
+    /// Evidence of a decision flipping after it was made (AC3).
+    pub flips: Vec<String>,
+}
+
+impl Ledger {
+    pub fn new(n_nodes: usize) -> Arc<Ledger> {
+        Arc::new(Ledger {
+            inner: Mutex::new(LedgerInner {
+                notes: Vec::new(),
+                up: vec![true; n_nodes],
+                decided: BTreeMap::new(),
+                participated: BTreeSet::new(),
+                flips: Vec::new(),
+            }),
+        })
+    }
+
+    pub fn note(&self, node: usize, tick: u64, text: &str) {
+        let mut g = self.inner.lock().expect("ledger mutex");
+        // The site note grammar: `decide T<n> commit|abort` drives the
+        // monitors, `state T<n> <s>` marks protocol participation.
+        let mut parts = text.split_whitespace();
+        let head = parts.next();
+        if head == Some("decide") {
+            if let (Some(txn_text), Some(verdict)) = (parts.next(), parts.next()) {
+                if let Some(Ok(txn)) = txn_text.strip_prefix('T').map(str::parse::<u64>) {
+                    g.participated.insert((node, txn));
+                    let commit = verdict == "commit";
+                    if let Some(prev) = g.decided.insert((node, txn), commit) {
+                        if prev != commit {
+                            g.decided.insert((node, txn), prev);
+                            g.flips.push(format!(
+                                "node {node} flipped T{txn}: {} then {}",
+                                if prev { "commit" } else { "abort" },
+                                verdict
+                            ));
+                        }
+                    }
+                }
+            }
+        } else if head == Some("state") {
+            if let Some(Ok(txn)) =
+                parts.next().and_then(|t| t.strip_prefix('T')).map(str::parse::<u64>)
+            {
+                g.participated.insert((node, txn));
+            }
+        }
+        g.notes.push((tick, node, text.to_owned()));
+    }
+
+    pub fn set_up(&self, node: usize, up: bool) {
+        self.inner.lock().expect("ledger mutex").up[node] = up;
+    }
+
+    /// Whether every currently-up node that joined a transaction's
+    /// protocol has decided it. Up nodes that never participated
+    /// (crashed or partitioned away before the vote request) owe no
+    /// decision.
+    pub fn settled(&self, txns: &[TxnId]) -> bool {
+        let g = self.inner.lock().expect("ledger mutex");
+        g.up.iter().enumerate().filter(|(_, u)| **u).all(|(node, _)| {
+            txns.iter().all(|t| {
+                !g.participated.contains(&(node, t.0)) || g.decided.contains_key(&(node, t.0))
+            })
+        })
+    }
+
+    /// Total notes recorded so far — the stop monitor's quiescence
+    /// probe.
+    pub fn notes_len(&self) -> usize {
+        self.inner.lock().expect("ledger mutex").notes.len()
+    }
+
+    pub fn snapshot(&self) -> LedgerInner {
+        self.inner.lock().expect("ledger mutex").clone()
+    }
+}
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DistStats {
+    /// Cross-shard transactions driven.
+    pub txns: u64,
+    /// Committed at every shard engine.
+    pub committed: u64,
+    /// Uniformly aborted.
+    pub aborted: u64,
+    /// No decision recorded anywhere (blocked or shut down early).
+    pub undecided: u64,
+    /// Wall time of the run.
+    pub wall_ms: u64,
+    /// The hard deadline fired before the run settled.
+    pub timed_out: bool,
+}
+
+/// Everything one distributed run produced.
+#[derive(Debug)]
+pub struct DistOutcome {
+    /// Aggregate statistics.
+    pub stats: DistStats,
+    /// Every oracle's verdict.
+    pub oracles: Vec<OracleResult>,
+    /// First decision per `(node, txn)`; `true` = commit.
+    pub decisions: BTreeMap<(usize, u64), bool>,
+    /// The run's causal trace.
+    pub trace: mcv_trace::CausalTrace,
+}
+
+impl DistOutcome {
+    /// The first violated oracle, if any.
+    pub fn violated(&self) -> Option<&OracleResult> {
+        self.oracles.iter().find(|o| !o.pass)
+    }
+
+    /// Whether the named oracle failed.
+    pub fn violates(&self, name: &str) -> bool {
+        self.oracles.iter().any(|o| o.name == name && !o.pass)
+    }
+}
+
+/// The tick after which no scheduled fault is still pending.
+fn fault_horizon(schedule: &FaultSchedule) -> u64 {
+    schedule
+        .events
+        .iter()
+        .map(|e| match e {
+            FaultEvent::Crash { at, .. }
+            | FaultEvent::Recover { at, .. }
+            | FaultEvent::TornWrite { at, .. } => *at,
+            FaultEvent::Partition { until, .. }
+            | FaultEvent::DropWindow { until, .. }
+            | FaultEvent::DupWindow { until, .. }
+            | FaultEvent::ReorderWindow { until, .. } => *until,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Runs one distributed execution to completion and evaluates every
+/// oracle over it.
+///
+/// Topology: node 0 is the coordinator (no shard), nodes
+/// `1..=n_shards` each own a live [`Engine`] reached through the
+/// [`EngineStore`] adapter, so the commit FSMs govern real 2PL locks
+/// and per-shard group-commit WALs. All protocol traffic crosses the
+/// threaded transport with seeded delays and the configured faults.
+pub fn run_dist(cfg: &DistConfig) -> DistOutcome {
+    let _span = mcv_obs::Span::enter("dist.run");
+    let n = cfg.n_nodes();
+    let rec = mcv_trace::Recorder::unbounded();
+    // Node threads record at sites `0..n`; engine-side events (WAL,
+    // locks) pick lanes above them.
+    rec.reserve_lanes(n);
+    let start = Instant::now();
+    let ledger = Ledger::new(n);
+    let engines: Vec<Engine> = mcv_trace::with_recorder(Arc::clone(&rec), || {
+        (0..cfg.n_shards)
+            .map(|_| {
+                Engine::new(EngineConfig {
+                    shards: 4,
+                    force_latency_us: 20,
+                    sample_every: 1,
+                    ..Default::default()
+                })
+            })
+            .collect()
+    });
+
+    let (net_tx, net_rx) = mpsc::channel::<NetMsg>();
+    let mut node_txs: Vec<mpsc::Sender<NodeEvent>> = Vec::with_capacity(n);
+    let mut node_rxs: Vec<mpsc::Receiver<NodeEvent>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = mpsc::channel::<NodeEvent>();
+        node_txs.push(tx);
+        node_rxs.push(rx);
+    }
+
+    let network = Network {
+        rx: net_rx,
+        nodes: node_txs.clone(),
+        start,
+        tick_us: cfg.tick_us,
+        delay_ticks: cfg.delay_ticks,
+        seed: cfg.seed,
+        rec: Some(Arc::clone(&rec)),
+    };
+    let schedule = cfg.schedule.clone();
+    let net_handle = std::thread::Builder::new()
+        .name("dist-net".into())
+        .spawn(move || network.run(&schedule))
+        .expect("spawn network thread");
+
+    let site_cfg = |node: usize| SiteConfig {
+        protocol: Protocol::ThreePhase,
+        coordinator: ProcId(0),
+        timeout: cfg.timeout,
+        crash_at: cfg.crash_at.and_then(|(who, p)| (who == node).then_some(p)),
+        vote_no: cfg.vote_no == Some(node),
+        plans: if node == 0 { cfg.plans() } else { Vec::new() },
+        naive_timeouts: cfg.naive_timeouts,
+        quorum_termination: cfg.quorum_termination,
+    };
+
+    let mut handles = Vec::with_capacity(n);
+    for (node, rx) in node_rxs.into_iter().enumerate() {
+        let seat = NodeSeat {
+            id: node,
+            n,
+            tick_us: cfg.tick_us,
+            start,
+            rx,
+            net: net_tx.clone(),
+            ledger: Arc::clone(&ledger),
+        };
+        let scfg = site_cfg(node);
+        let rec = Arc::clone(&rec);
+        let engine = (node > 0).then(|| engines[node - 1].clone());
+        let h = std::thread::Builder::new()
+            .name(format!("dist-node-{node}"))
+            .spawn(move || {
+                mcv_trace::with_recorder(rec, || match engine {
+                    Some(e) => run_node(seat, Site::with_store(scfg, EngineStore::new(e))),
+                    None => run_node(seat, Site::with_store(scfg, CoordStore)),
+                })
+            })
+            .expect("spawn node thread");
+        handles.push(h);
+    }
+
+    // Stop monitor: success needs every fault played out, every up
+    // participant decided, and a short quiet tail (no new notes) so
+    // in-flight messages that would pull a late node into the
+    // protocol get to land first; the deadline is the failsafe
+    // against livelock or a genuinely blocked protocol.
+    let txns = cfg.global_txns();
+    let horizon = cfg.horizon.max(fault_horizon(&cfg.schedule));
+    let deadline = Duration::from_millis(cfg.deadline_ms);
+    let mut timed_out = false;
+    let mut quiet = 0u32;
+    let mut last_notes = usize::MAX;
+    loop {
+        std::thread::sleep(Duration::from_millis(2));
+        let elapsed = start.elapsed();
+        let ticks = elapsed.as_micros() as u64 / cfg.tick_us.max(1);
+        let notes = ledger.notes_len();
+        if ticks > horizon && notes == last_notes && ledger.settled(&txns) {
+            quiet += 1;
+        } else {
+            quiet = 0;
+        }
+        last_notes = notes;
+        if quiet >= 4 {
+            break;
+        }
+        if elapsed >= deadline {
+            timed_out = !ledger.settled(&txns);
+            break;
+        }
+    }
+    for tx in &node_txs {
+        let _ = tx.send(NodeEvent::Shutdown);
+    }
+    let _ = net_tx.send(NetMsg::Shutdown);
+    for h in handles {
+        let _ = h.join();
+    }
+    let _ = net_handle.join();
+
+    let led = ledger.snapshot();
+    let trace = rec.snapshot();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut undecided = 0u64;
+    for t in &txns {
+        let all_committed = engines.iter().all(|e| e.committed_ids().contains(t));
+        let any_decided = led.decided.iter().any(|((_, txn), _)| *txn == t.0);
+        if all_committed {
+            committed += 1;
+        } else if any_decided {
+            aborted += 1;
+        } else {
+            undecided += 1;
+        }
+    }
+    let stats = DistStats {
+        txns: txns.len() as u64,
+        committed,
+        aborted,
+        undecided,
+        wall_ms: start.elapsed().as_millis() as u64,
+        timed_out,
+    };
+    mcv_obs::counter("dist.txn.committed", committed);
+    mcv_obs::counter("dist.txn.aborted", aborted);
+    let oracles = crate::oracle::evaluate(cfg, &stats, &led, &engines, &trace);
+    DistOutcome { stats, oracles, decisions: led.decided, trace }
+}

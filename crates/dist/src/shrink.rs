@@ -1,0 +1,112 @@
+//! Counterexample shrinking for distributed runs.
+//!
+//! Unlike the simulator, a threaded run is not bit-deterministic: real
+//! scheduling jitter can mask a violation on any single replay. The
+//! reproduction check therefore allows up to [`REPRO_ATTEMPTS`] runs
+//! per candidate and accepts the candidate if *any* of them violates
+//! the target oracle. The passes themselves mirror `mcv-chaos`:
+//! fault-event removal (newest first), transaction-count reduction,
+//! and fault-window tightening.
+
+use crate::runtime::{run_dist, DistConfig};
+use mcv_chaos::FaultSchedule;
+
+/// Replays allowed per candidate before declaring it non-reproducing.
+pub const REPRO_ATTEMPTS: usize = 2;
+
+/// A shrink result: the smallest configuration that still reproduces,
+/// and how many runs it took to find.
+#[derive(Debug, Clone)]
+pub struct DistShrunk {
+    /// The minimal violating configuration found.
+    pub config: DistConfig,
+    /// Runs spent.
+    pub runs: usize,
+}
+
+fn reproduces(cfg: &DistConfig, oracle: &str, runs: &mut usize, budget: usize) -> bool {
+    for _ in 0..REPRO_ATTEMPTS {
+        if *runs >= budget {
+            return false;
+        }
+        *runs += 1;
+        if run_dist(cfg).violates(oracle) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Shrinks `cfg` while it keeps violating `oracle`, spending at most
+/// `budget` runs.
+pub fn shrink(cfg: &DistConfig, oracle: &str, budget: usize) -> DistShrunk {
+    let mut best = cfg.clone();
+    let mut runs = 0usize;
+
+    // Pass 1: drop fault events, newest first (later events are more
+    // often incidental).
+    let mut i = best.schedule.len();
+    while i > 0 && runs < budget {
+        i -= 1;
+        let mut cand = best.clone();
+        cand.schedule = FaultSchedule {
+            events: {
+                let mut evs = best.schedule.events.clone();
+                evs.remove(i);
+                evs
+            },
+        };
+        if reproduces(&cand, oracle, &mut runs, budget) {
+            best = cand;
+            // Indices shifted; restart from the (new) tail.
+            i = best.schedule.len();
+        }
+    }
+
+    // Pass 2: fewer transactions.
+    while best.n_txns > 1 && runs < budget {
+        let cand = DistConfig { n_txns: best.n_txns - 1, ..best.clone() };
+        if reproduces(&cand, oracle, &mut runs, budget) {
+            best = cand;
+        } else {
+            break;
+        }
+    }
+
+    // Pass 3: fewer shards (the topology floor for a cross-shard
+    // counterexample is two).
+    while best.n_shards > 2 && runs < budget {
+        let cand = DistConfig { n_shards: best.n_shards - 1, ..best.clone() };
+        if cand.schedule.references_beyond(cand.n_nodes()) {
+            break;
+        }
+        if reproduces(&cand, oracle, &mut runs, budget) {
+            best = cand;
+        } else {
+            break;
+        }
+    }
+
+    // Pass 4: tighten every fault window to half its span.
+    let mut progress = true;
+    while progress && runs < budget {
+        progress = false;
+        for j in 0..best.schedule.len() {
+            let ev = &best.schedule.events[j];
+            let Some((from, until)) = ev.window() else { continue };
+            if until <= from + 1 {
+                continue;
+            }
+            let mid = from + (until - from) / 2;
+            let mut evs = best.schedule.events.clone();
+            evs[j] = ev.with_until(mid);
+            let cand = DistConfig { schedule: FaultSchedule { events: evs }, ..best.clone() };
+            if reproduces(&cand, oracle, &mut runs, budget) {
+                best = cand;
+                progress = true;
+            }
+        }
+    }
+
+    DistShrunk { config: best, runs }
+}

@@ -1,0 +1,302 @@
+//! The real threaded transport: per-link delivery with seeded delays,
+//! FIFO clamping, and injectable faults.
+//!
+//! One network thread owns every link. Senders hand it
+//! [`NetMsg::Send`] commands; it applies the run's fault windows
+//! (partitions, drop/dup/reorder windows — the same [`FaultEvent`]
+//! vocabulary `mcv-chaos` generates, with simulation ticks mapped onto
+//! real microseconds), samples a seeded delay, clamps FIFO links, and
+//! schedules the delivery. Crash/recover faults become [`NodeEvent`]s
+//! dispatched to the victim node at their scheduled instant.
+//!
+//! Trace discipline mirrors `mcv-sim`'s world loop: one `Send` event
+//! per message (duplicated copies share it as their causal
+//! antecedent), sender-sited `Drop` events for messages lost in
+//! flight, and the `(cause, label)` pair riding in the envelope so the
+//! receiver's `Deliver` cites the send.
+
+use mcv_chaos::{CutKind, FaultEvent, FaultSchedule};
+use mcv_commit::Msg;
+use mcv_trace::Cause;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a node receives from the transport.
+#[derive(Debug)]
+pub(crate) enum NodeEvent {
+    /// A message arrived.
+    Deliver {
+        /// Sender node.
+        from: usize,
+        /// The protocol message.
+        msg: Msg,
+        /// The send's trace cause and label, if tracing.
+        sent: Option<(Cause, String)>,
+    },
+    /// The fault schedule crashes this node now.
+    Crash,
+    /// The fault schedule recovers this node now.
+    Recover,
+    /// The run is over; exit the node loop.
+    Shutdown,
+}
+
+/// What the network thread receives.
+pub(crate) enum NetMsg {
+    /// A node handed a message to the network.
+    Send {
+        /// Sender node.
+        from: usize,
+        /// Destination node.
+        to: usize,
+        /// The protocol message.
+        msg: Msg,
+        /// Pre-rendered message label (empty when not tracing).
+        label: String,
+        /// The sender's ambient cause at send time.
+        cause: Option<Cause>,
+    },
+    /// Stop the network thread.
+    Shutdown,
+}
+
+/// A scheduled future dispatch, ordered by due time then FIFO seq.
+struct Scheduled {
+    due_us: u64,
+    seq: u64,
+    to: usize,
+    what: Dispatch,
+}
+
+enum Dispatch {
+    Deliver { from: usize, msg: Msg, sent: Option<(Cause, String)> },
+    Crash,
+    Recover,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due_us, self.seq) == (other.due_us, other.seq)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due_us, self.seq).cmp(&(other.due_us, other.seq))
+    }
+}
+
+/// A half-open real-time window on a link pattern.
+struct LinkWindow {
+    src: Option<usize>,
+    dst: Option<usize>,
+    from_us: u64,
+    until_us: u64,
+}
+
+impl LinkWindow {
+    fn matches(&self, now_us: u64, from: usize, to: usize) -> bool {
+        self.src.is_none_or(|s| s == from)
+            && self.dst.is_none_or(|d| d == to)
+            && now_us >= self.from_us
+            && now_us < self.until_us
+    }
+}
+
+struct PartitionWindow {
+    side: Vec<usize>,
+    cut: CutKind,
+    from_us: u64,
+    until_us: u64,
+}
+
+impl PartitionWindow {
+    fn blocks(&self, now_us: u64, from: usize, to: usize) -> bool {
+        if now_us < self.from_us || now_us >= self.until_us {
+            return false;
+        }
+        let f_in = self.side.contains(&from);
+        let t_in = self.side.contains(&to);
+        match self.cut {
+            CutKind::Both => f_in != t_in,
+            CutKind::Outbound => f_in && !t_in,
+            CutKind::Inbound => !f_in && t_in,
+        }
+    }
+}
+
+/// The network thread's state and configuration.
+pub(crate) struct Network {
+    pub rx: Receiver<NetMsg>,
+    pub nodes: Vec<Sender<NodeEvent>>,
+    pub start: Instant,
+    pub tick_us: u64,
+    /// Uniform per-hop delay in `1..=delay_ticks` ticks.
+    pub delay_ticks: u64,
+    pub seed: u64,
+    pub rec: Option<Arc<mcv_trace::Recorder>>,
+}
+
+impl Network {
+    /// Runs the network loop until shutdown or every sender hangs up.
+    /// `schedule` times are simulation ticks, scaled by `tick_us`.
+    pub fn run(self, schedule: &FaultSchedule) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x006e_6574_776f_726b_u64);
+        let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
+        let mut seq: u64 = 0;
+        let mut fifo_last: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        let mut drops: Vec<LinkWindow> = Vec::new();
+        let mut dups: Vec<LinkWindow> = Vec::new();
+        let mut reorders: Vec<LinkWindow> = Vec::new();
+        let mut partitions: Vec<PartitionWindow> = Vec::new();
+        let us = |ticks: u64| ticks.saturating_mul(self.tick_us);
+        for ev in &schedule.events {
+            match ev {
+                FaultEvent::Crash { proc, at } | FaultEvent::TornWrite { proc, at, .. } => {
+                    seq += 1;
+                    heap.push(Reverse(Scheduled {
+                        due_us: us(*at),
+                        seq,
+                        to: *proc,
+                        what: Dispatch::Crash,
+                    }));
+                }
+                FaultEvent::Recover { proc, at } => {
+                    seq += 1;
+                    heap.push(Reverse(Scheduled {
+                        due_us: us(*at),
+                        seq,
+                        to: *proc,
+                        what: Dispatch::Recover,
+                    }));
+                }
+                FaultEvent::Partition { side, cut, from, until } => {
+                    partitions.push(PartitionWindow {
+                        side: side.clone(),
+                        cut: *cut,
+                        from_us: us(*from),
+                        until_us: us(*until),
+                    });
+                }
+                FaultEvent::DropWindow { src, dst, from, until } => {
+                    drops.push(LinkWindow {
+                        src: *src,
+                        dst: *dst,
+                        from_us: us(*from),
+                        until_us: us(*until),
+                    });
+                }
+                FaultEvent::DupWindow { src, dst, from, until } => {
+                    dups.push(LinkWindow {
+                        src: *src,
+                        dst: *dst,
+                        from_us: us(*from),
+                        until_us: us(*until),
+                    });
+                }
+                FaultEvent::ReorderWindow { src, dst, from, until } => {
+                    reorders.push(LinkWindow {
+                        src: *src,
+                        dst: *dst,
+                        from_us: us(*from),
+                        until_us: us(*until),
+                    });
+                }
+            }
+        }
+
+        loop {
+            let now_us = self.start.elapsed().as_micros() as u64;
+            // Dispatch everything due.
+            while heap.peek().is_some_and(|Reverse(s)| s.due_us <= now_us) {
+                let Reverse(s) = heap.pop().expect("peeked");
+                let ev = match s.what {
+                    Dispatch::Deliver { from, msg, sent } => NodeEvent::Deliver { from, msg, sent },
+                    Dispatch::Crash => NodeEvent::Crash,
+                    Dispatch::Recover => NodeEvent::Recover,
+                };
+                // A hung-up node (already shut down) just loses traffic.
+                let _ = self.nodes[s.to].send(ev);
+            }
+            let wait = heap
+                .peek()
+                .map(|Reverse(s)| Duration::from_micros(s.due_us.saturating_sub(now_us)))
+                .unwrap_or(Duration::from_millis(5))
+                .min(Duration::from_millis(5))
+                .max(Duration::from_micros(50));
+            match self.rx.recv_timeout(wait) {
+                Ok(NetMsg::Send { from, to, msg, label, cause }) => {
+                    let now_us = self.start.elapsed().as_micros() as u64;
+                    let tick = now_us / self.tick_us.max(1);
+                    mcv_obs::counter("dist.net.sent", 1);
+                    let lost = partitions.iter().any(|p| p.blocks(now_us, from, to))
+                        || drops.iter().any(|w| w.matches(now_us, from, to));
+                    if lost {
+                        mcv_obs::counter("dist.net.dropped", 1);
+                        if let Some(rec) = &self.rec {
+                            rec.record(
+                                from,
+                                tick,
+                                cause,
+                                mcv_trace::EventKind::Drop { from, to, label },
+                            );
+                        }
+                        continue;
+                    }
+                    let copies = if dups.iter().any(|w| w.matches(now_us, from, to)) {
+                        mcv_obs::counter("dist.net.duplicated", 1);
+                        2
+                    } else {
+                        1
+                    };
+                    let reorder = reorders.iter().any(|w| w.matches(now_us, from, to));
+                    // One Send event per message; dup copies share it.
+                    let sent = self.rec.as_ref().map(|rec| {
+                        let c = rec.record(
+                            from,
+                            tick,
+                            cause,
+                            mcv_trace::EventKind::Send { to, label: label.clone() },
+                        );
+                        (c, label.clone())
+                    });
+                    let bound = self.delay_ticks.max(1);
+                    for _ in 0..copies {
+                        let mut due = now_us + us(rng.gen_range(1..=bound));
+                        if reorder {
+                            // Extra jitter, skipping the FIFO clamp so
+                            // the copy can overtake older traffic.
+                            due += us(rng.gen_range(0..=4 * bound));
+                        } else {
+                            let last = fifo_last.get(&(from, to)).copied().unwrap_or(0);
+                            if due <= last {
+                                due = last + 1;
+                            }
+                            fifo_last.insert((from, to), due);
+                        }
+                        seq += 1;
+                        heap.push(Reverse(Scheduled {
+                            due_us: due,
+                            seq,
+                            to,
+                            what: Dispatch::Deliver { from, msg: msg.clone(), sent: sent.clone() },
+                        }));
+                    }
+                }
+                Ok(NetMsg::Shutdown) => break,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+}

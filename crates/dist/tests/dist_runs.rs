@@ -1,0 +1,66 @@
+//! Integration tests for the distributed runtime: fault-free
+//! commits, vote-no aborts, tolerated fault schedules, and the
+//! naive-timeout split-brain counterexample over real threads.
+
+use mcv_dist::{run_dist, DistCampaign, DistConfig};
+
+#[test]
+fn fault_free_run_commits_everywhere_and_passes_all_oracles() {
+    let out = run_dist(&DistConfig::default());
+    assert!(out.violated().is_none(), "violated: {:?}", out.violated());
+    assert_eq!(out.stats.committed, out.stats.txns);
+    assert_eq!(out.stats.undecided, 0);
+    assert!(!out.stats.timed_out);
+}
+
+#[test]
+fn a_no_vote_aborts_uniformly() {
+    let out = run_dist(&DistConfig { vote_no: Some(1), n_txns: 1, ..DistConfig::default() });
+    assert!(out.violated().is_none(), "violated: {:?}", out.violated());
+    assert_eq!(out.stats.committed, 0);
+    assert_eq!(out.stats.aborted, 1);
+}
+
+#[test]
+fn coordinator_crash_after_votes_still_terminates() {
+    // The classic 2PC blocking window: 3PC's termination protocol must
+    // decide among the surviving shards.
+    let out = run_dist(&DistConfig {
+        crash_at: Some((0, mcv_commit::CrashPoint::AfterVotes)),
+        n_txns: 1,
+        ..DistConfig::default()
+    });
+    assert!(out.violated().is_none(), "violated: {:?}", out.violated());
+    assert_eq!(out.stats.undecided, 0);
+}
+
+#[test]
+fn naive_timeouts_split_brain_across_real_shards() {
+    // Figure 3.2's naive timeout transitions: after the coordinator
+    // crashes having sent prepare to only the first shard, that shard
+    // times out in `p` (commit) while the others time out in `w`
+    // (abort) — cross-shard atomicity is violated on live engines. A
+    // handful of attempts absorbs scheduling jitter; in practice the
+    // first run splits.
+    let cfg = DistConfig {
+        naive_timeouts: true,
+        quorum_termination: false,
+        crash_at: Some((0, mcv_commit::CrashPoint::AfterPartialPrepare)),
+        n_shards: 2,
+        n_txns: 1,
+        ..DistConfig::default()
+    };
+    let split = (0..3).any(|_| {
+        let out = run_dist(&cfg);
+        out.violates("atomicity") || out.violates("ac1_agreement")
+    });
+    assert!(split, "naive timeouts failed to split-brain in 3 attempts");
+}
+
+#[test]
+fn tolerated_fault_campaign_stays_green() {
+    let c = DistCampaign::tolerated(DistConfig { n_txns: 1, ..DistConfig::default() });
+    let summary = c.run_seeds(100, 4);
+    assert!(summary.all_green(), "failures: {:?}", summary.failures);
+    assert_eq!(summary.runs, 4);
+}

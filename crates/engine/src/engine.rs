@@ -192,6 +192,38 @@ impl Engine {
         }
     }
 
+    /// Starts a transaction under a caller-assigned id — the
+    /// participant hook for distributed commit (`mcv-dist`), where the
+    /// coordinator names the global transaction and every shard must
+    /// log the same id. Callers own the id-space split: externally
+    /// assigned ids must not collide with the engine's own allocator
+    /// (which counts up from 1) — `mcv-dist` starts global ids at a
+    /// high base for this reason.
+    pub fn begin_at(&self, id: TxnId) -> Txn {
+        let sampled = if self.inner.cfg.sample_every == 0 {
+            false
+        } else if id.0.is_multiple_of(self.inner.cfg.sample_every) {
+            let mut s = self.inner.sampler.lock().expect("sampler mutex");
+            if s.ops.len() < self.inner.cfg.sample_cap_ops {
+                s.txns.insert(id);
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        Txn {
+            engine: self.clone(),
+            id,
+            sampled,
+            undo: Vec::new(),
+            touched: BTreeSet::new(),
+            ever_blocked: false,
+            active: true,
+        }
+    }
+
     /// The committed value of `item` (callers must ensure no writer is
     /// concurrently active on it — intended for quiesced inspection).
     pub fn value(&self, item: &str) -> Value {
@@ -471,7 +503,7 @@ impl Txn {
             // commit record; the `wal.force` mark is published before
             // the durable cursor advances, so it is in place by the
             // time the wait above returns.
-            let cause = t.mark("wal.force");
+            let cause = t.mark(self.engine.inner.wal.force_mark());
             t.record(t.lane(), 0, cause, mcv_trace::EventKind::Commit { txn: self.id.0 });
         }
         self.engine.release_locks(self.id, &self.touched, self.ever_blocked);

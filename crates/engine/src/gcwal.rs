@@ -18,6 +18,9 @@ use std::collections::BTreeSet;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
+/// Process-wide wal-identity allocator: each [`GroupWal`] gets a
+/// distinct id so traces with several concurrent logs (one per shard
+/// in `mcv-dist`) keep their overlapping lsn spaces apart.
 #[derive(Debug)]
 pub(crate) struct GroupWal {
     inner: Mutex<GwInner>,
@@ -35,6 +38,11 @@ pub(crate) struct GroupWal {
     /// Causal trace sink captured at engine construction; `None` means
     /// every record call below is a no-op branch.
     trace: Option<Arc<mcv_trace::Recorder>>,
+    /// This log's identity in trace events.
+    wal_id: u64,
+    /// Mark name (`wal.force.<id>`) under which the latest force's
+    /// cause is published, so commit acks cite *this* log's force.
+    mark: String,
 }
 
 #[derive(Debug, Default)]
@@ -61,6 +69,7 @@ impl GroupWal {
         group_window: Duration,
         trace: Option<Arc<mcv_trace::Recorder>>,
     ) -> Self {
+        let wal_id = trace.as_ref().map(|t| t.next_wal_id()).unwrap_or(0);
         GroupWal {
             inner: Mutex::new(GwInner::default()),
             work: Condvar::new(),
@@ -69,7 +78,14 @@ impl GroupWal {
             force_latency,
             group_window,
             trace,
+            wal_id,
+            mark: format!("wal.force.{wal_id}"),
         }
+    }
+
+    /// The mark name carrying this log's latest force cause.
+    pub(crate) fn force_mark(&self) -> &str {
+        &self.mark
     }
 
     /// Records a `WalAppend` trace event for `rec` at `lsn`.
@@ -85,16 +101,27 @@ impl GroupWal {
             t.lane(),
             0,
             None,
-            mcv_trace::EventKind::WalAppend { txn: txn.0, lsn: lsn as u64, what: what.to_owned() },
+            mcv_trace::EventKind::WalAppend {
+                txn: txn.0,
+                lsn: lsn as u64,
+                what: what.to_owned(),
+                wal: self.wal_id,
+            },
         );
     }
 
     /// Records a `WalForce` trace event covering `upto` and publishes
-    /// it under the `wal.force` mark so commit acks can cite it.
+    /// it under this log's `wal.force.<id>` mark so commit acks can
+    /// cite it (and only it — other shards' logs have their own marks).
     fn trace_force(&self, upto: usize) {
         let Some(t) = &self.trace else { return };
-        let c = t.record(t.lane(), 0, None, mcv_trace::EventKind::WalForce { upto: upto as u64 });
-        t.set_mark("wal.force", c);
+        let c = t.record(
+            t.lane(),
+            0,
+            None,
+            mcv_trace::EventKind::WalForce { upto: upto as u64, wal: self.wal_id },
+        );
+        t.set_mark(&self.mark, c);
     }
 
     /// Appends a record without forcing (updates, aborts); returns its

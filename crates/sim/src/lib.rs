@@ -45,7 +45,7 @@ mod trace;
 mod world;
 
 pub use network::{CutDirection, DelayModel, NetworkConfig, Partition};
-pub use process::{Ctx, Process, TimerToken};
+pub use process::{Ctx, Effects, Process, TimerToken};
 pub use time::{ProcId, SimTime};
 pub use trace::{Trace, TraceEntry, TraceEvent};
 pub use world::{RunStats, World, WorldConfig};

@@ -75,6 +75,35 @@ impl<M> Ctx<M> {
         self
     }
 
+    /// Builds a context for driving a [`Process`] from *outside* the
+    /// simulator — e.g. a real threaded transport (`mcv-dist`) feeding
+    /// the same FSM implementations over channels. The caller plays the
+    /// world's role: invoke a callback, then [`Ctx::take_effects`] and
+    /// apply the requested sends/timers itself.
+    pub fn external(id: ProcId, n: usize, now: SimTime) -> Self {
+        Ctx::new(id, n, now)
+    }
+
+    /// Drains every effect requested so far, leaving the context empty
+    /// and reusable for the next callback.
+    pub fn take_effects(&mut self) -> Effects<M> {
+        Effects {
+            sends: std::mem::take(&mut self.sends),
+            timers: std::mem::take(&mut self.timers),
+            cancels: std::mem::take(&mut self.cancels),
+            notes: std::mem::take(&mut self.notes),
+            stop: std::mem::replace(&mut self.stop, false),
+            crash: std::mem::replace(&mut self.crash, false),
+        }
+    }
+
+    /// Moves the context clock forward (external drivers only; the
+    /// simulator constructs a fresh context per event instead).
+    pub fn advance_to(&mut self, now: SimTime) {
+        self.now = now;
+        self.local_now = now;
+    }
+
     /// Sends `msg` to `to` (delivery subject to the network model).
     pub fn send(&mut self, to: ProcId, msg: M) {
         self.sends.push((to, msg));
@@ -119,6 +148,26 @@ impl<M> Ctx<M> {
     pub fn crash_self(&mut self) {
         self.crash = true;
     }
+}
+
+/// Effects drained from a [`Ctx`] by an external driver (see
+/// [`Ctx::external`]). The simulator's `World` applies the same fields
+/// internally; this struct exposes them so other runtimes — the real
+/// threaded transport in `mcv-dist` — can reuse the unmodified FSMs.
+#[derive(Debug)]
+pub struct Effects<M> {
+    /// Requested sends `(to, msg)`.
+    pub sends: Vec<(ProcId, M)>,
+    /// Requested timers `(delay, token)`.
+    pub timers: Vec<(SimTime, TimerToken)>,
+    /// Cancelled timer tokens.
+    pub cancels: Vec<TimerToken>,
+    /// Free-form log lines (decision ledger lines among them).
+    pub notes: Vec<String>,
+    /// The process asked to halt the whole run.
+    pub stop: bool,
+    /// The process asked to crash itself after this callback.
+    pub crash: bool,
 }
 
 /// A simulated process (a *site* in the thesis' vocabulary).

@@ -92,10 +92,21 @@ pub fn check_mode(trace: &CausalTrace, mode: CheckMode) -> HbReport {
     let mut site_seq: BTreeMap<usize, u64> = BTreeMap::new();
     let mut site_lamport: BTreeMap<usize, u64> = BTreeMap::new();
     let mut deliver_seq: BTreeMap<usize, u64> = BTreeMap::new();
-    // Per-txn lsn of its WAL commit record, and the highest lsn forced
-    // so far.
-    let mut commit_lsn: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut forced_upto = 0u64;
+    // Per-(wal, txn) lsn of the txn's WAL commit record, and the
+    // highest lsn forced so far per wal. Lsn spaces are per-log:
+    // concurrent per-shard WALs (mcv-dist) overlap, so the global-max
+    // shortcut is only sound when the trace contains a single wal.
+    let mut commit_lsn: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut forced: BTreeMap<u64, u64> = BTreeMap::new();
+    let wal_ids: std::collections::BTreeSet<u64> = trace
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::WalAppend { wal, .. } | EventKind::WalForce { wal, .. } => Some(*wal),
+            _ => None,
+        })
+        .collect();
+    let multi_wal = wal_ids.len() > 1;
 
     for (pos, e) in trace.events.iter().enumerate() {
         if e.id <= last_id {
@@ -195,20 +206,54 @@ pub fn check_mode(trace: &CausalTrace, mode: CheckMode) -> HbReport {
 
         // Every commit-point force precedes its ack: a Commit whose WAL
         // commit record is visible must be preceded by a force covering
-        // that record's lsn.
+        // that record's lsn. Engine acks cite the covering WalForce
+        // directly (the `wal.force.<id>` mark), which pins the check to
+        // the right log even when several shard WALs interleave; an
+        // uncited Commit falls back to the single-wal global check and
+        // is skipped in multi-wal traces (an FSM-level decision there
+        // says nothing about which log covered it — the dist atomicity
+        // oracle owns that property).
         match &e.kind {
-            EventKind::WalAppend { txn, lsn, what } if what == "commit" => {
-                commit_lsn.insert(*txn, *lsn);
+            EventKind::WalAppend { txn, lsn, what, wal } if what == "commit" => {
+                commit_lsn.insert((*wal, *txn), *lsn);
             }
-            EventKind::WalForce { upto } => forced_upto = forced_upto.max(*upto),
+            EventKind::WalForce { upto, wal } => {
+                let f = forced.entry(*wal).or_insert(0);
+                *f = (*f).max(*upto);
+            }
             EventKind::Commit { txn } => {
-                if let Some(lsn) = commit_lsn.get(txn) {
-                    if forced_upto < *lsn {
-                        viol(
-                            Some(e.id),
-                            "force_before_ack",
-                            format!("t{txn} ack at lsn {lsn} but only {forced_upto} forced"),
-                        );
+                let cited_force = e
+                    .cause
+                    .and_then(|cid| pos_of.get(&cid))
+                    .map(|&cpos| &trace.events[cpos])
+                    .and_then(|c| match &c.kind {
+                        EventKind::WalForce { upto, wal } => Some((*upto, *wal)),
+                        _ => None,
+                    });
+                if let Some((upto, wal)) = cited_force {
+                    if let Some(lsn) = commit_lsn.get(&(wal, *txn)) {
+                        if upto < *lsn {
+                            viol(
+                                Some(e.id),
+                                "force_before_ack",
+                                format!(
+                                    "t{txn} ack at wal{wal} lsn {lsn} but cited force covers \
+                                     only {upto}"
+                                ),
+                            );
+                        }
+                    }
+                } else if !multi_wal {
+                    if let Some((&(wal, _), &lsn)) = commit_lsn.iter().find(|((_, t), _)| t == txn)
+                    {
+                        let forced_upto = forced.get(&wal).copied().unwrap_or(0);
+                        if forced_upto < lsn {
+                            viol(
+                                Some(e.id),
+                                "force_before_ack",
+                                format!("t{txn} ack at lsn {lsn} but only {forced_upto} forced"),
+                            );
+                        }
                     }
                 }
             }
@@ -314,13 +359,13 @@ mod tests {
     #[test]
     fn rejects_ack_before_force() {
         let ((), mut t) = record_trace(None, || {
-            emit(0, 0, EventKind::WalAppend { txn: 3, lsn: 7, what: "commit".into() });
-            emit(1, 0, EventKind::WalForce { upto: 7 });
+            emit(0, 0, EventKind::WalAppend { txn: 3, lsn: 7, what: "commit".into(), wal: 0 });
+            emit(1, 0, EventKind::WalForce { upto: 7, wal: 0 });
             emit(0, 0, EventKind::Commit { txn: 3 });
         });
         assert!(check(&t).ok());
         // Mutate: the force no longer covers the commit record.
-        t.events[1].kind = EventKind::WalForce { upto: 6 };
+        t.events[1].kind = EventKind::WalForce { upto: 6, wal: 0 };
         let report = check(&t);
         assert!(report.violations.iter().any(|v| v.rule == "force_before_ack"), "{report:?}");
     }

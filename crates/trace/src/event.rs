@@ -106,11 +106,17 @@ pub enum EventKind {
         lsn: u64,
         /// Record kind: `update`, `commit`, or `abort`.
         what: String,
+        /// Which log the record went to (0 when there is only one).
+        /// Distinct per-shard WALs have overlapping lsn spaces; the
+        /// identity keeps `force_before_ack` sound across them.
+        wal: u64,
     },
     /// The log was forced to durable storage.
     WalForce {
         /// Every record with `lsn <= upto` is now durable.
         upto: u64,
+        /// Which log was forced (0 when there is only one).
+        wal: u64,
     },
     /// A commit decision was acknowledged (protocol decision or engine
     /// commit returning to the client).
@@ -186,8 +192,12 @@ impl fmt::Display for EventKind {
             }
             EventKind::LockRelease { txn, item } => write!(f, "t{txn} unlock {item}"),
             EventKind::LockAbort { txn, item } => write!(f, "t{txn} victim @{item}"),
-            EventKind::WalAppend { txn, lsn, what } => write!(f, "t{txn} wal {what}@{lsn}"),
-            EventKind::WalForce { upto } => write!(f, "force <={upto}"),
+            EventKind::WalAppend { txn, lsn, what, wal: 0 } => write!(f, "t{txn} wal {what}@{lsn}"),
+            EventKind::WalAppend { txn, lsn, what, wal } => {
+                write!(f, "t{txn} wal{wal} {what}@{lsn}")
+            }
+            EventKind::WalForce { upto, wal: 0 } => write!(f, "force <={upto}"),
+            EventKind::WalForce { upto, wal } => write!(f, "wal{wal} force <={upto}"),
             EventKind::Commit { txn } => write!(f, "t{txn} COMMIT"),
             EventKind::Abort { txn } => write!(f, "t{txn} ABORT"),
             EventKind::Note { text } => write!(f, "note {text}"),

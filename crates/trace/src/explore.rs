@@ -175,8 +175,14 @@ mod tests {
                     Some(1),
                     EventKind::LockAcquire { txn: 1, item: "item00001".into(), exclusive: true },
                 ),
-                ev(3, 0, 3, None, EventKind::WalAppend { txn: 1, lsn: 9, what: "commit".into() }),
-                ev(4, 2, 4, None, EventKind::WalForce { upto: 9 }),
+                ev(
+                    3,
+                    0,
+                    3,
+                    None,
+                    EventKind::WalAppend { txn: 1, lsn: 9, what: "commit".into(), wal: 0 },
+                ),
+                ev(4, 2, 4, None, EventKind::WalForce { upto: 9, wal: 0 }),
                 ev(5, 0, 5, Some(4), EventKind::Commit { txn: 1 }),
             ],
             dropped: 0,

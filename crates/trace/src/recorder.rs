@@ -45,6 +45,7 @@ pub struct Recorder {
     serial: u64,
     cap: Option<usize>,
     start: Instant,
+    wal_ids: AtomicU64,
     inner: Mutex<RecInner>,
 }
 
@@ -54,6 +55,7 @@ impl Recorder {
             serial: NEXT_RECORDER_SERIAL.fetch_add(1, Ordering::Relaxed),
             cap,
             start: Instant::now(),
+            wal_ids: AtomicU64::new(1),
             inner: Mutex::new(RecInner {
                 events: VecDeque::new(),
                 dropped: 0,
@@ -63,6 +65,15 @@ impl Recorder {
                 next_lane: 0,
             }),
         })
+    }
+
+    /// Allocates a recorder-unique write-ahead-log identity (from 1),
+    /// used to disambiguate `WalAppend`/`WalForce` events when several
+    /// logs (one per shard) share a trace. Recorder-scoped rather than
+    /// process-global so repeated runs under fresh recorders produce
+    /// byte-identical traces.
+    pub fn next_wal_id(&self) -> u64 {
+        self.wal_ids.fetch_add(1, Ordering::Relaxed)
     }
 
     /// A recorder that keeps every event.
@@ -302,7 +313,7 @@ mod tests {
     #[test]
     fn marks_hand_over_causes() {
         let rec = Recorder::unbounded();
-        let c = rec.record(0, 0, None, EventKind::WalForce { upto: 3 });
+        let c = rec.record(0, 0, None, EventKind::WalForce { upto: 3, wal: 0 });
         rec.set_mark("wal.force", c);
         assert_eq!(rec.mark("wal.force"), Some(c));
         assert_eq!(rec.mark("absent"), None);

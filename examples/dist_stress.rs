@@ -1,0 +1,193 @@
+//! Cross-shard atomic transactions over real threads: drive the 3PC
+//! FSMs across live per-shard engines through the faulty transport,
+//! sweep seeded fault campaigns, and reproduce the naive-timeout
+//! split-brain as a shrunk, replayable artifact.
+//!
+//! Modes:
+//!
+//! - `cargo run --release --example dist_stress` — hunt: a tolerated
+//!   fault campaign over the hardened protocol (must stay green),
+//!   then the naive Figure 3.2 timeout variant under the
+//!   asymmetric-knowledge coordinator crash. Finds the cross-shard
+//!   split-brain on live engines, shrinks it, writes the artifact and
+//!   causal trace to `target/dist/`, and prints the replay command.
+//! - `-- --smoke [--seed-base B]` — the CI gate: a bounded fixed-seed
+//!   sweep that must be all-green for the hardened protocol and must
+//!   stay red for the naive variant. Exits non-zero otherwise.
+//! - `-- --campaign N [--seed-base B]` — sweep N seeds of tolerated
+//!   faults (the acceptance run uses N >= 300).
+//! - `-- --replay <artifact.json>` — re-execute a written artifact
+//!   and report whether it still violates its oracle.
+
+use mcv::dist::{run_dist, DistArtifact, DistCampaign, DistConfig};
+use std::process::ExitCode;
+
+fn hardened_campaign() -> DistCampaign {
+    DistCampaign::tolerated(DistConfig { n_txns: 1, ..DistConfig::default() })
+}
+
+/// The deliberately unsafe configuration: naive Figure 3.2 timeouts
+/// with the coordinator crashing after sending prepare to only the
+/// first shard — shard 1 times out prepared (commit), the rest time
+/// out waiting (abort).
+fn naive_config() -> DistConfig {
+    DistConfig {
+        naive_timeouts: true,
+        quorum_termination: false,
+        crash_at: Some((0, mcv_commit::CrashPoint::AfterPartialPrepare)),
+        n_shards: 2,
+        n_txns: 1,
+        ..DistConfig::default()
+    }
+}
+
+fn naive_campaign() -> DistCampaign {
+    // An empty plan: the targeted crash alone exposes the bug, so the
+    // hunt starts from a fault-free schedule and the shrinker only has
+    // topology and transaction count to reduce.
+    let mut c = DistCampaign::tolerated(naive_config());
+    c.plan.crashes = false;
+    c.plan.partitions = false;
+    c.plan.drop_windows = false;
+    c.plan.torn_writes = false;
+    c
+}
+
+fn hunt() -> ExitCode {
+    println!("=== dist hunt: hardened 3PC over live shards, 40 seeds of tolerated faults ===\n");
+    let summary = hardened_campaign().run(40);
+    println!("{}", summary.to_report("dist.hardened").summary());
+    if !summary.all_green() {
+        println!("hardened protocol regressed: {:?}", summary.failures);
+        return ExitCode::FAILURE;
+    }
+
+    println!("\n=== naive Figure 3.2 timeouts + coordinator crash after partial prepare ===\n");
+    let campaign = naive_campaign();
+    let Some(v) = campaign.hunt(8) else {
+        println!("no violation found — unexpected for the naive variant");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "seed {} violated {}: shrunk {} -> {} fault events in {} runs",
+        v.seed,
+        v.oracle,
+        v.original_events,
+        v.artifact.config.schedule.len(),
+        v.shrink_runs
+    );
+    println!("evidence: {}", v.artifact.detail);
+
+    std::fs::create_dir_all("target/dist").expect("create target/dist");
+    let path = v.artifact.write("target/dist").expect("write artifact");
+    let trace_path = v.artifact.write_trace("target/dist", &v.trace).expect("write trace");
+    println!("\nartifact: {}", path.display());
+    println!("trace:    {} ({} causal events)", trace_path.display(), v.trace.len());
+    println!("replay:   cargo run --release --example dist_stress -- --replay {}", path.display());
+    ExitCode::SUCCESS
+}
+
+fn campaign(n: u64, seed_base: u64) -> ExitCode {
+    println!("=== dist campaign: {n} seeds (base {seed_base}) of tolerated faults ===\n");
+    let summary = hardened_campaign().run_seeds(seed_base, n);
+    println!("{}", summary.to_report("dist.campaign").summary());
+    if summary.all_green() {
+        println!("all green");
+        ExitCode::SUCCESS
+    } else {
+        println!("failures: {:?}", summary.failures);
+        ExitCode::FAILURE
+    }
+}
+
+fn replay(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let artifact = match DistArtifact::from_json(&text) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("malformed artifact {path}: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("replaying {} (oracle {})", artifact.id, artifact.violated);
+    let out = artifact.replay();
+    for o in &out.oracles {
+        if !o.pass {
+            println!("FAIL {}: {}", o.name, o.detail);
+        }
+    }
+    let dir = std::path::Path::new(path).parent().unwrap_or(std::path::Path::new("."));
+    match artifact.write_trace(dir, &out.trace) {
+        Ok(p) => println!("causal trace: {} ({} events)", p.display(), out.trace.len()),
+        Err(e) => eprintln!("could not write trace: {e}"),
+    }
+    if out.violates(&artifact.violated) || artifact.reproduces() {
+        println!("reproduced");
+        ExitCode::SUCCESS
+    } else {
+        println!("did NOT reproduce — threaded runs are not bit-deterministic; retry, or artifact and code have diverged");
+        ExitCode::FAILURE
+    }
+}
+
+fn smoke(seed_base: u64) -> ExitCode {
+    // Fixed seeds, bounded work: suitable for every CI run.
+    let green = hardened_campaign().run_seeds(seed_base, 12);
+    if !green.all_green() {
+        println!("dist smoke: hardened protocol regressed: {:?}", green.failures);
+        return ExitCode::FAILURE;
+    }
+    let cfg = naive_config();
+    let split = (0..3).any(|_| {
+        let out = run_dist(&cfg);
+        out.violates("atomicity") || out.violates("ac1_agreement")
+    });
+    if !split {
+        println!("dist smoke: naive variant no longer splits — oracles may have gone blind");
+        return ExitCode::FAILURE;
+    }
+    println!("dist smoke OK: hardened 12/12 green (base {seed_base}), naive variant splits");
+    ExitCode::SUCCESS
+}
+
+fn seed_base(args: &[String]) -> u64 {
+    args.iter()
+        .position(|a| a == "--seed-base")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => hunt(),
+        Some("--smoke") => smoke(seed_base(&args)),
+        Some("--campaign") => match args.get(1).and_then(|s| s.parse().ok()) {
+            Some(n) => campaign(n, seed_base(&args)),
+            None => {
+                eprintln!("usage: dist_stress -- --campaign <n> [--seed-base <b>]");
+                ExitCode::FAILURE
+            }
+        },
+        Some("--replay") => match args.get(1) {
+            Some(path) => replay(path),
+            None => {
+                eprintln!("usage: dist_stress -- --replay <artifact.json>");
+                ExitCode::FAILURE
+            }
+        },
+        Some(other) => {
+            eprintln!(
+                "unknown argument {other}; usage: dist_stress [--smoke | --campaign <n> | --replay <file>] [--seed-base <b>]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

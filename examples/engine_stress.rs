@@ -158,9 +158,11 @@ fn run_once(args: &Args) -> ExitCode {
     }
 }
 
-fn smoke() -> ExitCode {
+fn smoke(seed: u64) -> ExitCode {
     // Short fixed-seed runs of each workload shape on 4 threads; all
-    // oracles must pass and group commit must actually batch.
+    // oracles must pass and group commit must actually batch. The
+    // flake detector overrides `--seed` to vary the workloads between
+    // rounds; each shape offsets it so no two shapes share a seed.
     let shapes: &[(&str, WorkloadKind)] = &[
         ("uniform", WorkloadKind::ReadWrite { mix: Mix::Uniform, write_pct: 50, ops_per_txn: 8 }),
         (
@@ -173,12 +175,13 @@ fn smoke() -> ExitCode {
         ),
         ("bank", WorkloadKind::BankTransfer),
     ];
-    for (name, workload) in shapes {
+    for (i, (name, workload)) in shapes.iter().enumerate() {
         let args = Args {
             txns: 400,
             items: if matches!(workload, WorkloadKind::BankTransfer) { 32 } else { 512 },
             force_us: 200,
             workload: *workload,
+            seed: seed + i as u64,
             ..Args::default()
         };
         let rec = mcv::trace::Recorder::ring(mcv::chaos::FLIGHT_RECORDER_CAP);
@@ -215,7 +218,7 @@ fn main() -> ExitCode {
             eprintln!("{msg}");
             ExitCode::from(2)
         }
-        Ok(args) if args.smoke => smoke(),
+        Ok(args) if args.smoke => smoke(args.seed),
         Ok(args) => run_once(&args),
     }
 }

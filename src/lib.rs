@@ -30,7 +30,11 @@
 //! - [`engine`] — a multi-threaded transaction engine (sharded strict
 //!   2PL, cross-shard deadlock detection, group-commit WAL, worker
 //!   pool) whose concurrent histories are checked against the same
-//!   serializability and recovery oracles the models use.
+//!   serializability and recovery oracles the models use;
+//! - [`dist`] — cross-shard atomic transactions: the 3PC/termination
+//!   FSMs driven over a real threaded transport with one engine per
+//!   shard, fault-injection campaigns, and cross-shard atomicity
+//!   oracles.
 //!
 //! # Examples
 //!
@@ -57,6 +61,7 @@ pub use mcv_blocks as blocks;
 pub use mcv_chaos as chaos;
 pub use mcv_commit as commit;
 pub use mcv_core as core;
+pub use mcv_dist as dist;
 pub use mcv_engine as engine;
 pub use mcv_logic as logic;
 pub use mcv_module as module;

@@ -63,7 +63,7 @@ fn mutated_ack_before_force_is_rejected() {
     // Shrink every force's coverage to 0 records: commit acks now cite
     // forces that never covered their commit records.
     for e in &mut t.events {
-        if let EventKind::WalForce { upto } = &mut e.kind {
+        if let EventKind::WalForce { upto, .. } = &mut e.kind {
             *upto = 0;
         }
     }
