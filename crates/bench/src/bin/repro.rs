@@ -16,9 +16,10 @@
 //! vary. The concurrent artifacts (`exp.tput`, `exp.gc`, `exp.dist`)
 //! are the exception: their `engine.*`/`dist.*` wall metrics depend on
 //! thread scheduling. `exp.tput` additionally writes its RunReport as
-//! `<dir>/BENCH_engine.json` and `exp.dist` as `<dir>/BENCH_dist.json`
-//! — the canonical benchmark records. `--check-bench` takes one or
-//! more baseline files and dispatches each on its report id.
+//! `<dir>/BENCH_engine.json`, `exp.dist` as `<dir>/BENCH_dist.json`,
+//! and `exp.mvcc` as `<dir>/BENCH_mvcc.json` — the canonical benchmark
+//! records. `--check-bench` takes one or more baseline files and
+//! dispatches each on its report id.
 
 use mcv_bench::artifacts;
 use std::path::PathBuf;
@@ -117,6 +118,7 @@ fn main() {
                 let bench_id = match *id {
                     "exp.tput" => Some("BENCH_engine"),
                     "exp.dist" => Some("BENCH_dist"),
+                    "exp.mvcc" => Some("BENCH_mvcc"),
                     _ => None,
                 };
                 if let Some(bench_id) = bench_id {
@@ -159,10 +161,11 @@ fn run_bench_gate(baseline_path: &std::path::Path) -> bool {
         match baseline.id.as_str() {
             "BENCH_engine" => ("exp.tput", mcv_bench::exp_tput, mcv_bench::engine_gate_rules()),
             "BENCH_dist" => ("exp.dist", mcv_bench::exp_dist, mcv_bench::dist_gate_rules()),
+            "BENCH_mvcc" => ("exp.mvcc", mcv_bench::exp_mvcc, mcv_bench::mvcc_gate_rules()),
             other => {
                 eprintln!(
                     "--check-bench: unknown baseline id {other:?} in {} \
-                     (expected BENCH_engine or BENCH_dist)",
+                     (expected BENCH_engine, BENCH_dist or BENCH_mvcc)",
                     baseline_path.display()
                 );
                 std::process::exit(2);

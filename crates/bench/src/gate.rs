@@ -94,6 +94,34 @@ pub fn dist_gate_rules() -> Vec<GateRule> {
     ]
 }
 
+/// The tolerances for `BENCH_mvcc.json` (the `exp.mvcc` record):
+///
+/// - `engine.txn.committed` is exact — the driver admits a fixed quota
+///   and retries certification losers, so every SI leg commits exactly
+///   its quota.
+/// - `engine.locks.read_acquisitions` is exact — and zero in the
+///   baseline: snapshot reads never touch the 2PL lock table, so any
+///   nonzero value means the MVCC read path regressed into the lock
+///   path. This is the machine-checked form of the PR's core claim.
+/// - `engine.mvcc.snapshot_reads` must stay ≥ 50% of baseline: the
+///   floor is the deterministic per-spec read count, and certification
+///   retries only add reads on top of it.
+/// - `wall.mvcc.tput.*` gauges (both the SI and 2PL legs) get the
+///   usual ≥ 40% wall-clock band.
+/// - Everything else (cert aborts, GC tallies, force counts) is
+///   scheduling-dependent and only reported.
+pub fn mvcc_gate_rules() -> Vec<GateRule> {
+    vec![
+        GateRule::new("engine.txn.committed", Tolerance::Exact),
+        GateRule::new("engine.locks.read_acquisitions", Tolerance::Exact),
+        GateRule::new("engine.mvcc.snapshot_reads", Tolerance::MinRatio(0.5)),
+        GateRule::new("wall.mvcc.tput.*", Tolerance::MinRatio(0.4)),
+        GateRule::new("engine.*", Tolerance::Ignore),
+        GateRule::new("wall.*", Tolerance::Ignore),
+        GateRule::new("chaos.*", Tolerance::Ignore),
+    ]
+}
+
 /// Result of gating one report against its baseline.
 #[derive(Debug, Clone, Default)]
 pub struct GateOutcome {
@@ -239,6 +267,20 @@ mod tests {
         let out = check_bench(&base, &bad, &engine_gate_rules());
         assert!(!out.ok());
         assert!(out.regressions[0].contains("wall.engine.tput.w4"));
+    }
+
+    #[test]
+    fn mvcc_gate_pins_the_zero_read_lock_claim() {
+        let base =
+            report(&[("engine.txn.committed", 4000), ("engine.locks.read_acquisitions", 0)], &[]);
+        let ok = check_bench(&base, &base.clone(), &mvcc_gate_rules());
+        assert!(ok.ok(), "{}", ok.summary());
+        // A single read slipping onto the 2PL lock path is a regression.
+        let cur =
+            report(&[("engine.txn.committed", 4000), ("engine.locks.read_acquisitions", 1)], &[]);
+        let out = check_bench(&base, &cur, &mvcc_gate_rules());
+        assert!(!out.ok());
+        assert!(out.regressions[0].contains("engine.locks.read_acquisitions"));
     }
 
     #[test]

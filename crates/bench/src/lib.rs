@@ -18,4 +18,7 @@ pub mod experiments;
 pub mod gate;
 
 pub use experiments::*;
-pub use gate::{check_bench, dist_gate_rules, engine_gate_rules, GateOutcome, GateRule, Tolerance};
+pub use gate::{
+    check_bench, dist_gate_rules, engine_gate_rules, mvcc_gate_rules, GateOutcome, GateRule,
+    Tolerance,
+};

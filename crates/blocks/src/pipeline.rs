@@ -193,6 +193,21 @@ pub fn sequential_division_2(lib: &SpecLibrary) -> Vec<PipelineStep> {
     vec![controller(lib), d1, d2, d3, d4, d5]
 }
 
+/// The executable-store refinement: `SNAPSHOT ∘ MVCCSNAPSHOT` over the
+/// recorded-state vocabulary. Not part of the thesis divisions — it
+/// ties the `mcv-mvcc` crate (version installs, snapshot visibility,
+/// first-committer-wins, watermark GC) to the Snapshot block the same
+/// way PR6 ties decision making to it.
+pub fn mvcc_refinement(lib: &SpecLibrary) -> PipelineStep {
+    chain_step(
+        "MVCC",
+        "SNAPSHOT ∘ MVCCSNAPSHOT over recorded state information (executable instance)",
+        &lib.snapshot,
+        &lib.mvcc_snapshot,
+        &["sending", "reception", "record"],
+    )
+}
+
 /// Renders a pipeline as the Figure 3.4/3.5 chain.
 pub fn render(steps: &[PipelineStep]) -> String {
     let mut out = String::new();
@@ -287,6 +302,21 @@ mod tests {
         // Something from each block along the chain.
         for op in ["record", "next", "NonBlockingRule", "ElectBackup", "TimeoutAt"] {
             assert!(pr9.signature.op(&Sym::new(op)).is_some(), "PR9 missing op {op}");
+        }
+    }
+
+    #[test]
+    fn mvcc_refinement_composes_and_commutes() {
+        let lib = SpecLibrary::load();
+        let step = mvcc_refinement(&lib);
+        assert!(step.commutes, "MVCC refinement does not commute");
+        assert_eq!(step.open_obligations, 0, "MVCC refinement has open obligations");
+        let apex = &step.colimit.apex;
+        // The apex carries both the Snapshot block's recorded-state
+        // property and the store's visibility/GC vocabulary.
+        assert!(apex.property(&"Globprocstateinfo".into()).is_some());
+        for op in ["install", "visible", "snapread", "collected"] {
+            assert!(apex.signature.op(&Sym::new(op)).is_some(), "apex missing op {op}");
         }
     }
 

@@ -89,7 +89,7 @@ pub fn blocks(lib: &SpecLibrary) -> Vec<Block> {
             ],
             spec: lib.snapshot.clone(),
             chapter5_script: true,
-            executable: "mcv_commit::GlobalState (StateReq/StateResp collection)",
+            executable: "mcv_commit::GlobalState; mcv_mvcc::MvccStore (MVCCSNAPSHOT instance)",
         },
         Block {
             number: "3",

@@ -197,6 +197,36 @@ else (record(q, s, m, X) & record(q, s, N, X) & ~(reception(q, M, c, p, T))))
 endspec
 "#;
 
+/// The executable multi-version store (`mcv-mvcc`) as an instance of
+/// the `SNAPSHOT` block: the recorded-state vocabulary refined with
+/// timestamped version installs, snapshot visibility, first-committer
+/// exclusion, and watermark garbage collection — the formal face of
+/// the `IsolationLevel` knob in `mcv-engine`.
+pub const MVCCSNAPSHOT_SRC: &str = r#"
+spec
+import SNAPSHOT
+sort Versions
+sort Timestamps
+op install : Processors*States*Versions*Timestamps->Boolean
+op visible : Versions*Timestamps*Timestamps->Boolean
+op snapread : Processors*States*Versions*Timestamps->Boolean
+op collected : Processors*Versions*Timestamps->Boolean
+axiom Installrecords is
+fa(p:Processors, s:States, M:Messages, X:Statestabstorage)
+fa(v:Versions, T:Timestamps)
+install(p, s, v, T) => record(p, s, M, X)
+axiom Snapshotvisibility is
+fa(p:Processors, s:States, v:Versions, T, B:Timestamps)
+install(p, s, v, T) & visible(v, T, B) => snapread(p, s, v, B)
+axiom Firstcommitterwins is
+fa(p, q:Processors, s:States, v, w:Versions, T:Timestamps)
+~(install(q, s, w, T)) & install(p, s, v, T)
+axiom Gcwatermark is
+fa(p:Processors, s:States, v:Versions, T, B, W:Timestamps)
+collected(p, v, W) & visible(v, T, B) => ~(snapread(p, s, v, B))
+endspec
+"#;
+
 /// Chapter 5 text of the `DECISIONMAKING` protocol, including the `CSM`
 /// theorem (global property 2).
 pub const DECISIONMAKING_SRC: &str = r#"
@@ -443,6 +473,8 @@ pub struct SpecLibrary {
     pub two_phase_lock: SpecRef,
     /// Snapshot.
     pub snapshot: SpecRef,
+    /// The executable multi-version store as a `SNAPSHOT` instance.
+    pub mvcc_snapshot: SpecRef,
     /// Decision making (carries theorem `CSM`).
     pub decision_making: SpecRef,
     /// Checkpointing.
@@ -480,6 +512,7 @@ impl SpecLibrary {
         let two_phase_lock =
             must("TWOPHASELOCK", TWOPHASELOCK_SRC, std::slice::from_ref(&undoredo));
         let snapshot = must("SNAPSHOT", SNAPSHOT_SRC, std::slice::from_ref(&consensus));
+        let mvcc_snapshot = must("MVCCSNAPSHOT", MVCCSNAPSHOT_SRC, std::slice::from_ref(&snapshot));
         let decision_making =
             must("DECISIONMAKING", DECISIONMAKING_SRC, std::slice::from_ref(&snapshot));
         let checkpointing =
@@ -498,6 +531,7 @@ impl SpecLibrary {
             undoredo,
             two_phase_lock,
             snapshot,
+            mvcc_snapshot,
             decision_making,
             checkpointing,
             rollback_recovery,
@@ -516,6 +550,7 @@ impl SpecLibrary {
             &self.undoredo,
             &self.two_phase_lock,
             &self.snapshot,
+            &self.mvcc_snapshot,
             &self.decision_making,
             &self.checkpointing,
             &self.rollback_recovery,
@@ -533,7 +568,19 @@ mod tests {
     #[test]
     fn all_specs_parse() {
         let lib = SpecLibrary::load();
-        assert_eq!(lib.all().len(), 12);
+        assert_eq!(lib.all().len(), 13);
+    }
+
+    #[test]
+    fn mvcc_snapshot_refines_the_snapshot_block() {
+        let lib = SpecLibrary::load();
+        // The instance sees the parent's vocabulary through the import…
+        assert!(lib.mvcc_snapshot.signature.op(&"record".into()).is_some());
+        assert!(lib.mvcc_snapshot.signature.op(&"sending".into()).is_some());
+        // …and adds the executable store's own ops.
+        assert!(lib.mvcc_snapshot.signature.op(&"install".into()).is_some());
+        assert!(lib.mvcc_snapshot.signature.op(&"visible".into()).is_some());
+        assert!(lib.mvcc_snapshot.signature.op(&"collected".into()).is_some());
     }
 
     #[test]

@@ -164,7 +164,7 @@ mod tests {
     fn matrix_covers_all_blocks() {
         let lib = SpecLibrary::load();
         let m = impact_matrix(&lib);
-        assert_eq!(m.len(), 12);
+        assert_eq!(m.len(), 13);
         // Blocks not referenced by any support set re-check nothing.
         let voting = m.iter().find(|r| r.changed_block == "VOTING").unwrap();
         assert_eq!(voting.modular_recheck, 0);

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+mod anomaly;
 mod artifact;
 mod campaign;
 mod oracle;
@@ -33,6 +34,10 @@ mod runner;
 mod schedule;
 mod shrink;
 
+pub use anomaly::{
+    detect_anomalies, find_long_forks, find_write_skews, txn_views, AnomalyArtifact, AnomalyReport,
+    LongFork, TxnView, WriteSkew,
+};
 pub use artifact::ReproArtifact;
 pub use campaign::{Campaign, CampaignSummary, Violation};
 pub use oracle::{OracleResult, ORACLE_NAMES};

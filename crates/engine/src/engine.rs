@@ -6,6 +6,7 @@
 use crate::deadlock::WaitGraph;
 use crate::gcwal::GroupWal;
 use crate::shard::{Shard, TryAcquire};
+use mcv_mvcc::{IsolationLevel, MvccStore};
 use mcv_obs::{Histogram, MetricsSnapshot};
 use mcv_txn::{
     shard_of, youngest_victim, History, Item, LockMode, LogRecord, OpKind, TxnId, Value,
@@ -40,6 +41,12 @@ pub struct EngineConfig {
     /// Stop admitting new transactions into the sample once this many
     /// operations were recorded (bounds oracle cost).
     pub sample_cap_ops: usize,
+    /// Concurrency-control regime. [`IsolationLevel::Serializable2pl`]
+    /// is the engine's original all-2PL path; the MVCC levels serve
+    /// reads from version chains (zero lock-table traffic on reads —
+    /// see `engine.locks.read_acquisitions`) while writes keep taking
+    /// exclusive 2PL locks.
+    pub isolation: IsolationLevel,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +58,7 @@ impl Default for EngineConfig {
             group_window_us: 0,
             sample_every: 1,
             sample_cap_ops: 20_000,
+            isolation: IsolationLevel::Serializable2pl,
         }
     }
 }
@@ -67,6 +75,17 @@ pub enum EngineError {
     },
     /// The handle was already committed or aborted.
     Finished(TxnId),
+    /// MVCC certification failed: `item` was overwritten by a
+    /// transaction that committed after this transaction's snapshot
+    /// (first-committer-wins for written items, rw-antidependency for
+    /// read items under SSI). The caller must abort and may retry with
+    /// a fresh transaction, like a deadlock victim.
+    Certification {
+        /// The transaction that lost certification.
+        txn: TxnId,
+        /// The item whose newer committed version caused the failure.
+        item: Item,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -76,6 +95,9 @@ impl fmt::Display for EngineError {
                 write!(f, "deadlock: transaction {} selected as victim", victim.0)
             }
             EngineError::Finished(t) => write!(f, "transaction {} already finished", t.0),
+            EngineError::Certification { txn, item } => {
+                write!(f, "certification: transaction {} lost {item} to a first committer", txn.0)
+            }
         }
     }
 }
@@ -93,6 +115,16 @@ struct EngineCounters {
     committed: AtomicU64,
     aborted: AtomicU64,
     conflicts: AtomicU64,
+    /// Shared (read) 2PL locks granted — stays at zero on the MVCC
+    /// read path, which is the "snapshot reads take no locks" metric
+    /// assertion.
+    read_acquisitions: AtomicU64,
+    /// Reads served from version chains.
+    snapshot_reads: AtomicU64,
+    /// Commit-time certification failures (FCW or SSI read-set).
+    cert_aborts: AtomicU64,
+    /// Snapshots pinned by SI/SSI transactions.
+    snapshots: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -105,6 +137,9 @@ pub(crate) struct Inner {
     next_txn: AtomicU64,
     sampler: Mutex<Sampler>,
     counters: EngineCounters,
+    /// Version chains + timestamp authority for the MVCC isolation
+    /// levels (constructed unconditionally; idle under 2PL).
+    mvcc: MvccStore,
     /// Causal trace sink captured from the constructing thread at
     /// [`Engine::new`]; shared by all worker threads. `None` makes
     /// every trace branch in the hot paths a single cheap test.
@@ -150,6 +185,7 @@ impl Engine {
             None
         };
         let shards = (0..cfg.shards).map(|_| Shard::default()).collect();
+        let mvcc = MvccStore::new(cfg.shards);
         Engine {
             inner: Arc::new(Inner {
                 cfg,
@@ -160,6 +196,7 @@ impl Engine {
                 next_txn: AtomicU64::new(1),
                 sampler: Mutex::new(Sampler::default()),
                 counters: EngineCounters::default(),
+                mvcc,
                 trace,
             }),
         }
@@ -168,28 +205,7 @@ impl Engine {
     /// Starts a transaction.
     pub fn begin(&self) -> Txn {
         let id = TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed));
-        let sampled = if self.inner.cfg.sample_every == 0 {
-            false
-        } else if id.0.is_multiple_of(self.inner.cfg.sample_every) {
-            let mut s = self.inner.sampler.lock().expect("sampler mutex");
-            if s.ops.len() < self.inner.cfg.sample_cap_ops {
-                s.txns.insert(id);
-                true
-            } else {
-                false
-            }
-        } else {
-            false
-        };
-        Txn {
-            engine: self.clone(),
-            id,
-            sampled,
-            undo: Vec::new(),
-            touched: BTreeSet::new(),
-            ever_blocked: false,
-            active: true,
-        }
+        self.make_txn(id)
     }
 
     /// Starts a transaction under a caller-assigned id — the
@@ -200,7 +216,16 @@ impl Engine {
     /// (which counts up from 1) — `mcv-dist` starts global ids at a
     /// high base for this reason.
     pub fn begin_at(&self, id: TxnId) -> Txn {
-        let sampled = if self.inner.cfg.sample_every == 0 {
+        self.make_txn(id)
+    }
+
+    fn make_txn(&self, id: TxnId) -> Txn {
+        // The sampled-history oracle is single-version: it assumes each
+        // read conflicts with the latest preceding write. MVCC reads
+        // observe *older* versions by design, so feeding them to the
+        // conflict checker would manufacture false cycles — sampling is
+        // 2PL-only.
+        let sampled = if self.inner.cfg.isolation.is_mvcc() || self.inner.cfg.sample_every == 0 {
             false
         } else if id.0.is_multiple_of(self.inner.cfg.sample_every) {
             let mut s = self.inner.sampler.lock().expect("sampler mutex");
@@ -213,10 +238,23 @@ impl Engine {
         } else {
             false
         };
+        let snapshot = if self.inner.cfg.isolation.pins_snapshot() {
+            let ts = self.inner.mvcc.begin_snapshot();
+            self.inner.counters.snapshots.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &self.inner.trace {
+                t.record(t.lane(), 0, None, mcv_trace::EventKind::SnapshotOpen { txn: id.0, ts });
+            }
+            Some(ts)
+        } else {
+            None
+        };
         Txn {
             engine: self.clone(),
             id,
             sampled,
+            snapshot,
+            write_buf: Vec::new(),
+            read_set: BTreeSet::new(),
             undo: Vec::new(),
             touched: BTreeSet::new(),
             ever_blocked: false,
@@ -301,6 +339,28 @@ impl Engine {
             self.inner.counters.conflicts.load(Ordering::Relaxed),
         );
         counters.insert("engine.locks.deadlocks".to_owned(), deadlocks);
+        counters.insert(
+            "engine.locks.read_acquisitions".to_owned(),
+            self.inner.counters.read_acquisitions.load(Ordering::Relaxed),
+        );
+        counters.insert(
+            "engine.mvcc.snapshot_reads".to_owned(),
+            self.inner.counters.snapshot_reads.load(Ordering::Relaxed),
+        );
+        counters.insert(
+            "engine.mvcc.cert_aborts".to_owned(),
+            self.inner.counters.cert_aborts.load(Ordering::Relaxed),
+        );
+        counters.insert(
+            "engine.mvcc.snapshots".to_owned(),
+            self.inner.counters.snapshots.load(Ordering::Relaxed),
+        );
+        counters.insert(
+            "engine.mvcc.versions_installed".to_owned(),
+            self.inner.mvcc.versions_installed(),
+        );
+        counters
+            .insert("engine.mvcc.gc_collected".to_owned(), self.inner.mvcc.versions_collected());
         counters.insert("engine.wal.commits".to_owned(), commits);
         counters.insert("engine.wal.forces".to_owned(), forces);
         counters.insert("engine.wal.records".to_owned(), records);
@@ -443,6 +503,14 @@ pub struct Txn {
     engine: Engine,
     id: TxnId,
     sampled: bool,
+    /// Begin timestamp of the pinned snapshot (SI/SSI only).
+    snapshot: Option<u64>,
+    /// MVCC writes, buffered in write order until commit installs them
+    /// at one commit timestamp (empty under 2PL).
+    write_buf: Vec<(Item, Value)>,
+    /// Items read under SSI, validated against concurrent committers
+    /// at commit time.
+    read_set: BTreeSet<Item>,
     /// `(shard, item, before-image)` of the first write per item, in
     /// write order; rollback replays it in reverse.
     undo: Vec<(usize, Item, Value)>,
@@ -459,10 +527,16 @@ impl Txn {
         self.id
     }
 
-    /// Reads `item` under a shared lock (held to end of transaction).
+    /// Reads `item`. Under 2PL this takes a shared lock (held to end
+    /// of transaction); under the MVCC levels it is served from the
+    /// version chains and touches no lock table at all.
     pub fn read(&mut self, item: &str) -> Result<Value, EngineError> {
         self.check_active()?;
+        if self.engine.inner.cfg.isolation.is_mvcc() {
+            return Ok(self.mvcc_read(item));
+        }
         let s = self.acquire(item, LockMode::Shared)?;
+        self.engine.inner.counters.read_acquisitions.fetch_add(1, Ordering::Relaxed);
         let state = self.engine.inner.shards[s].state.lock().expect("shard mutex");
         let v = state.value(item);
         drop(state);
@@ -472,10 +546,53 @@ impl Txn {
         Ok(v)
     }
 
+    /// The lock-free MVCC read path: own buffered writes first, then
+    /// the snapshot-visible (SI/SSI) or latest-committed (RC) version.
+    fn mvcc_read(&mut self, item: &str) -> Value {
+        if let Some((_, v)) = self.write_buf.iter().rev().find(|(i, _)| i == item) {
+            return *v;
+        }
+        let inner = &self.engine.inner;
+        let (v, ts) = match self.snapshot {
+            Some(snap) => inner.mvcc.read_at(item, snap),
+            None => inner.mvcc.read_latest(item),
+        };
+        inner.counters.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+        if inner.cfg.isolation.certifies_reads() {
+            self.read_set.insert(item.to_owned());
+        }
+        if let Some(t) = &inner.trace {
+            t.record(
+                t.lane(),
+                0,
+                None,
+                mcv_trace::EventKind::SnapshotRead { txn: self.id.0, item: item.to_owned(), ts },
+            );
+        }
+        v
+    }
+
     /// Writes `item` under an exclusive lock, logging undo/redo first
     /// (write-ahead: the update record is appended before the store).
+    ///
+    /// Under the MVCC levels the exclusive lock is still taken (writers
+    /// block writers) but the write is buffered: versions install at a
+    /// single commit timestamp after certification. SI/SSI check
+    /// first-committer-wins eagerly here — losing early saves work —
+    /// and authoritatively again at commit.
     pub fn write(&mut self, item: &str, value: Value) -> Result<(), EngineError> {
         self.check_active()?;
+        if self.engine.inner.cfg.isolation.is_mvcc() {
+            self.acquire(item, LockMode::Exclusive)?;
+            if let Some(snap) = self.snapshot {
+                if self.engine.inner.mvcc.latest_ts(item) > snap {
+                    self.engine.inner.counters.cert_aborts.fetch_add(1, Ordering::Relaxed);
+                    return Err(EngineError::Certification { txn: self.id, item: item.to_owned() });
+                }
+            }
+            self.write_buf.push((item.to_owned(), value));
+            return Ok(());
+        }
         let s = self.acquire(item, LockMode::Exclusive)?;
         let old = self.engine.inner.shards[s].state.lock().expect("shard mutex").value(item);
         self.engine.inner.wal.append(LogRecord::Update {
@@ -495,8 +612,17 @@ impl Txn {
     /// Commits: forces the commit record (batched under group commit),
     /// then releases all locks. Returns only after the commit record
     /// is durable.
+    ///
+    /// Under the MVCC levels commit additionally certifies the write
+    /// set (SI/SSI, first-committer-wins) and the read set (SSI), and
+    /// installs the buffered writes as versions at one fresh commit
+    /// timestamp; a certification failure aborts the transaction and
+    /// returns [`EngineError::Certification`].
     pub fn commit(mut self) -> Result<(), EngineError> {
         self.check_active()?;
+        if self.engine.inner.cfg.isolation.is_mvcc() {
+            return self.mvcc_commit();
+        }
         self.engine.inner.wal.append_commit_and_wait(self.id);
         if let Some(t) = &self.engine.inner.trace {
             // The ack was enabled by the device force covering our
@@ -510,6 +636,112 @@ impl Txn {
         self.engine.inner.counters.committed.fetch_add(1, Ordering::Relaxed);
         self.active = false;
         Ok(())
+    }
+
+    /// The MVCC commit critical section: certify under the store's
+    /// commit lock, log and mirror the writes, wait for durability,
+    /// install the versions, publish the timestamp, GC the touched
+    /// chains.
+    fn mvcc_commit(&mut self) -> Result<(), EngineError> {
+        let engine = self.engine.clone();
+        let inner = &*engine.inner;
+        if self.write_buf.is_empty() {
+            // Read-only: nothing to certify, log, or install. (Safe to
+            // skip SSI validation: with every *writer* validated
+            // read-current at commit, writer serialization order equals
+            // commit order, and a read-only snapshot is a consistent
+            // prefix of it.)
+            if let Some(t) = &inner.trace {
+                t.record(t.lane(), 0, None, mcv_trace::EventKind::Commit { txn: self.id.0 });
+            }
+            self.finish_snapshot();
+            self.engine.release_locks(self.id, &self.touched, self.ever_blocked);
+            inner.counters.committed.fetch_add(1, Ordering::Relaxed);
+            self.active = false;
+            return Ok(());
+        }
+        // Last-wins dedup in first-write order: one version per item
+        // per commit timestamp.
+        let mut writes: Vec<(Item, Value)> = Vec::with_capacity(self.write_buf.len());
+        for (item, value) in &self.write_buf {
+            match writes.iter_mut().find(|(i, _)| i == item) {
+                Some(slot) => slot.1 = *value,
+                None => writes.push((item.clone(), *value)),
+            }
+        }
+
+        let guard = inner.mvcc.commit_lock();
+        let snap = self.snapshot.unwrap_or(0);
+        let conflict = if inner.cfg.isolation.certifies_writes() {
+            writes.iter().map(|(i, _)| i).find(|i| inner.mvcc.latest_ts(i) > snap).or_else(|| {
+                if inner.cfg.isolation.certifies_reads() {
+                    self.read_set.iter().find(|i| inner.mvcc.latest_ts(i) > snap)
+                } else {
+                    None
+                }
+            })
+        } else {
+            None
+        };
+        if let Some(item) = conflict {
+            let item = item.clone();
+            drop(guard);
+            inner.counters.cert_aborts.fetch_add(1, Ordering::Relaxed);
+            self.rollback();
+            return Err(EngineError::Certification { txn: self.id, item });
+        }
+
+        let ts = inner.mvcc.last_committed() + 1;
+        // WAL first (updates then commit, in timestamp order across
+        // committers since the commit lock is held), mirroring into the
+        // shard stores so `state()` / recovery equivalence see the same
+        // world the version chains do.
+        for (item, value) in &writes {
+            let s = shard_of(item, inner.cfg.shards);
+            let old = inner.shards[s].state.lock().expect("shard mutex").value(item);
+            inner.wal.append(LogRecord::Update {
+                txn: self.id,
+                item: item.clone(),
+                old,
+                new: *value,
+            });
+            inner.shards[s].state.lock().expect("shard mutex").set(item, *value);
+        }
+        inner.wal.append_commit_and_wait(self.id);
+        // Versions install only after the commit record is durable, so
+        // even ReadCommitted (which reads chain heads) never observes
+        // an unacknowledged write.
+        for (item, value) in &writes {
+            inner.mvcc.install(item, ts, *value, self.id);
+            if let Some(t) = &inner.trace {
+                t.record(
+                    t.lane(),
+                    0,
+                    None,
+                    mcv_trace::EventKind::VersionInstall { txn: self.id.0, item: item.clone(), ts },
+                );
+            }
+        }
+        inner.mvcc.advance(ts);
+        inner.mvcc.gc_items(writes.iter().map(|(i, _)| i.as_str()));
+        drop(guard);
+
+        if let Some(t) = &inner.trace {
+            let cause = t.mark(inner.wal.force_mark());
+            t.record(t.lane(), 0, cause, mcv_trace::EventKind::Commit { txn: self.id.0 });
+        }
+        self.finish_snapshot();
+        self.engine.release_locks(self.id, &self.touched, self.ever_blocked);
+        inner.counters.committed.fetch_add(1, Ordering::Relaxed);
+        self.active = false;
+        Ok(())
+    }
+
+    /// Deregisters the pinned snapshot (idempotent).
+    fn finish_snapshot(&mut self) {
+        if let Some(ts) = self.snapshot.take() {
+            self.engine.inner.mvcc.end_snapshot(ts);
+        }
     }
 
     /// Aborts: restores before-images (still under this transaction's
@@ -577,6 +809,7 @@ impl Txn {
         if let Some(t) = &self.engine.inner.trace {
             t.record(t.lane(), 0, None, mcv_trace::EventKind::Abort { txn: self.id.0 });
         }
+        self.finish_snapshot();
         self.engine.release_locks(self.id, &self.touched, self.ever_blocked);
         self.engine.inner.counters.aborted.fetch_add(1, Ordering::Relaxed);
         self.active = false;

@@ -16,9 +16,13 @@
 //!   (`engine.wal.forces < engine.wal.commits`);
 //! - [`Pool`] — bounded worker pool with admission backpressure;
 //! - [`run_driver`] — closed-loop workload drivers (uniform/zipfian
-//!   read-write mixes, bank transfers) that record latency and
-//!   throughput through [`mcv_obs`] and check every run against the
-//!   serializability, recovery-equivalence, and bank-sum oracles.
+//!   read-write mixes, bank transfers, write-skew pairs) that record
+//!   latency and throughput through [`mcv_obs`] and check every run
+//!   against the serializability, recovery-equivalence, and bank-sum
+//!   oracles;
+//! - [`IsolationLevel`] — the 2PL path above, or the `mcv-mvcc`
+//!   version-chain paths (ReadCommitted / SnapshotIsolation /
+//!   SerializableSsi) where reads bypass the lock table entirely.
 //!
 //! # Examples
 //!
@@ -46,7 +50,9 @@ mod shard;
 mod workload;
 
 pub use engine::{latency_histogram, Engine, EngineConfig, EngineError, Txn};
+pub use mcv_mvcc::IsolationLevel;
 pub use pool::Pool;
 pub use workload::{
-    run_driver, DriverConfig, DriverReport, Mix, WorkloadKind, Zipfian, BANK_INITIAL_BALANCE,
+    run_driver, DriverConfig, DriverReport, KeyPicker, Mix, WorkloadKind, Zipfian,
+    BANK_INITIAL_BALANCE,
 };

@@ -12,7 +12,7 @@ use crate::engine::{latency_histogram, Engine, EngineConfig, EngineError};
 use crate::pool::Pool;
 use mcv_obs::{Histogram, MetricsSnapshot};
 use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -48,6 +48,18 @@ pub enum WorkloadKind {
     /// every committed prefix — the driver's built-in consistency
     /// oracle.
     BankTransfer,
+    /// The write-skew shape: each transaction picks one of `pairs`
+    /// disjoint item pairs, reads *both* items, and writes exactly one
+    /// (rng-chosen) side. Two concurrent transactions on the same pair
+    /// writing opposite sides have disjoint write sets — invisible to
+    /// first-committer-wins, so SnapshotIsolation commits both (write
+    /// skew), while SSI's read-set validation and 2PL's shared locks
+    /// refuse.
+    WriteSkew {
+        /// Number of disjoint item pairs (items `2p` and `2p+1` form
+        /// pair `p`; the driver needs `items >= 2 * pairs`).
+        pairs: usize,
+    },
 }
 
 /// Parameters of one driver run.
@@ -156,48 +168,10 @@ impl DriverReport {
     }
 }
 
-/// YCSB-style Zipfian item selector (Gray et al.'s rejection-free
-/// formula with precomputed zeta).
-#[derive(Debug, Clone)]
-pub struct Zipfian {
-    n: usize,
-    theta: f64,
-    alpha: f64,
-    zetan: f64,
-    eta: f64,
-}
-
-impl Zipfian {
-    /// A selector over `0..n` with skew `theta`.
-    pub fn new(n: usize, theta: f64) -> Zipfian {
-        assert!(n > 0, "zipfian over empty domain");
-        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
-        let zetan = Self::zeta(n, theta);
-        let zeta2 = Self::zeta(2.min(n), theta);
-        let alpha = 1.0 / (1.0 - theta);
-        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        Zipfian { n, theta, alpha, zetan, eta }
-    }
-
-    fn zeta(n: usize, theta: f64) -> f64 {
-        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
-    }
-
-    /// Draws one item index in `0..n` (index 0 is the hottest).
-    pub fn next(&self, rng: &mut impl RngCore) -> usize {
-        // 53 uniform mantissa bits in [0, 1).
-        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-        let uz = u * self.zetan;
-        if uz < 1.0 {
-            return 0;
-        }
-        if uz < 1.0 + 0.5f64.powf(self.theta) {
-            return 1;
-        }
-        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
-        idx.min(self.n - 1)
-    }
-}
+// The skewed key generator lives in `mcv_txn::keys` so bench and
+// engine share one definition; re-exported to keep this crate's public
+// path stable.
+pub use mcv_txn::{KeyPicker, Zipfian};
 
 struct DriverShared {
     latency: Mutex<Histogram>,
@@ -318,7 +292,7 @@ fn run_one(
         let t = engine.begin();
         match attempt(engine, t, &mut rng, workload, items) {
             Ok(()) => return,
-            Err(EngineError::Deadlock { .. }) => {
+            Err(EngineError::Deadlock { .. } | EngineError::Certification { .. }) => {
                 shared.retries.fetch_add(1, Ordering::Relaxed);
             }
             Err(e) => panic!("driver transaction failed: {e}"),
@@ -335,16 +309,12 @@ fn attempt(
 ) -> Result<(), EngineError> {
     match workload {
         WorkloadKind::ReadWrite { mix, write_pct, ops_per_txn } => {
-            let zipf = match mix {
-                Mix::Zipfian { theta } => Some(Zipfian::new(items, theta)),
-                Mix::Uniform => None,
+            let picker = match mix {
+                Mix::Zipfian { theta } => KeyPicker::zipfian(items, theta),
+                Mix::Uniform => KeyPicker::uniform(items),
             };
             for _ in 0..ops_per_txn {
-                let idx = match &zipf {
-                    Some(z) => z.next(rng),
-                    None => rng.gen_range(0..items),
-                };
-                let name = item_name(idx);
+                let name = item_name(picker.next(rng));
                 if rng.gen_range(0..100u8) < write_pct {
                     let v = rng.gen_range(0..1_000_000i64);
                     match t.write(&name, v) {
@@ -389,6 +359,28 @@ fn attempt(
                 }
             }
         }
+        WorkloadKind::WriteSkew { pairs } => {
+            assert!(pairs > 0 && items >= 2 * pairs, "write-skew needs items >= 2*pairs");
+            let p = rng.gen_range(0..pairs);
+            let (left, right) = (item_name(2 * p), item_name(2 * p + 1));
+            let result = (|| {
+                let a = t.read(&left)?;
+                let b = t.read(&right)?;
+                // Write exactly one side, derived from both reads — the
+                // classic "on-call doctors" shape where the constraint
+                // spans the pair but each writer touches half of it.
+                let target = if rng.gen_bool(0.5) { &left } else { &right };
+                t.write(target, a + b + 1)?;
+                Ok(())
+            })();
+            match result {
+                Ok(()) => t.commit(),
+                Err(e) => {
+                    t.abort();
+                    Err(e)
+                }
+            }
+        }
     }
 }
 
@@ -396,28 +388,77 @@ fn attempt(
 mod tests {
     use super::*;
 
-    #[test]
-    fn zipfian_prefers_low_indices() {
-        let z = Zipfian::new(1_000, 0.99);
-        let mut rng = StdRng::seed_from_u64(7);
-        let mut head = 0u64;
-        const DRAWS: u64 = 10_000;
-        for _ in 0..DRAWS {
-            if z.next(&mut rng) < 10 {
-                head += 1;
-            }
+    use crate::engine::EngineConfig;
+    use mcv_mvcc::IsolationLevel;
+
+    fn mvcc_cfg(isolation: IsolationLevel, workload: WorkloadKind, seed: u64) -> DriverConfig {
+        DriverConfig {
+            engine: EngineConfig { isolation, group_commit: true, ..Default::default() },
+            clients: 4,
+            txns: 200,
+            items: 64,
+            workload,
+            seed,
         }
-        // Under uniform the first 10 of 1000 items get ~1% of draws;
-        // zipf(0.99) concentrates far more than that.
-        assert!(head > DRAWS / 4, "zipf head share too small: {head}/{DRAWS}");
     }
 
     #[test]
-    fn zipfian_stays_in_range() {
-        let z = Zipfian::new(17, 0.5);
-        let mut rng = StdRng::seed_from_u64(11);
-        for _ in 0..5_000 {
-            assert!(z.next(&mut rng) < 17);
+    fn snapshot_isolation_run_takes_zero_read_locks() {
+        let workload = WorkloadKind::ReadWrite { mix: Mix::Uniform, write_pct: 30, ops_per_txn: 6 };
+        let report = run_driver(&mvcc_cfg(IsolationLevel::SnapshotIsolation, workload, 9));
+        assert_eq!(report.committed, 200);
+        assert!(report.recovered_matches, "MVCC commits must replay from the WAL");
+        assert_eq!(report.metrics.counter("engine.locks.read_acquisitions"), 0);
+        assert!(report.metrics.counter("engine.mvcc.snapshot_reads") > 0);
+        assert!(report.metrics.counter("engine.mvcc.snapshots") > 0);
+    }
+
+    #[test]
+    fn read_committed_run_replays_from_wal() {
+        let workload = WorkloadKind::ReadWrite { mix: Mix::Uniform, write_pct: 50, ops_per_txn: 4 };
+        let report = run_driver(&mvcc_cfg(IsolationLevel::ReadCommitted, workload, 10));
+        assert_eq!(report.committed, 200);
+        assert!(report.recovered_matches);
+        assert_eq!(report.metrics.counter("engine.locks.read_acquisitions"), 0);
+    }
+
+    #[test]
+    fn ssi_bank_run_keeps_the_invariant() {
+        let cfg = DriverConfig {
+            engine: EngineConfig {
+                isolation: IsolationLevel::SerializableSsi,
+                group_commit: true,
+                ..Default::default()
+            },
+            clients: 4,
+            txns: 150,
+            items: 16,
+            workload: WorkloadKind::BankTransfer,
+            seed: 11,
+        };
+        let report = run_driver(&cfg);
+        assert_eq!(report.bank_invariant_ok, Some(true));
+        assert!(report.recovered_matches);
+    }
+
+    #[test]
+    fn write_skew_workload_commits_under_every_level() {
+        for isolation in [
+            IsolationLevel::Serializable2pl,
+            IsolationLevel::SnapshotIsolation,
+            IsolationLevel::SerializableSsi,
+        ] {
+            let cfg = DriverConfig {
+                engine: EngineConfig { isolation, group_commit: false, ..Default::default() },
+                clients: 3,
+                txns: 60,
+                items: 8,
+                workload: WorkloadKind::WriteSkew { pairs: 4 },
+                seed: 12,
+            };
+            let report = run_driver(&cfg);
+            assert_eq!(report.committed, 60, "under {isolation}");
+            assert!(report.recovered_matches, "under {isolation}");
         }
     }
 

@@ -257,6 +257,17 @@ impl MetricsSnapshot {
         self.gauges.get(name).copied()
     }
 
+    /// All counters whose name starts with `prefix` (e.g.
+    /// `"engine.mvcc."`), in name order — for asserting over a metric
+    /// family without enumerating its members.
+    pub fn family(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect()
+    }
+
     /// Drops every wall-clock metric (names starting with `wall.`).
     pub fn strip_wall(&mut self) {
         self.counters.retain(|k, _| !k.starts_with("wall."));
@@ -359,6 +370,18 @@ impl MetricsDelta {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn family_selects_by_prefix() {
+        let reg = MetricsRegistry::new();
+        reg.add("engine.mvcc.snapshot_reads", 3);
+        reg.add("engine.mvcc.cert_aborts", 1);
+        reg.add("engine.locks.deadlocks", 2);
+        let snap = reg.snapshot();
+        let fam = snap.family("engine.mvcc.");
+        assert_eq!(fam, vec![("engine.mvcc.cert_aborts", 1), ("engine.mvcc.snapshot_reads", 3)]);
+        assert!(snap.family("nope.").is_empty());
+    }
 
     #[test]
     fn counters_accumulate_through_handles() {

@@ -134,6 +134,35 @@ pub enum EventKind {
         /// The text.
         text: String,
     },
+    /// A transaction pinned a multi-version snapshot.
+    SnapshotOpen {
+        /// The reading transaction.
+        txn: u64,
+        /// Begin timestamp: the newest commit timestamp the snapshot
+        /// sees.
+        ts: u64,
+    },
+    /// A read was served from a version chain without touching the
+    /// lock table.
+    SnapshotRead {
+        /// The reading transaction.
+        txn: u64,
+        /// The item read.
+        item: String,
+        /// Commit timestamp of the version the read observed (0 for
+        /// the never-written default).
+        ts: u64,
+    },
+    /// A committed version was installed at the head of an item's
+    /// version chain.
+    VersionInstall {
+        /// The installing transaction.
+        txn: u64,
+        /// The written item.
+        item: String,
+        /// Commit timestamp of the new version.
+        ts: u64,
+    },
 }
 
 impl EventKind {
@@ -156,6 +185,9 @@ impl EventKind {
             EventKind::Commit { .. } => "commit",
             EventKind::Abort { .. } => "abort",
             EventKind::Note { .. } => "note",
+            EventKind::SnapshotOpen { .. } => "snapshot_open",
+            EventKind::SnapshotRead { .. } => "snapshot_read",
+            EventKind::VersionInstall { .. } => "version_install",
         }
     }
 
@@ -168,7 +200,10 @@ impl EventKind {
             | EventKind::LockAbort { txn, .. }
             | EventKind::WalAppend { txn, .. }
             | EventKind::Commit { txn }
-            | EventKind::Abort { txn } => Some(*txn),
+            | EventKind::Abort { txn }
+            | EventKind::SnapshotOpen { txn, .. }
+            | EventKind::SnapshotRead { txn, .. }
+            | EventKind::VersionInstall { txn, .. } => Some(*txn),
             _ => None,
         }
     }
@@ -201,6 +236,13 @@ impl fmt::Display for EventKind {
             EventKind::Commit { txn } => write!(f, "t{txn} COMMIT"),
             EventKind::Abort { txn } => write!(f, "t{txn} ABORT"),
             EventKind::Note { text } => write!(f, "note {text}"),
+            EventKind::SnapshotOpen { txn, ts } => write!(f, "t{txn} snapshot@{ts}"),
+            EventKind::SnapshotRead { txn, item, ts } => {
+                write!(f, "t{txn} vread {item}@{ts}")
+            }
+            EventKind::VersionInstall { txn, item, ts } => {
+                write!(f, "t{txn} install {item}@{ts}")
+            }
         }
     }
 }

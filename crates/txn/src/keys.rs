@@ -1,0 +1,131 @@
+//! Shared skewed-key generation for workload drivers.
+//!
+//! Every workload in the repo (engine stress, mvcc anomaly campaigns,
+//! bench experiments) draws item indices from the same two
+//! distributions: uniform, or YCSB-style Zipfian. This module is the
+//! single home for both so the engine and bench crates agree on what
+//! `--zipf <theta>` means.
+
+use rand::RngCore;
+
+/// YCSB-style Zipfian item selector (Gray et al.'s rejection-free
+/// formula with precomputed zeta).
+#[derive(Debug, Clone)]
+pub struct Zipfian {
+    n: usize,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipfian {
+    /// A selector over `0..n` with skew `theta`.
+    pub fn new(n: usize, theta: f64) -> Zipfian {
+        assert!(n > 0, "zipfian over empty domain");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian { n, theta, alpha, zetan, eta }
+    }
+
+    fn zeta(n: usize, theta: f64) -> f64 {
+        (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draws one item index in `0..n` (index 0 is the hottest).
+    pub fn next(&self, rng: &mut impl RngCore) -> usize {
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let idx = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        idx.min(self.n - 1)
+    }
+}
+
+/// A key picker over `0..n`: the shared dispatch point between the
+/// uniform and skewed distributions, so call sites hold one value
+/// regardless of mix.
+#[derive(Debug, Clone)]
+pub enum KeyPicker {
+    /// Uniform over the domain.
+    Uniform {
+        /// Domain size.
+        n: usize,
+    },
+    /// Zipfian-skewed over the domain.
+    Zipfian(Zipfian),
+}
+
+impl KeyPicker {
+    /// A uniform picker over `0..n`.
+    pub fn uniform(n: usize) -> KeyPicker {
+        assert!(n > 0, "picker over empty domain");
+        KeyPicker::Uniform { n }
+    }
+
+    /// A zipfian picker over `0..n` with skew `theta`.
+    pub fn zipfian(n: usize, theta: f64) -> KeyPicker {
+        KeyPicker::Zipfian(Zipfian::new(n, theta))
+    }
+
+    /// Draws one index in `0..n`.
+    pub fn next(&self, rng: &mut impl RngCore) -> usize {
+        match self {
+            KeyPicker::Uniform { n } => (rng.next_u64() % *n as u64) as usize,
+            KeyPicker::Zipfian(z) => z.next(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipfian_prefers_low_indices() {
+        let z = Zipfian::new(1_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = 0u64;
+        const DRAWS: u64 = 10_000;
+        for _ in 0..DRAWS {
+            if z.next(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        // Under uniform the first 10 of 1000 items get ~1% of draws;
+        // zipf(0.99) concentrates far more than that.
+        assert!(head > DRAWS / 4, "zipf head share too small: {head}/{DRAWS}");
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let z = Zipfian::new(17, 0.5);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5_000 {
+            assert!(z.next(&mut rng) < 17);
+        }
+    }
+
+    #[test]
+    fn picker_dispatch_covers_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for picker in [KeyPicker::uniform(9), KeyPicker::zipfian(9, 0.7)] {
+            let mut seen = [false; 9];
+            for _ in 0..2_000 {
+                seen[picker.next(&mut rng)] = true;
+            }
+            assert!(seen.iter().filter(|s| **s).count() >= 5, "picker barely covers domain");
+        }
+    }
+}

@@ -33,6 +33,7 @@
 mod checkpoint;
 mod db;
 mod ids;
+mod keys;
 mod locks;
 mod schedule;
 mod wal;
@@ -40,6 +41,7 @@ mod wal;
 pub use checkpoint::{CheckpointStore, Snapshot};
 pub use db::{DbError, SiteDb};
 pub use ids::{Item, TxnId, TxnStatus, Value};
+pub use keys::{KeyPicker, Zipfian};
 pub use locks::{shard_of, youngest_victim, LockError, LockManager, LockMode, LockOutcome};
 pub use schedule::{History, Op, OpKind};
 pub use wal::{ForcedWal, LogRecord, Wal};

@@ -34,7 +34,12 @@
 //! - [`dist`] — cross-shard atomic transactions: the 3PC/termination
 //!   FSMs driven over a real threaded transport with one engine per
 //!   shard, fault-injection campaigns, and cross-shard atomicity
-//!   oracles.
+//!   oracles;
+//! - [`mvcc`] — multi-version storage: timestamped version chains,
+//!   snapshot-visibility reads that bypass the lock table,
+//!   first-committer-wins certification, and low-watermark garbage
+//!   collection, mounted in the engine behind an
+//!   [`engine::IsolationLevel`] knob.
 //!
 //! # Examples
 //!
@@ -65,6 +70,7 @@ pub use mcv_dist as dist;
 pub use mcv_engine as engine;
 pub use mcv_logic as logic;
 pub use mcv_module as module;
+pub use mcv_mvcc as mvcc;
 pub use mcv_obs as obs;
 pub use mcv_sim as sim;
 pub use mcv_trace as trace;
