@@ -19,6 +19,11 @@ pub enum Tolerance {
     /// Higher-is-better metric: current must be at least this fraction
     /// of the baseline (e.g. `0.4` = tolerate a 60% drop, fail beyond).
     MinRatio(f64),
+    /// Lower-is-better metric (latencies, recovery times): current must
+    /// stay at or below this multiple of the baseline (e.g. `3.0` =
+    /// tolerate up to a 3x inflation, fail beyond). A zero baseline
+    /// gates nothing — there is no scale to multiply.
+    MaxRatio(f64),
     /// Reported in the notes, never gated (scheduling-dependent).
     Ignore,
 }
@@ -122,6 +127,52 @@ pub fn mvcc_gate_rules() -> Vec<GateRule> {
     ]
 }
 
+/// The tolerances for `BENCH_slo.json` (the `exp.slo` record):
+///
+/// - `slo.sweep.points`, `slo.recovery.runs`, and `slo.arrivals.total`
+///   are exact — the sweep shape, the campaign size, and every arrival
+///   schedule are pure functions of pinned seeds, so a drift means the
+///   harness (not the machine) changed.
+/// - `slo.verdict.*` is exact — these are 0/1 structural verdicts
+///   (overload sheds, goodput holds ≥ 70% of the knee, oracles green,
+///   campaign recovery fraction ≥ 90%), each self-normalized against
+///   the same run's own knee so machine speed cancels out.
+/// - `slo.recovery.within_slo` must stay ≥ 90% of baseline: the
+///   campaign's pass count may wobble by a few seeds across machines,
+///   but a broad recovery regression collapses it.
+/// - `wall.slo.knee_tps` and `wall.slo.goodput.*` get the usual
+///   higher-is-better wall-clock band (≥ 40% / ≥ 30% of baseline).
+/// - the p99-at-fixed-load gauges for the past-the-knee rates
+///   (`wall.slo.p99_us.r1000/r2000/r4000`) and the campaign's
+///   `wall.slo.recovery_ms.*` percentiles are lower-is-better: the
+///   gate fails when latency under overload or recovery time inflates
+///   past 3x baseline — the whole point of the SLO record. Past the
+///   knee these are pinned by the deadline budget and the modeled
+///   force latency, so they are far more stable than the sub-knee
+///   points (`r250`, `r500`), which are queue-noise dominated and only
+///   reported.
+/// - Everything else (`engine.*` admission tallies, `load.*` totals)
+///   is reported, never gated.
+pub fn slo_gate_rules() -> Vec<GateRule> {
+    vec![
+        GateRule::new("slo.sweep.points", Tolerance::Exact),
+        GateRule::new("slo.recovery.runs", Tolerance::Exact),
+        GateRule::new("slo.arrivals.total", Tolerance::Exact),
+        GateRule::new("slo.verdict.*", Tolerance::Exact),
+        GateRule::new("slo.recovery.within_slo", Tolerance::MinRatio(0.9)),
+        GateRule::new("wall.slo.knee_tps", Tolerance::MinRatio(0.4)),
+        GateRule::new("wall.slo.goodput.*", Tolerance::MinRatio(0.3)),
+        GateRule::new("wall.slo.p99_us.r1000", Tolerance::MaxRatio(3.0)),
+        GateRule::new("wall.slo.p99_us.r2000", Tolerance::MaxRatio(3.0)),
+        GateRule::new("wall.slo.p99_us.r4000", Tolerance::MaxRatio(3.0)),
+        GateRule::new("wall.slo.recovery_ms.*", Tolerance::MaxRatio(3.0)),
+        GateRule::new("slo.*", Tolerance::Ignore),
+        GateRule::new("engine.*", Tolerance::Ignore),
+        GateRule::new("load.*", Tolerance::Ignore),
+        GateRule::new("wall.*", Tolerance::Ignore),
+    ]
+}
+
 /// Result of gating one report against its baseline.
 #[derive(Debug, Clone, Default)]
 pub struct GateOutcome {
@@ -184,6 +235,15 @@ pub fn check_bench(baseline: &RunReport, current: &RunReport, rules: &[GateRule]
                     ));
                 }
             }
+            Some(Tolerance::MaxRatio(frac)) => {
+                out.checked += 1;
+                if d.base > 0 && (d.current as f64) > frac * d.base as f64 {
+                    out.regressions.push(format!(
+                        "{name}: {} is above {frac} x baseline {}",
+                        d.current, d.base
+                    ));
+                }
+            }
             Some(Tolerance::Ignore) | None => {
                 if d.delta != 0 {
                     out.notes.push(format!("{name}: {} -> {}", d.base, d.current));
@@ -205,6 +265,13 @@ pub fn check_bench(baseline: &RunReport, current: &RunReport, rules: &[GateRule]
                 if current < frac * base {
                     out.regressions
                         .push(format!("{name}: {current:.1} is below {frac} x baseline {base:.1}"));
+                }
+            }
+            Some(Tolerance::MaxRatio(frac)) => {
+                out.checked += 1;
+                if base > 0.0 && current > frac * base {
+                    out.regressions
+                        .push(format!("{name}: {current:.1} is above {frac} x baseline {base:.1}"));
                 }
             }
             Some(Tolerance::Ignore) | None => {
@@ -281,6 +348,68 @@ mod tests {
         let out = check_bench(&base, &cur, &mvcc_gate_rules());
         assert!(!out.ok());
         assert!(out.regressions[0].contains("engine.locks.read_acquisitions"));
+    }
+
+    #[test]
+    fn max_ratio_gates_latency_inflation_not_improvement() {
+        let base = report(&[], &[("wall.slo.p99_us.r2000", 4_000.0)]);
+        let faster = report(&[], &[("wall.slo.p99_us.r2000", 900.0)]);
+        let noisy = report(&[], &[("wall.slo.p99_us.r2000", 11_000.0)]);
+        let blown = report(&[], &[("wall.slo.p99_us.r2000", 13_000.0)]);
+        assert!(check_bench(&base, &faster, &slo_gate_rules()).ok());
+        assert!(check_bench(&base, &noisy, &slo_gate_rules()).ok());
+        let out = check_bench(&base, &blown, &slo_gate_rules());
+        assert!(!out.ok());
+        assert!(out.regressions[0].contains("above 3 x baseline"));
+    }
+
+    #[test]
+    fn max_ratio_counter_gates_and_zero_baseline_is_ungated() {
+        let rules = vec![GateRule::new("x.worst_ms", Tolerance::MaxRatio(2.0))];
+        let base = report(&[("x.worst_ms", 100)], &[]);
+        let ok = report(&[("x.worst_ms", 199)], &[]);
+        let bad = report(&[("x.worst_ms", 201)], &[]);
+        assert!(check_bench(&base, &ok, &rules).ok());
+        assert!(!check_bench(&base, &bad, &rules).ok());
+        // A zero baseline has no scale: anything passes.
+        let zero = report(&[("x.worst_ms", 0)], &[]);
+        let any = report(&[("x.worst_ms", 5_000)], &[]);
+        assert!(check_bench(&zero, &any, &rules).ok());
+    }
+
+    #[test]
+    fn slo_gate_pins_verdicts_and_campaign_shape() {
+        let base = report(
+            &[
+                ("slo.sweep.points", 5),
+                ("slo.recovery.runs", 100),
+                ("slo.recovery.within_slo", 97),
+                ("slo.verdict.overload_sheds", 1),
+                ("slo.verdict.goodput_holds", 1),
+                ("engine.admit.shed", 12_345),
+            ],
+            &[("wall.slo.recovery_ms.p99", 120.0)],
+        );
+        assert!(check_bench(&base, &base.clone(), &slo_gate_rules()).ok());
+        // A flipped verdict is a regression even though it is "just" 1 -> 0.
+        let mut cur = base.clone();
+        cur.metrics.counters.insert("slo.verdict.goodput_holds".to_owned(), 0);
+        let out = check_bench(&base, &cur, &slo_gate_rules());
+        assert!(!out.ok());
+        assert!(out.regressions[0].contains("slo.verdict.goodput_holds"));
+        // The within-SLO count tolerates seed wobble but not collapse.
+        let mut wobble = base.clone();
+        wobble.metrics.counters.insert("slo.recovery.within_slo".to_owned(), 92);
+        assert!(check_bench(&base, &wobble, &slo_gate_rules()).ok());
+        let mut collapse = base.clone();
+        collapse.metrics.counters.insert("slo.recovery.within_slo".to_owned(), 50);
+        assert!(!check_bench(&base, &collapse, &slo_gate_rules()).ok());
+        // Admission tallies are scheduling-dependent: notes only.
+        let mut shed = base.clone();
+        shed.metrics.counters.insert("engine.admit.shed".to_owned(), 99_999);
+        let out = check_bench(&base, &shed, &slo_gate_rules());
+        assert!(out.ok());
+        assert_eq!(out.notes.len(), 1);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! - group-commit WAL — a dedicated log-writer thread batches commit
 //!   forces so concurrent commits share device operations
 //!   (`engine.wal.forces < engine.wal.commits`);
-//! - [`Pool`] — bounded worker pool with admission backpressure;
+//! - [`Pool`] — bounded worker pool with blocking backpressure
+//!   (`submit`) and a non-blocking admission path (`try_submit`) that
+//!   sheds with a typed [`Shed`] error when the queue is full;
 //! - [`run_driver`] — closed-loop workload drivers (uniform/zipfian
 //!   read-write mixes, bank transfers, write-skew pairs) that record
 //!   latency and throughput through [`mcv_obs`] and check every run
@@ -51,7 +53,7 @@ mod workload;
 
 pub use engine::{latency_histogram, Engine, EngineConfig, EngineError, Txn};
 pub use mcv_mvcc::IsolationLevel;
-pub use pool::Pool;
+pub use pool::{Pool, Shed};
 pub use workload::{
     run_driver, DriverConfig, DriverReport, KeyPicker, Mix, WorkloadKind, Zipfian,
     BANK_INITIAL_BALANCE,

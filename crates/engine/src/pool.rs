@@ -3,12 +3,36 @@
 //! `submit` blocks while the queue is full, so a fast producer cannot
 //! build an unbounded backlog — the closed-loop drivers lean on this
 //! to keep at most `queue_cap` transactions admitted but not started.
+//! `try_submit` is the open-loop admission path: it never blocks, and
+//! returns a typed [`Shed`] error when the queue is at capacity so the
+//! caller can apply an explicit load-shedding policy instead of
+//! stalling the arrival process.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Admission rejected: the queue was at capacity when the job arrived.
+///
+/// Carries the observed depth and the configured capacity so shedding
+/// policies can log or adapt (`retry-after` backoff scales on depth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shed {
+    /// Jobs queued (admitted but not started) at the rejection instant.
+    pub depth: usize,
+    /// The queue capacity the pool was built with.
+    pub cap: usize,
+}
+
+impl std::fmt::Display for Shed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "admission shed: queue at capacity ({}/{})", self.depth, self.cap)
+    }
+}
+
+impl std::error::Error for Shed {}
 
 #[derive(Default)]
 struct Queue {
@@ -77,6 +101,27 @@ impl Pool {
         self.shared.not_empty.notify_one();
     }
 
+    /// Attempts to enqueue `job` without blocking.
+    ///
+    /// Returns `Err(`[`Shed`]`)` when the queue is at capacity, leaving
+    /// the job unqueued — the open-loop admission-control hook. `submit`
+    /// semantics are unchanged: blocking callers still get backpressure.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> Result<(), Shed> {
+        let mut q = self.shared.q.lock().expect("pool mutex");
+        if q.jobs.len() >= q.cap {
+            return Err(Shed { depth: q.jobs.len(), cap: q.cap });
+        }
+        assert!(!q.closed, "try_submit after join");
+        q.jobs.push_back(Box::new(job));
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of jobs admitted but not yet started (queue depth).
+    pub fn queued(&self) -> usize {
+        self.shared.q.lock().expect("pool mutex").jobs.len()
+    }
+
     /// Closes the queue, drains remaining jobs, and joins all workers.
     pub fn join(mut self) {
         {
@@ -136,5 +181,66 @@ mod tests {
         }
         pool.join();
         assert!(peak.load(Ordering::Relaxed) <= 2);
+    }
+
+    #[test]
+    fn try_submit_sheds_under_contention_while_submit_blocks() {
+        // One worker parked on a latch, capacity 2: after the worker
+        // picks up the first job, exactly 2 more fit in the queue. A
+        // burst of try_submits must shed the excess without blocking,
+        // each Shed reporting a full queue; a subsequent blocking
+        // submit must wait for the latch to drop and still run.
+        let pool = Pool::new(1, 2);
+        let latch = Arc::new((Mutex::new(true), Condvar::new()));
+        let ran = Arc::new(AtomicU64::new(0));
+
+        let (l, r) = (Arc::clone(&latch), Arc::clone(&ran));
+        pool.submit(move || {
+            let (m, cv) = &*l;
+            let mut held = m.lock().expect("latch");
+            while *held {
+                held = cv.wait(held).expect("latch");
+            }
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        // Wait until the worker holds the first job so the queue is empty.
+        while pool.queued() > 0 {
+            std::thread::yield_now();
+        }
+
+        let mut accepted = 0;
+        let mut shed = 0;
+        for _ in 0..10 {
+            let r = Arc::clone(&ran);
+            match pool.try_submit(move || {
+                r.fetch_add(1, Ordering::Relaxed);
+            }) {
+                Ok(()) => accepted += 1,
+                Err(e) => {
+                    assert_eq!(e, Shed { depth: 2, cap: 2 });
+                    shed += 1;
+                }
+            }
+        }
+        assert_eq!(accepted, 2, "exactly the queue capacity is admitted");
+        assert_eq!(shed, 8, "the rest is shed, never blocked");
+
+        // Release the latch from a helper thread *after* the blocking
+        // submit below has had a chance to park on the full queue.
+        let l = Arc::clone(&latch);
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            let (m, cv) = &*l;
+            *m.lock().expect("latch") = false;
+            cv.notify_all();
+        });
+        let r = Arc::clone(&ran);
+        pool.submit(move || {
+            r.fetch_add(1, Ordering::Relaxed);
+        });
+        releaser.join().expect("releaser");
+        pool.join();
+        // latched job + 2 accepted try_submits + 1 blocking submit.
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
     }
 }

@@ -177,22 +177,54 @@ impl Histogram {
         }
     }
 
+    /// Whether no samples have been recorded yet.
+    ///
+    /// `percentile` returns 0 on an empty histogram, which is
+    /// indistinguishable from a genuine all-zero sample set — callers
+    /// that must tell the two apart use this or [`Histogram::try_percentile`].
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
     /// The `q`-th percentile (`q` in `[0, 100]`) estimated by linear
     /// interpolation inside the bucket holding the target rank.
     ///
-    /// The interpolation range of a bucket is `[prev_bound + 1, bound]`
-    /// (the overflow bucket interpolates up to `max`); the result is
-    /// clamped to `[min, max]` so single-sample and single-bucket
-    /// histograms report exact values. Returns 0 when empty.
+    /// Edge cases are pinned down (and property-tested in
+    /// `tests/histogram_properties.rs`):
+    ///
+    /// - **empty histogram** — returns 0 (see [`Histogram::try_percentile`]
+    ///   for the `Option` form);
+    /// - **rank 1 / rank `count`** (`q` at or clamped to the extremes)
+    ///   — returns exactly `min` / `max`, never an interpolated value;
+    /// - **overflow bucket** (samples above the last bound) — the
+    ///   bucket interpolates over `[last_bound + 1, max]`, so a p999
+    ///   landing among overflow samples stays within the observed
+    ///   range instead of saturating at the last configured bound;
+    /// - **`q` outside `[0, 100]`** is clamped; a NaN `q` is treated
+    ///   as 0 (returns `min`).
+    ///
+    /// The interpolation range of an interior bucket is
+    /// `[prev_bound + 1, bound]`; the result is clamped to
+    /// `[min, max]` so single-sample and single-bucket histograms
+    /// report exact values.
     pub fn percentile(&self, q: f64) -> u64 {
+        self.try_percentile(q).unwrap_or(0)
+    }
+
+    /// [`Histogram::percentile`], but `None` when the histogram is
+    /// empty instead of an ambiguous 0.
+    pub fn try_percentile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
-        let q = q.clamp(0.0, 100.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 100.0) };
         // Rank of the target sample, 1-based: ceil(q% of count), at least 1.
         let rank = ((q / 100.0 * self.count as f64).ceil() as u64).max(1);
+        if rank <= 1 {
+            return Some(self.min);
+        }
         if rank >= self.count {
-            return self.max;
+            return Some(self.max);
         }
         let mut seen = 0u64;
         for (i, &n) in self.counts.iter().enumerate() {
@@ -207,11 +239,11 @@ impl Histogram {
                 // bucket, in (0, 1) — rank r of n sits at (r - ½)/n.
                 let frac = ((rank - seen) as f64 - 0.5) / n as f64;
                 let est = lo as f64 + frac * (hi - lo) as f64;
-                return (est.round() as u64).clamp(self.min, self.max);
+                return Some((est.round() as u64).clamp(self.min, self.max));
             }
             seen += n;
         }
-        self.max
+        Some(self.max)
     }
 
     /// Adds every sample of `other` (bucket-wise; bounds must match).

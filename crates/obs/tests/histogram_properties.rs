@@ -1,0 +1,141 @@
+//! Property tests pinning down `Histogram::percentile` edge cases —
+//! the estimator behind every p50/p99/p999 the load harness reports,
+//! so overload latency numbers must be trustworthy at the extremes:
+//! empty histograms, single samples, and samples landing above the
+//! last configured bound (the overflow bucket).
+
+use mcv_obs::Histogram;
+use proptest::prelude::*;
+
+/// Latency-shaped bounds: the same decade spacing `latency_histogram`
+/// uses, scaled down so overflow is easy to hit.
+fn bounds() -> Vec<u64> {
+    vec![10, 20, 50, 100, 200, 500, 1000]
+}
+
+fn filled(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::with_bounds(bounds());
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every percentile of a non-empty histogram lies within
+    /// [min, max] — even when every sample is in the overflow bucket.
+    #[test]
+    fn percentile_stays_within_observed_range(
+        samples in prop::collection::vec(0u64..10_000, 1..200),
+        q_pm in 0u64..=1000,
+    ) {
+        let h = filled(&samples);
+        let q = q_pm as f64 / 10.0;
+        let p = h.percentile(q);
+        prop_assert!(p >= h.min && p <= h.max, "p{q} = {p} outside [{}, {}]", h.min, h.max);
+    }
+
+    /// Percentiles are monotone in q.
+    #[test]
+    fn percentile_is_monotone(
+        samples in prop::collection::vec(0u64..10_000, 1..200),
+        qs_pm in prop::collection::vec(0u64..=1000, 2..8),
+    ) {
+        let h = filled(&samples);
+        let mut qs = qs_pm;
+        qs.sort();
+        let mut last = 0;
+        for q_pm in qs {
+            let q = q_pm as f64 / 10.0;
+            let p = h.percentile(q);
+            prop_assert!(p >= last, "percentile({q}) = {p} < previous {last}");
+            last = p;
+        }
+    }
+
+    /// The extremes are exact: p0 is the smallest sample, p100 the
+    /// largest — never an interpolated bucket estimate.
+    #[test]
+    fn extreme_percentiles_are_exact(
+        samples in prop::collection::vec(0u64..10_000, 1..200),
+    ) {
+        let h = filled(&samples);
+        let lo = *samples.iter().min().expect("non-empty");
+        let hi = *samples.iter().max().expect("non-empty");
+        prop_assert_eq!(h.percentile(0.0), lo);
+        prop_assert_eq!(h.percentile(100.0), hi);
+        // Out-of-range and NaN q clamp to the same extremes.
+        prop_assert_eq!(h.percentile(-3.0), lo);
+        prop_assert_eq!(h.percentile(250.0), hi);
+        prop_assert_eq!(h.percentile(f64::NAN), lo);
+    }
+
+    /// p999 with overload-shaped tails: when at least 1 in 100 samples
+    /// lands above the last bound, the p999 estimate must come from
+    /// the overflow bucket's range, not saturate at the last bound.
+    #[test]
+    fn p999_tracks_the_overflow_tail(
+        body in prop::collection::vec(0u64..=1000, 50..150),
+        tail in prop::collection::vec(1001u64..50_000, 2..20),
+    ) {
+        let mut samples = body.clone();
+        samples.extend(&tail);
+        let h = filled(&samples);
+        let tail_frac = tail.len() as f64 / samples.len() as f64;
+        // Pick a q deep enough that its rank is inside the tail.
+        let q = 100.0 * (1.0 - tail_frac / 2.0);
+        let p = h.percentile(q);
+        let tail_min = *tail.iter().min().expect("non-empty tail");
+        prop_assert!(
+            p > 1000 && p >= tail_min.min(1001),
+            "p{q:.2} = {p} did not reach the overflow bucket (tail min {tail_min})"
+        );
+        prop_assert!(p <= h.max);
+    }
+
+    /// The estimator never loses samples: percentile(q) for q past the
+    /// last rank equals max regardless of bucket layout, and merging
+    /// two histograms preserves the [min, max] envelope.
+    #[test]
+    fn merge_preserves_percentile_envelope(
+        a in prop::collection::vec(0u64..10_000, 1..100),
+        b in prop::collection::vec(0u64..10_000, 1..100),
+    ) {
+        let (ha, hb) = (filled(&a), filled(&b));
+        let mut merged = ha.clone();
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count, ha.count + hb.count);
+        prop_assert_eq!(merged.percentile(0.0), ha.min.min(hb.min));
+        prop_assert_eq!(merged.percentile(100.0), ha.max.max(hb.max));
+    }
+}
+
+#[test]
+fn empty_histogram_behavior_is_defined() {
+    let h = Histogram::with_bounds(bounds());
+    assert!(h.is_empty());
+    // The lossy form reports 0; the Option form distinguishes "no
+    // samples" from "all samples were zero".
+    for q in [0.0, 50.0, 99.9, 100.0, f64::NAN] {
+        assert_eq!(h.percentile(q), 0);
+        assert_eq!(h.try_percentile(q), None);
+    }
+    let mut zeros = Histogram::with_bounds(bounds());
+    zeros.record(0);
+    assert!(!zeros.is_empty());
+    assert_eq!(zeros.try_percentile(99.9), Some(0));
+}
+
+#[test]
+fn all_overflow_histogram_interpolates_to_observed_max() {
+    // Every sample above the last bound (1000): the overflow bucket
+    // must interpolate over [observed min, observed max], not report
+    // the configured bound or 0.
+    let h = filled(&[5_000, 7_000, 9_000, 20_000]);
+    assert_eq!(h.percentile(0.0), 5_000);
+    assert_eq!(h.percentile(100.0), 20_000);
+    let p50 = h.percentile(50.0);
+    assert!((5_000..=20_000).contains(&p50), "p50 = {p50}");
+}

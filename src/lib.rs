@@ -39,7 +39,12 @@
 //!   snapshot-visibility reads that bypass the lock table,
 //!   first-committer-wins certification, and low-watermark garbage
 //!   collection, mounted in the engine behind an
-//!   [`engine::IsolationLevel`] knob.
+//!   [`engine::IsolationLevel`] knob;
+//! - [`load`] — open-loop traffic: seeded Poisson/flash-crowd/diurnal
+//!   arrival processes over zipfian user sessions, non-blocking
+//!   admission with explicit load shedding and deadline budgets,
+//!   chaos-under-load with recovery-time SLO measurement, and a
+//!   deterministic admission-replay simulator.
 //!
 //! # Examples
 //!
@@ -68,6 +73,7 @@ pub use mcv_commit as commit;
 pub use mcv_core as core;
 pub use mcv_dist as dist;
 pub use mcv_engine as engine;
+pub use mcv_load as load;
 pub use mcv_logic as logic;
 pub use mcv_module as module;
 pub use mcv_mvcc as mvcc;
