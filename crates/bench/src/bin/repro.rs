@@ -17,9 +17,10 @@
 //! are the exception: their `engine.*`/`dist.*` wall metrics depend on
 //! thread scheduling. `exp.tput` additionally writes its RunReport as
 //! `<dir>/BENCH_engine.json`, `exp.dist` as `<dir>/BENCH_dist.json`,
-//! `exp.mvcc` as `<dir>/BENCH_mvcc.json`, and `exp.slo` as
-//! `<dir>/BENCH_slo.json` — the canonical benchmark records. `--check-bench` takes one or more baseline files and
-//! dispatches each on its report id.
+//! `exp.mvcc` as `<dir>/BENCH_mvcc.json`, `exp.slo` as
+//! `<dir>/BENCH_slo.json`, and `exp.prof` as `<dir>/BENCH_prof.json` —
+//! the canonical benchmark records. `--check-bench` takes one or more
+//! baseline files and dispatches each on its report id.
 
 use mcv_bench::artifacts;
 use std::path::PathBuf;
@@ -120,6 +121,7 @@ fn main() {
                     "exp.dist" => Some("BENCH_dist"),
                     "exp.mvcc" => Some("BENCH_mvcc"),
                     "exp.slo" => Some("BENCH_slo"),
+                    "exp.prof" => Some("BENCH_prof"),
                     _ => None,
                 };
                 if let Some(bench_id) = bench_id {
@@ -143,8 +145,9 @@ fn main() {
 /// report id picks the benchmark and its tolerances: `BENCH_engine`
 /// re-runs `exp.tput` under [`mcv_bench::engine_gate_rules`],
 /// `BENCH_dist` re-runs `exp.dist` under
-/// [`mcv_bench::dist_gate_rules`], and `BENCH_slo` re-runs `exp.slo`
-/// under [`mcv_bench::slo_gate_rules`] (all documented in
+/// [`mcv_bench::dist_gate_rules`], `BENCH_slo` re-runs `exp.slo` under
+/// [`mcv_bench::slo_gate_rules`], and `BENCH_prof` re-runs `exp.prof`
+/// under [`mcv_bench::prof_gate_rules`] (all documented in
 /// EXPERIMENTS.md).
 fn run_bench_gate(baseline_path: &std::path::Path) -> bool {
     let baseline = match std::fs::read_to_string(baseline_path) {
@@ -166,10 +169,11 @@ fn run_bench_gate(baseline_path: &std::path::Path) -> bool {
             "BENCH_dist" => ("exp.dist", mcv_bench::exp_dist, mcv_bench::dist_gate_rules()),
             "BENCH_mvcc" => ("exp.mvcc", mcv_bench::exp_mvcc, mcv_bench::mvcc_gate_rules()),
             "BENCH_slo" => ("exp.slo", mcv_bench::exp_slo, mcv_bench::slo_gate_rules()),
+            "BENCH_prof" => ("exp.prof", mcv_bench::exp_prof, mcv_bench::prof_gate_rules()),
             other => {
                 eprintln!(
                     "--check-bench: unknown baseline id {other:?} in {} \
-                     (expected BENCH_engine, BENCH_dist, BENCH_mvcc or BENCH_slo)",
+                     (expected BENCH_engine, BENCH_dist, BENCH_mvcc, BENCH_slo or BENCH_prof)",
                     baseline_path.display()
                 );
                 std::process::exit(2);

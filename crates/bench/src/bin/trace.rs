@@ -6,6 +6,7 @@
 //! trace check t.jsonl                                # happens-before audit
 //! trace show t.jsonl [--filter site=N|txn=N|kind=K]  # per-site swimlanes
 //! trace show t.jsonl --causal-path <txn>             # HB chain of one txn
+//! trace critical-path t.jsonl [--txn N]              # weighted commit path + attribution
 //! trace smoke                                        # record+check+render, for CI
 //! ```
 //!
@@ -24,6 +25,7 @@ fn main() {
         Some("record-engine") => record_engine(&args[1..]),
         Some("check") => check(&args[1..]),
         Some("show") => show(&args[1..]),
+        Some("critical-path") => critical_path(&args[1..]),
         Some("smoke") => smoke(),
         _ => {
             eprintln!(
@@ -31,6 +33,7 @@ fn main() {
                  \x20      trace record-engine --out <path> [--workers N] [--txns N]\n\
                  \x20      trace check <path>\n\
                  \x20      trace show <path> [--filter k=v]... [--causal-path <txn>]\n\
+                 \x20      trace critical-path <path> [--txn N]\n\
                  \x20      trace smoke"
             );
             2
@@ -178,6 +181,62 @@ fn show(args: &[String]) -> i32 {
         }
     }
     print!("{}", mcv_trace::swimlanes(&trace, &filter));
+    0
+}
+
+/// Weighted critical-path analysis: the longest causal chain behind
+/// each commit decision, with wall time attributed to typed phases.
+/// Needs a trace recorded with wall-clock kept (`record-engine`, or a
+/// `run_dist` trace) — stripped traces carry no edge weights.
+fn critical_path(args: &[String]) -> i32 {
+    let Some(path) = args.first() else {
+        eprintln!("trace critical-path: a trace path is required");
+        return 2;
+    };
+    let trace = match load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace critical-path: {e}");
+            return 1;
+        }
+    };
+    let committed = mcv_prof::committed_txns(&trace);
+    if committed.is_empty() {
+        eprintln!("trace critical-path: no commit decisions in {path}");
+        return 1;
+    }
+    if let Some(txn) = flag_value(args, "--txn") {
+        let Ok(txn) = txn.parse::<u64>() else {
+            eprintln!("trace critical-path: --txn takes a numeric transaction id");
+            return 2;
+        };
+        return match mcv_prof::commit_path(&trace, txn) {
+            Some(p) => {
+                print!("{}", p.render());
+                0
+            }
+            None => {
+                eprintln!(
+                    "trace critical-path: no weighted path for txn {txn} — either it never \
+                     committed, or the trace was recorded wall-stripped (re-record with \
+                     `trace record-engine`, which keeps wall-clock)"
+                );
+                1
+            }
+        };
+    }
+    let (table, paths) = mcv_prof::attribute_commits(&trace);
+    if paths.is_empty() {
+        eprintln!(
+            "trace critical-path: {} committed txn(s) but no weighted paths — the trace was \
+             recorded wall-stripped (re-record with `trace record-engine`, which keeps \
+             wall-clock)",
+            committed.len()
+        );
+        return 1;
+    }
+    println!("{} commit path(s) over {} events", paths.len(), trace.len());
+    print!("{}", table.render());
     0
 }
 

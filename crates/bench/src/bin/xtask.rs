@@ -17,7 +17,9 @@
 //! times survive as facts — they are the report's content. With
 //! `--flake`, gates named `<name>@r<round>` are grouped by base name
 //! and any gate whose verdict differs between rounds is reported as
-//! FLAKY.
+//! FLAKY. When `baselines/BENCH_prof.json` exists, the summary also
+//! renders its phase-attribution tables — where engine and cross-shard
+//! commit latency went the last time `exp.prof` was baselined.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -153,6 +155,45 @@ fn divergent(gates: &[Gate]) -> Vec<String> {
     by_base.iter().filter(|(_, (p, f))| *p && *f).map(|(b, _)| (*b).to_owned()).collect()
 }
 
+/// Renders the baselined `exp.prof` phase attribution (mean-latency
+/// share per phase, engine and cross-shard columns) from
+/// `baselines/BENCH_prof.json`, or `None` when no baseline exists.
+/// The shares are wall gauges — informational context for the gate
+/// table, not part of the diff-stable report facts.
+fn phase_attribution_summary(root: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(root.join("baselines/BENCH_prof.json")).ok()?;
+    let report = mcv_obs::RunReport::from_json(&text).ok()?;
+    let share = |prefix: &str| -> Vec<(String, f64)> {
+        let mut rows: Vec<(String, f64)> = report
+            .metrics
+            .gauges
+            .iter()
+            .filter_map(|(k, v)| k.strip_prefix(prefix).map(|p| (p.to_owned(), *v)))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite shares"));
+        rows
+    };
+    let engine = share("wall.prof.engine.frac_mean.");
+    let dist = share("wall.prof.dist.frac_mean.");
+    if engine.is_empty() && dist.is_empty() {
+        return None;
+    }
+    let mut out = String::from(
+        "\n  phase attribution (baselines/BENCH_prof.json, % of mean commit latency):\n",
+    );
+    for (title, rows) in [("engine", &engine), ("cross-shard", &dist)] {
+        if rows.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("    {title:<12}"));
+        for (phase, frac) in rows {
+            out.push_str(&format!(" {phase} {:.0}%", 100.0 * frac));
+        }
+        out.push('\n');
+    }
+    Some(out)
+}
+
 fn ci_report(args: &[String]) -> ExitCode {
     let mut out_path = PathBuf::from("ci-report.json");
     let mut flake = false;
@@ -202,6 +243,10 @@ fn ci_report(args: &[String]) -> ExitCode {
     let flaky = if flake { divergent(&gates) } else { Vec::new() };
     for f in &flaky {
         println!("  FLAKY: {f} diverged between rounds");
+    }
+
+    if let Some(table) = phase_attribution_summary(&repo_root()) {
+        println!("{table}");
     }
 
     let mut report = mcv_obs::RunReport::new("ci")
@@ -255,6 +300,14 @@ mod tests {
         )
         .expect("parses");
         assert_eq!(divergent(&gates), vec!["dist_smoke".to_owned()]);
+    }
+
+    #[test]
+    fn phase_attribution_summary_reads_the_baseline() {
+        let table = phase_attribution_summary(&repo_root()).expect("BENCH_prof.json is committed");
+        assert!(table.contains("cross-shard"), "{table}");
+        assert!(table.contains("transport_rtt"), "{table}");
+        assert!(phase_attribution_summary(Path::new("/nonexistent")).is_none());
     }
 
     #[test]

@@ -1071,6 +1071,211 @@ pub fn exp_slo() -> String {
     out
 }
 
+/// exp.prof — where commit latency goes: per-transaction phase
+/// attribution from the thread-local ring profiler, critical-path
+/// analysis of a cross-shard run, windowed telemetry of an open-loop
+/// load run, and the profiler's own overhead.
+///
+/// Wall-clock numbers are scheduling-dependent like [`exp_tput`], but
+/// the headline claims are self-normalized 0/1 verdicts that gate
+/// exactly:
+///
+/// - `prof.verdict.overhead_ok` — instrumented throughput within 1.05x
+///   of the uninstrumented engine on the `exp.tput` 4-worker config
+///   (median paired ratio over 7 interleaved trials, so machine speed
+///   and one-sided scheduler bursts cancel);
+/// - `prof.verdict.engine_samples_match` — the profiler harvests
+///   exactly one timeline per committed transaction, none dropped;
+/// - `prof.verdict.dist_attributed` — the critical-path analyzer
+///   explains at least 90% of mean cross-shard commit latency with
+///   typed phases;
+/// - `prof.verdict.dist_transport_dominant` — the top two phases of
+///   the cross-shard run are `transport_rtt` and `wal_force`: message
+///   flight and the commit-point force dominate, as 3PC predicts;
+/// - `prof.verdict.telemetry_covers_arrivals` — the windowed telemetry
+///   stream accounts for every scheduled arrival.
+///
+/// `prof.dist.paths`, `prof.telemetry.windows`, and
+/// `prof.telemetry.arrivals` are structural (fault-free AC2 commits
+/// and seeded arrival schedules) and also gate exactly.
+pub fn exp_prof() -> String {
+    use mcv_engine::{run_driver, DriverConfig, EngineConfig, Mix, WorkloadKind};
+    use mcv_prof::{AttributionTable, Profiler};
+
+    let mut out =
+        String::from("exp.prof — phase attribution, critical paths, and profiler overhead\n");
+
+    // Leg 1 — overhead: the exp.tput 4-worker config, instrumented vs
+    // disabled, 7 interleaved trials each so thermal drift hits both
+    // arms equally. The verdict takes the MEDIAN of the per-pair
+    // ratios: a pair is adjacent in time so interference skews both
+    // arms together, and the median discards pairs where a scheduler
+    // burst hit only one arm (best-of-per-arm flaked on exactly that).
+    let tput_cfg = || DriverConfig {
+        engine: EngineConfig {
+            shards: 16,
+            group_commit: true,
+            force_latency_us: 300,
+            group_window_us: 50,
+            ..Default::default()
+        },
+        clients: 4,
+        // 3x the exp.tput run length: per-trial throughput noise
+        // shrinks with duration, and the 0/1 overhead verdict gates
+        // exactly, so the estimate must be tight.
+        txns: 3_000,
+        items: 4_096,
+        workload: WorkloadKind::ReadWrite { mix: Mix::Uniform, write_pct: 50, ops_per_txn: 8 },
+        seed: 4242,
+    };
+    let mut best_plain = 0.0f64;
+    let mut best_prof = 0.0f64;
+    let mut ratios = Vec::new();
+    let mut committed = 0u64;
+    let mut engine_samples = mcv_prof::ProfSamples::default();
+    for _trial in 0..7 {
+        let plain = run_driver(&tput_cfg());
+        best_plain = best_plain.max(plain.throughput_tps());
+        let profiler = Profiler::new();
+        let instrumented = mcv_prof::with_profiler(&profiler, || run_driver(&tput_cfg()));
+        best_prof = best_prof.max(instrumented.throughput_tps());
+        ratios.push(plain.throughput_tps() / instrumented.throughput_tps().max(1e-9));
+        committed = instrumented.committed;
+        engine_samples = profiler.harvest();
+    }
+    ratios.sort_by(f64::total_cmp);
+    let ratio = ratios[ratios.len() / 2];
+    let overhead_ok = ratio <= 1.05;
+    let samples_match =
+        engine_samples.timelines.len() as u64 == committed && engine_samples.dropped == 0;
+    mcv_obs::counter("prof.verdict.overhead_ok", u64::from(overhead_ok));
+    mcv_obs::counter("prof.verdict.engine_samples_match", u64::from(samples_match));
+    mcv_obs::gauge("wall.prof.overhead_ratio", ratio);
+    mcv_obs::gauge("wall.prof.tput.plain", best_plain);
+    mcv_obs::gauge("wall.prof.tput.instrumented", best_prof);
+    let engine_table = AttributionTable::from_samples(&engine_samples);
+    out.push_str(&format!(
+        "\noverhead (exp.tput config, 4 workers, best of 7): disabled {best_plain:.0} txn/s, \
+         instrumented {best_prof:.0} txn/s, median paired ratio {ratio:.3}x \
+         (<= 1.05x required: {overhead_ok})\n\
+         samples: {} timelines for {} commits, {} dropped (exact match: {samples_match})\n\n\
+         engine phase attribution (instrumented run):\n{}",
+        engine_samples.timelines.len(),
+        committed,
+        engine_samples.dropped,
+        engine_table.render(),
+    ));
+    for row in &engine_table.rows {
+        if row.txns > 0 {
+            mcv_obs::gauge(&format!("wall.prof.engine.frac_mean.{}", row.phase), row.frac_mean);
+        }
+    }
+
+    // Leg 2 — cross-shard critical paths: a fault-free exp.dist run,
+    // decomposed along the happens-before DAG behind each commit
+    // decision. Transport samples from the network thread surface as
+    // unanchored phase time; the per-transaction attribution comes
+    // from the trace, which cannot double-count parallel flights.
+    // 800us forces model a real fsync (the default 20us is tuned for
+    // fast protocol campaigns, not for representative attribution) and
+    // keep the commit-point force comfortably above scheduling noise.
+    let dist_cfg = mcv_dist::DistConfig {
+        n_shards: 3,
+        n_txns: 8,
+        writes_per_shard: 2,
+        seed: 7,
+        force_latency_us: 800,
+        ..mcv_dist::DistConfig::default()
+    };
+    let profiler = Profiler::new();
+    let o = mcv_prof::with_profiler(&profiler, || mcv_dist::run_dist(&dist_cfg));
+    let (dist_table, paths) = mcv_prof::attribute_commits(&o.trace);
+    let top2 = dist_table.top_phases(2);
+    let transport_dominant = top2.contains(&"transport_rtt") && top2.contains(&"wal_force");
+    let attributed = dist_table.attributed_frac >= 0.9;
+    mcv_obs::counter("prof.dist.paths", paths.len() as u64);
+    mcv_obs::counter("prof.verdict.dist_attributed", u64::from(attributed));
+    mcv_obs::counter("prof.verdict.dist_transport_dominant", u64::from(transport_dominant));
+    mcv_obs::gauge("wall.prof.dist.attributed_frac", dist_table.attributed_frac);
+    for row in &dist_table.rows {
+        if row.txns > 0 {
+            mcv_obs::gauge(&format!("wall.prof.dist.frac_mean.{}", row.phase), row.frac_mean);
+        }
+    }
+    out.push_str(&format!(
+        "\ncross-shard critical paths (3 shards, 8 txns, fault-free; {} commit paths, \
+         oracles {}):\n{}\
+         headline: attributed {:.0}% of mean commit latency (>= 90% required: {attributed}); \
+         top phases {:?} (transport_rtt + wal_force required: {transport_dominant})\n",
+        paths.len(),
+        o.violated().is_none(),
+        dist_table.render(),
+        100.0 * dist_table.attributed_frac,
+        top2,
+    ));
+
+    // Leg 3 — live telemetry on an open-loop load run: windows are
+    // keyed by scheduled arrival time, so their count and per-window
+    // arrivals are pure functions of the seed even though every
+    // latency inside them is measured.
+    let load_cfg = mcv_load::LoadConfig {
+        profile: mcv_load::LoadProfile {
+            process: mcv_load::ArrivalProcess::Poisson { rate_tps: 1_500.0 },
+            duration_us: 200_000,
+            sessions: 50_000,
+            session_theta: 0.8,
+            seed: 77,
+        },
+        engines: 1,
+        items_per_engine: 128,
+        telemetry_window_us: 50_000,
+        ..Default::default()
+    };
+    let profiler = Profiler::new();
+    let report = mcv_prof::with_profiler(&profiler, || mcv_load::run_load(&load_cfg));
+    let windowed_arrivals: u64 = report.telemetry.iter().map(|w| w.arrivals).sum();
+    let covers = windowed_arrivals == report.arrivals;
+    mcv_obs::counter("prof.telemetry.windows", report.telemetry.len() as u64);
+    mcv_obs::counter("prof.telemetry.arrivals", windowed_arrivals);
+    mcv_obs::counter("prof.verdict.telemetry_covers_arrivals", u64::from(covers));
+    let driver_table = AttributionTable::from_samples(&profiler.harvest());
+    out.push_str(&format!(
+        "\nopen-loop telemetry (1500 txn/s Poisson, 200 ms, 50 ms windows): {} windows, \
+         {} arrivals windowed of {} scheduled (complete: {covers}), {} committed, oracles {}\n",
+        report.telemetry.len(),
+        windowed_arrivals,
+        report.arrivals,
+        report.committed,
+        report.oracles_ok(),
+    ));
+    for w in &report.telemetry {
+        out.push_str(&format!(
+            "  window {:>2} [{:>3}-{:>3} ms): {:>3} arrivals, {:>3} commits, \
+             p50/p99 {}/{} us\n",
+            w.seq,
+            w.seq * w.window_us / 1_000,
+            (w.seq + 1) * w.window_us / 1_000,
+            w.arrivals,
+            w.wall.commits,
+            w.wall.p50_us,
+            w.wall.p99_us,
+        ));
+    }
+    out.push_str(&format!(
+        "\narrival-to-resolution attribution (driver anchor joined with engine phases):\n{}",
+        driver_table.render()
+    ));
+    mcv_obs::absorb(&report.metrics);
+    out.push_str(
+        "\nshape check: on the engine the modeled force dominates; across shards the\n\
+         message flights and the participants' commit-point forces own the latency;\n\
+         under open-loop load the arrival-anchored budget adds queueing on top —\n\
+         and the rings' relaxed stores keep the instrumented engine within 5% of\n\
+         the uninstrumented one.\n",
+    );
+    out
+}
+
 /// An artifact id paired with its generator function.
 pub type Artifact = (&'static str, fn() -> String);
 
@@ -1104,6 +1309,7 @@ pub fn artifacts() -> Vec<Artifact> {
         ("exp.dist", exp_dist),
         ("exp.mvcc", exp_mvcc),
         ("exp.slo", exp_slo),
+        ("exp.prof", exp_prof),
     ]
 }
 

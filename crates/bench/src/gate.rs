@@ -173,6 +173,40 @@ pub fn slo_gate_rules() -> Vec<GateRule> {
     ]
 }
 
+/// The tolerances for `BENCH_prof.json` (the `exp.prof` record):
+///
+/// - `prof.verdict.*` is exact — 0/1 structural verdicts, each
+///   self-normalized within one run so machine speed cancels out:
+///   profiling overhead within 1.05x of the uninstrumented engine,
+///   one harvested timeline per commit with none dropped, ≥ 90% of
+///   cross-shard commit latency attributed to typed phases,
+///   `transport_rtt` + `wal_force` as the top two cross-shard phases,
+///   and the telemetry stream covering every scheduled arrival.
+/// - `prof.dist.paths` is exact — the fault-free cross-shard leg
+///   drives a fixed transaction count and AC2 obliges all of them to
+///   commit, so the critical-path analyzer must recover exactly that
+///   many weighted paths.
+/// - `prof.telemetry.windows` and `prof.telemetry.arrivals` are exact
+///   — telemetry windows are keyed by scheduled (virtual) arrival
+///   time, a pure function of the seed.
+/// - `wall.prof.*` (the measured ratio, throughputs, and per-phase
+///   fractions) is wall-clock and only reported — the verdicts above
+///   carry the gated form of each claim.
+pub fn prof_gate_rules() -> Vec<GateRule> {
+    vec![
+        GateRule::new("prof.verdict.*", Tolerance::Exact),
+        GateRule::new("prof.dist.paths", Tolerance::Exact),
+        GateRule::new("prof.telemetry.windows", Tolerance::Exact),
+        GateRule::new("prof.telemetry.arrivals", Tolerance::Exact),
+        GateRule::new("prof.*", Tolerance::Ignore),
+        GateRule::new("engine.*", Tolerance::Ignore),
+        GateRule::new("dist.*", Tolerance::Ignore),
+        GateRule::new("load.*", Tolerance::Ignore),
+        GateRule::new("trace.*", Tolerance::Ignore),
+        GateRule::new("wall.*", Tolerance::Ignore),
+    ]
+}
+
 /// Result of gating one report against its baseline.
 #[derive(Debug, Clone, Default)]
 pub struct GateOutcome {

@@ -41,6 +41,9 @@ pub struct DistConfig {
     pub tick_us: u64,
     /// Uniform per-hop network delay, in `1..=delay_ticks` ticks.
     pub delay_ticks: u64,
+    /// Modeled device-force latency of each shard engine's WAL, in
+    /// microseconds (the participants' commit-point durability cost).
+    pub force_latency_us: u64,
     /// Use the naive Figure 3.2 timeout transitions instead of
     /// election + termination — unsafe with two or more shards.
     pub naive_timeouts: bool,
@@ -74,6 +77,7 @@ impl Default for DistConfig {
             timeout: 40,
             tick_us: 200,
             delay_ticks: 3,
+            force_latency_us: 20,
             naive_timeouts: false,
             quorum_termination: true,
             crash_at: None,
@@ -302,7 +306,7 @@ pub fn run_dist(cfg: &DistConfig) -> DistOutcome {
             .map(|_| {
                 Engine::new(EngineConfig {
                     shards: 4,
-                    force_latency_us: 20,
+                    force_latency_us: cfg.force_latency_us,
                     sample_every: 1,
                     ..Default::default()
                 })
@@ -327,6 +331,7 @@ pub fn run_dist(cfg: &DistConfig) -> DistOutcome {
         delay_ticks: cfg.delay_ticks,
         seed: cfg.seed,
         rec: Some(Arc::clone(&rec)),
+        prof: mcv_prof::installed(),
     };
     let schedule = cfg.schedule.clone();
     let net_handle = std::thread::Builder::new()

@@ -70,6 +70,10 @@ struct Scheduled {
     due_us: u64,
     seq: u64,
     to: usize,
+    /// When the message entered the network (microseconds since run
+    /// start; 0 for fault dispatches) — the flight-time base for
+    /// profiling.
+    enq_us: u64,
     what: Dispatch,
 }
 
@@ -145,6 +149,10 @@ pub(crate) struct Network {
     pub delay_ticks: u64,
     pub seed: u64,
     pub rec: Option<Arc<mcv_trace::Recorder>>,
+    /// Phase profiler captured at `run_dist` entry; each delivery
+    /// records its measured flight time as an anonymous
+    /// `transport_rtt` sample.
+    pub prof: Option<mcv_prof::Profiler>,
 }
 
 impl Network {
@@ -168,6 +176,7 @@ impl Network {
                         due_us: us(*at),
                         seq,
                         to: *proc,
+                        enq_us: 0,
                         what: Dispatch::Crash,
                     }));
                 }
@@ -177,6 +186,7 @@ impl Network {
                         due_us: us(*at),
                         seq,
                         to: *proc,
+                        enq_us: 0,
                         what: Dispatch::Recover,
                     }));
                 }
@@ -221,7 +231,22 @@ impl Network {
             while heap.peek().is_some_and(|Reverse(s)| s.due_us <= now_us) {
                 let Reverse(s) = heap.pop().expect("peeked");
                 let ev = match s.what {
-                    Dispatch::Deliver { from, msg, sent } => NodeEvent::Deliver { from, msg, sent },
+                    Dispatch::Deliver { from, msg, sent } => {
+                        if let Some(p) = &self.prof {
+                            // Anonymous sample: flight time from network
+                            // entry to dispatch (txn 0 — hops are not
+                            // tied to one transaction here; the
+                            // critical-path analyzer does the per-txn
+                            // transport attribution from the trace).
+                            let mut t = mcv_prof::Timeline::new(0);
+                            t.add(
+                                mcv_prof::Phase::TransportRtt,
+                                now_us.saturating_sub(s.enq_us).saturating_mul(1_000),
+                            );
+                            p.record(&t);
+                        }
+                        NodeEvent::Deliver { from, msg, sent }
+                    }
                     Dispatch::Crash => NodeEvent::Crash,
                     Dispatch::Recover => NodeEvent::Recover,
                 };
@@ -289,6 +314,7 @@ impl Network {
                             due_us: due,
                             seq,
                             to,
+                            enq_us: now_us,
                             what: Dispatch::Deliver { from, msg: msg.clone(), sent: sent.clone() },
                         }));
                     }

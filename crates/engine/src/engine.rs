@@ -8,6 +8,7 @@ use crate::gcwal::GroupWal;
 use crate::shard::{Shard, TryAcquire};
 use mcv_mvcc::{IsolationLevel, MvccStore};
 use mcv_obs::{Histogram, MetricsSnapshot};
+use mcv_prof::Phase;
 use mcv_txn::{
     shard_of, youngest_victim, History, Item, LockMode, LogRecord, OpKind, TxnId, Value,
 };
@@ -16,7 +17,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Engine construction parameters.
 #[derive(Debug, Clone)]
@@ -144,6 +145,9 @@ pub(crate) struct Inner {
     /// [`Engine::new`]; shared by all worker threads. `None` makes
     /// every trace branch in the hot paths a single cheap test.
     trace: Option<Arc<mcv_trace::Recorder>>,
+    /// Phase profiler captured the same way (`mcv_prof::installed` at
+    /// construction); `None` keeps every timing branch a cheap test.
+    prof: Option<mcv_prof::Profiler>,
 }
 
 /// A multi-threaded transaction engine. Cheap to clone (`Arc` inside);
@@ -172,6 +176,7 @@ impl Engine {
     pub fn new(cfg: EngineConfig) -> Engine {
         assert!(cfg.shards > 0, "engine needs at least one shard");
         let trace = mcv_trace::installed();
+        let prof = mcv_prof::installed();
         let wal = Arc::new(GroupWal::new(
             cfg.group_commit,
             Duration::from_micros(cfg.force_latency_us),
@@ -198,6 +203,7 @@ impl Engine {
                 counters: EngineCounters::default(),
                 mvcc,
                 trace,
+                prof,
             }),
         }
     }
@@ -259,6 +265,10 @@ impl Engine {
             touched: BTreeSet::new(),
             ever_blocked: false,
             active: true,
+            prof: self.inner.prof.as_ref().map(|_| ProfState {
+                begin: Instant::now(),
+                timeline: mcv_prof::Timeline::new(id.0),
+            }),
         }
     }
 
@@ -519,6 +529,18 @@ pub struct Txn {
     /// release can skip the global waits-for graph.
     ever_blocked: bool,
     active: bool,
+    /// Phase-attribution state (present only when the engine was built
+    /// with a profiler installed). Flushed at commit; aborted
+    /// transactions are not flushed.
+    prof: Option<ProfState>,
+}
+
+/// Per-transaction profiling scratch: the begin instant anchoring the
+/// total span plus the accumulating phase timeline.
+#[derive(Debug)]
+struct ProfState {
+    begin: Instant,
+    timeline: mcv_prof::Timeline,
 }
 
 impl Txn {
@@ -533,9 +555,13 @@ impl Txn {
     pub fn read(&mut self, item: &str) -> Result<Value, EngineError> {
         self.check_active()?;
         if self.engine.inner.cfg.isolation.is_mvcc() {
-            return Ok(self.mvcc_read(item));
+            let t0 = self.prof_now();
+            let v = self.mvcc_read(item);
+            self.prof_add(Phase::Execute, t0);
+            return Ok(v);
         }
         let s = self.acquire(item, LockMode::Shared)?;
+        let t0 = self.prof_now();
         self.engine.inner.counters.read_acquisitions.fetch_add(1, Ordering::Relaxed);
         let state = self.engine.inner.shards[s].state.lock().expect("shard mutex");
         let v = state.value(item);
@@ -543,6 +569,7 @@ impl Txn {
         if self.sampled {
             self.engine.sample(self.id, item, OpKind::Read);
         }
+        self.prof_add(Phase::Execute, t0);
         Ok(v)
     }
 
@@ -584,6 +611,7 @@ impl Txn {
         self.check_active()?;
         if self.engine.inner.cfg.isolation.is_mvcc() {
             self.acquire(item, LockMode::Exclusive)?;
+            let t0 = self.prof_now();
             if let Some(snap) = self.snapshot {
                 if self.engine.inner.mvcc.latest_ts(item) > snap {
                     self.engine.inner.counters.cert_aborts.fetch_add(1, Ordering::Relaxed);
@@ -591,9 +619,11 @@ impl Txn {
                 }
             }
             self.write_buf.push((item.to_owned(), value));
+            self.prof_add(Phase::Execute, t0);
             return Ok(());
         }
         let s = self.acquire(item, LockMode::Exclusive)?;
+        let t0 = self.prof_now();
         let old = self.engine.inner.shards[s].state.lock().expect("shard mutex").value(item);
         self.engine.inner.wal.append(LogRecord::Update {
             txn: self.id,
@@ -606,6 +636,7 @@ impl Txn {
         if self.sampled {
             self.engine.sample(self.id, item, OpKind::Write);
         }
+        self.prof_add(Phase::Execute, t0);
         Ok(())
     }
 
@@ -623,7 +654,14 @@ impl Txn {
         if self.engine.inner.cfg.isolation.is_mvcc() {
             return self.mvcc_commit();
         }
-        self.engine.inner.wal.append_commit_and_wait(self.id);
+        if self.prof.is_some() {
+            let (dwell_ns, force_ns) = self.engine.inner.wal.append_commit_and_wait_timed(self.id);
+            self.prof_add_ns(Phase::WalDwell, dwell_ns);
+            self.prof_add_ns(Phase::WalForce, force_ns);
+        } else {
+            self.engine.inner.wal.append_commit_and_wait(self.id);
+        }
+        let ack0 = self.prof_now();
         if let Some(t) = &self.engine.inner.trace {
             // The ack was enabled by the device force covering our
             // commit record; the `wal.force` mark is published before
@@ -634,6 +672,8 @@ impl Txn {
         }
         self.engine.release_locks(self.id, &self.touched, self.ever_blocked);
         self.engine.inner.counters.committed.fetch_add(1, Ordering::Relaxed);
+        self.prof_add(Phase::CommitAck, ack0);
+        self.prof_flush();
         self.active = false;
         Ok(())
     }
@@ -657,6 +697,7 @@ impl Txn {
             self.finish_snapshot();
             self.engine.release_locks(self.id, &self.touched, self.ever_blocked);
             inner.counters.committed.fetch_add(1, Ordering::Relaxed);
+            self.prof_flush();
             self.active = false;
             return Ok(());
         }
@@ -670,6 +711,7 @@ impl Txn {
             }
         }
 
+        let cert0 = self.prof_now();
         let guard = inner.mvcc.commit_lock();
         let snap = self.snapshot.unwrap_or(0);
         let conflict = if inner.cfg.isolation.certifies_writes() {
@@ -690,7 +732,9 @@ impl Txn {
             self.rollback();
             return Err(EngineError::Certification { txn: self.id, item });
         }
+        self.prof_add(Phase::Certify, cert0);
 
+        let exec0 = self.prof_now();
         let ts = inner.mvcc.last_committed() + 1;
         // WAL first (updates then commit, in timestamp order across
         // committers since the commit lock is held), mirroring into the
@@ -707,7 +751,15 @@ impl Txn {
             });
             inner.shards[s].state.lock().expect("shard mutex").set(item, *value);
         }
-        inner.wal.append_commit_and_wait(self.id);
+        self.prof_add(Phase::Execute, exec0);
+        if self.prof.is_some() {
+            let (dwell_ns, force_ns) = inner.wal.append_commit_and_wait_timed(self.id);
+            self.prof_add_ns(Phase::WalDwell, dwell_ns);
+            self.prof_add_ns(Phase::WalForce, force_ns);
+        } else {
+            inner.wal.append_commit_and_wait(self.id);
+        }
+        let ack0 = self.prof_now();
         // Versions install only after the commit record is durable, so
         // even ReadCommitted (which reads chain heads) never observes
         // an unacknowledged write.
@@ -733,6 +785,8 @@ impl Txn {
         self.finish_snapshot();
         self.engine.release_locks(self.id, &self.touched, self.ever_blocked);
         inner.counters.committed.fetch_add(1, Ordering::Relaxed);
+        self.prof_add(Phase::CommitAck, ack0);
+        self.prof_flush();
         self.active = false;
         Ok(())
     }
@@ -758,16 +812,58 @@ impl Txn {
         }
     }
 
+    /// A timestamp only when profiling, so the disabled path never
+    /// touches the clock.
+    fn prof_now(&self) -> Option<Instant> {
+        self.prof.as_ref().map(|_| Instant::now())
+    }
+
+    /// Attributes the time since `t0` to `phase`.
+    fn prof_add(&mut self, phase: Phase, t0: Option<Instant>) {
+        if let (Some(p), Some(t0)) = (&mut self.prof, t0) {
+            p.timeline.add(phase, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Attributes an externally measured duration to `phase`.
+    fn prof_add_ns(&mut self, phase: Phase, ns: u64) {
+        if let Some(p) = &mut self.prof {
+            p.timeline.add(phase, ns);
+        }
+    }
+
+    /// Stamps the anchor span and records the timeline into the
+    /// engine's profiler ring. Called on the commit paths only:
+    /// aborted transactions are not flushed.
+    fn prof_flush(&mut self) {
+        if let Some(state) = self.prof.take() {
+            if let Some(profiler) = &self.engine.inner.prof {
+                let mut t = state.timeline;
+                t.total_ns = state.begin.elapsed().as_nanos() as u64;
+                profiler.record(&t);
+            }
+        }
+    }
+
     fn acquire(&mut self, item: &str, mode: LockMode) -> Result<usize, EngineError> {
+        let t0 = self.prof_now();
         match self.engine.lock(self.id, item, mode) {
             Ok((s, blocked)) => {
+                self.prof_add(Phase::LockWait, t0);
                 self.ever_blocked |= blocked;
                 self.touched.insert(s);
                 if let Some(t) = &self.engine.inner.trace {
                     // A grant after blocking was enabled by the prior
                     // holder's release — cite it so the wait shows up
-                    // as a causal edge between the two transactions.
-                    let cause = if blocked { t.mark(&format!("release:{item}")) } else { None };
+                    // as a causal edge between the two transactions. An
+                    // uncontended grant cites the thread's ambient
+                    // cause (the delivered message a dist node is
+                    // processing), if any.
+                    let cause = if blocked {
+                        t.mark(&format!("release:{item}"))
+                    } else {
+                        mcv_trace::context()
+                    };
                     t.record(
                         t.lane(),
                         0,

@@ -15,8 +15,9 @@
 
 use mcv_txn::{LogRecord, TxnId};
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Process-wide wal-identity allocator: each [`GroupWal`] gets a
 /// distinct id so traces with several concurrent logs (one per shard
@@ -43,6 +44,14 @@ pub(crate) struct GroupWal {
     /// Mark name (`wal.force.<id>`) under which the latest force's
     /// cause is published, so commit acks cite *this* log's force.
     mark: String,
+    /// Time origin for the force-window atomics below.
+    epoch: Instant,
+    /// Start/end of the most recent device operation, nanoseconds
+    /// since `epoch` (relaxed; published by the writer so timed
+    /// committers can split their wait into batching dwell vs device
+    /// time without taking a lock).
+    force_start_ns: AtomicU64,
+    force_end_ns: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -80,7 +89,16 @@ impl GroupWal {
             trace,
             wal_id,
             mark: format!("wal.force.{wal_id}"),
+            epoch: Instant::now(),
+            force_start_ns: AtomicU64::new(0),
+            force_end_ns: AtomicU64::new(0),
         }
+    }
+
+    /// Nanoseconds since this log's construction (the force-window
+    /// time base).
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
     }
 
     /// The mark name carrying this log's latest force cause.
@@ -97,10 +115,13 @@ impl GroupWal {
             LogRecord::Abort { txn } => (*txn, "abort"),
             LogRecord::CheckpointDone { .. } => (TxnId(0), "checkpoint"),
         };
+        // Cite the thread's ambient cause (e.g. the delivered message a
+        // dist node is processing) so cross-thread commit chains stay
+        // decomposable; engine-only worker threads carry no context.
         t.record(
             t.lane(),
             0,
-            None,
+            mcv_trace::context(),
             mcv_trace::EventKind::WalAppend {
                 txn: txn.0,
                 lsn: lsn as u64,
@@ -136,6 +157,18 @@ impl GroupWal {
 
     /// Appends `txn`'s commit record and blocks until it is durable.
     pub(crate) fn append_commit_and_wait(&self, txn: TxnId) {
+        self.commit_and_wait(txn, false);
+    }
+
+    /// Like [`GroupWal::append_commit_and_wait`], but also measures how
+    /// the durability wait splits into `(dwell_ns, force_ns)`: batching
+    /// dwell (waiting for a device operation to start / queueing for
+    /// the device) vs the device operation that covered this record.
+    pub(crate) fn append_commit_and_wait_timed(&self, txn: TxnId) -> (u64, u64) {
+        self.commit_and_wait(txn, true)
+    }
+
+    fn commit_and_wait(&self, txn: TxnId, timed: bool) -> (u64, u64) {
         let mut g = self.inner.lock().expect("wal mutex");
         let lsn = g.log.append(LogRecord::Commit { txn });
         g.commits += 1;
@@ -145,19 +178,35 @@ impl GroupWal {
             g = self.inner.lock().expect("wal mutex");
         }
         if self.group {
+            let t0 = if timed { self.now_ns() } else { 0 };
             g.requested = g.requested.max(lsn);
             self.work.notify_one();
             while g.durable < lsn && !g.shutdown {
                 g = self.forced.wait(g).expect("wal mutex");
             }
+            if !timed {
+                return (0, 0);
+            }
+            let t1 = self.now_ns();
+            let total = t1.saturating_sub(t0);
+            // Overlap of our wait with the force window the writer
+            // published. If a new operation already started (start >
+            // end), it is still in flight and bounded by our ack time.
+            let fs = self.force_start_ns.load(Ordering::Relaxed);
+            let fe = self.force_end_ns.load(Ordering::Relaxed);
+            let (ws, we) = if fe >= fs { (fs, fe) } else { (fs, t1) };
+            let force = we.min(t1).saturating_sub(ws.max(t0)).min(total);
+            (total - force, force)
         } else {
             // Per-commit force: this committer always pays one full
             // device operation, even if a concurrent force already
             // covered its record (an fsync per commit is the point of
             // the baseline).
+            let t0 = if timed { self.now_ns() } else { 0 };
             while g.forcing {
                 g = self.forced.wait(g).expect("wal mutex");
             }
+            let t1 = if timed { self.now_ns() } else { 0 };
             g.forcing = true;
             g.log.force();
             let target = g.log.forced_records();
@@ -171,6 +220,11 @@ impl GroupWal {
             g.durable = g.durable.max(target);
             g.forcing = false;
             self.forced.notify_all();
+            if timed {
+                (t1 - t0, self.now_ns().saturating_sub(t1))
+            } else {
+                (0, 0)
+            }
         }
     }
 
@@ -200,7 +254,9 @@ impl GroupWal {
             }
             // Device busy: latency elapses with the mutex free, so new
             // commit records accumulate for the next batch.
+            self.force_start_ns.store(self.now_ns(), Ordering::Relaxed);
             self.sleep_device();
+            self.force_end_ns.store(self.now_ns(), Ordering::Relaxed);
             let mut g = self.inner.lock().expect("wal mutex");
             let target = g.log.forced_records();
             if self.trace.is_some() {

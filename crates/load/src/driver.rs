@@ -22,6 +22,8 @@ use std::time::{Duration, Instant};
 
 use mcv_engine::{latency_histogram, Engine, EngineConfig, EngineError};
 use mcv_obs::{Histogram, MetricsSnapshot};
+use mcv_prof::{TelemetryConfig, TelemetrySnapshot, TelemetryStream};
+use mcv_txn::TxnId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -119,6 +121,13 @@ pub struct LoadConfig {
     pub p99_window_us: u64,
     /// Optional mid-run shard crash.
     pub crash: Option<CrashPlan>,
+    /// Live-telemetry window in *virtual* microseconds (0 = telemetry
+    /// off). Windows are keyed by scheduled arrival time, so the
+    /// stream's shape is a function of the seed alone.
+    pub telemetry_window_us: u64,
+    /// Stream each completed telemetry window to stderr as a JSONL
+    /// line while the run is live (needs `telemetry_window_us > 0`).
+    pub telemetry_live: bool,
 }
 
 impl Default for LoadConfig {
@@ -137,6 +146,8 @@ impl Default for LoadConfig {
             p99_target_us: 20_000,
             p99_window_us: 40_000,
             crash: None,
+            telemetry_window_us: 0,
+            telemetry_live: false,
         }
     }
 }
@@ -187,6 +198,13 @@ struct Shared {
     retry_seq: AtomicU64,
     in_flight: AtomicU64,
     n: Tally,
+    /// Phase profiler captured at run entry; committed arrivals record
+    /// their arrival-to-resolution anchor plus admission-queue dwell,
+    /// which the attribution join merges with the engine's own phases
+    /// for the same transaction id.
+    prof: Option<mcv_prof::Profiler>,
+    /// Windowed live telemetry (when configured).
+    telemetry: Option<Mutex<TelemetryStream>>,
 }
 
 impl Shared {
@@ -207,6 +225,7 @@ impl Shared {
         let due = now + backoff_us(base_us, cap_us, attempt, arrival.spec_seed);
         if due >= arrival.at_us + self.deadline_us {
             self.n.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            self.observe_abandoned(&arrival);
             return;
         }
         self.n.retried.fetch_add(1, Ordering::Relaxed);
@@ -214,7 +233,35 @@ impl Shared {
         self.retry_q.lock().expect("retry queue").push(Reverse((due, seq, idx, attempt + 1)));
     }
 
+    /// Telemetry hook for an arrival abandoned short of commit
+    /// (terminal: releases the arrival's window).
+    fn observe_abandoned(&self, arrival: &Arrival) {
+        if let Some(tel) = &self.telemetry {
+            let mut tel = tel.lock().expect("telemetry");
+            tel.observe_abort(arrival.at_us);
+            tel.observe_resolved(arrival.at_us);
+        }
+    }
+
+    /// Telemetry hook for any other terminal resolution (drop, crash
+    /// loss): the arrival's window stops waiting on it.
+    fn observe_resolved(&self, arrival: &Arrival) {
+        if let Some(tel) = &self.telemetry {
+            tel.lock().expect("telemetry").observe_resolved(arrival.at_us);
+        }
+    }
+
+    /// Telemetry hook for a shed admission attempt.
+    fn observe_shed(&self, arrival: &Arrival) {
+        if let Some(tel) = &self.telemetry {
+            tel.lock().expect("telemetry").observe_shed(arrival.at_us);
+        }
+    }
+
     /// Terminal or retry resolution of one executed attempt.
+    /// `queue_ns` is how long the accepted job sat in the admission
+    /// queue before a worker picked it up.
+    #[allow(clippy::too_many_arguments)]
     fn complete(
         &self,
         idx: usize,
@@ -222,14 +269,16 @@ impl Shared {
         arrival: Arrival,
         slot_idx: usize,
         gen: u64,
-        result: Result<(), EngineError>,
+        queue_ns: u64,
+        result: Result<TxnId, EngineError>,
     ) {
         match result {
-            Ok(()) => {
+            Ok(txn) => {
                 if self.gens[slot_idx].load(Ordering::Acquire) != gen {
                     // Committed on a generation that has since crashed:
                     // the ack raced the crash, the client saw a failure.
                     self.n.crash_lost.fetch_add(1, Ordering::Relaxed);
+                    self.observe_resolved(&arrival);
                 } else {
                     let now = self.now_us();
                     let lat = now.saturating_sub(arrival.at_us);
@@ -239,6 +288,23 @@ impl Shared {
                     }
                     self.latency.lock().expect("latency").record(lat);
                     self.completions.lock().expect("completions").push((now, lat));
+                    // The driver owns the arrival-to-resolution anchor;
+                    // the engine separately recorded its phases under
+                    // the same txn id, and the attribution join merges
+                    // the two (largest total wins the anchor).
+                    let lat_ns = lat.saturating_mul(1_000);
+                    let tl = self.prof.as_ref().map(|p| {
+                        let mut tl = mcv_prof::Timeline::new(txn.0);
+                        tl.total_ns = lat_ns;
+                        tl.add(mcv_prof::Phase::AdmitQueue, queue_ns);
+                        p.record(&tl);
+                        tl
+                    });
+                    if let Some(tel) = &self.telemetry {
+                        let mut tel = tel.lock().expect("telemetry");
+                        tel.observe_commit(arrival.at_us, lat_ns, tl.as_ref());
+                        tel.observe_resolved(arrival.at_us);
+                    }
                 }
             }
             Err(EngineError::Deadlock { .. } | EngineError::Certification { .. }) => {
@@ -252,15 +318,18 @@ impl Shared {
 
 /// Executes one transaction spec on its session's engine. The spec is
 /// a pure function of `(session, seed)`, so retries replay it exactly.
+/// Returns the engine transaction id on commit so the driver's
+/// arrival-to-resolution timeline joins the engine's phase sample.
 fn attempt_txn(
     engine: &Engine,
     own: Ownership,
     workload: LoadWorkload,
     session: u64,
     seed: u64,
-) -> Result<(), EngineError> {
+) -> Result<TxnId, EngineError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = engine.begin();
+    let id = t.id();
     match workload {
         LoadWorkload::ReadWrite { write_pct, ops_per_txn } => {
             for _ in 0..ops_per_txn {
@@ -276,7 +345,7 @@ fn attempt_txn(
                     return Err(e);
                 }
             }
-            t.commit()
+            t.commit().map(|_| id)
         }
         LoadWorkload::Bank => {
             let a = own.key(session, rng.gen_range(0..own.span.max(1)));
@@ -294,7 +363,7 @@ fn attempt_txn(
                 Ok(())
             })();
             match result {
-                Ok(()) => t.commit(),
+                Ok(()) => t.commit().map(|_| id),
                 Err(e) => {
                     t.abort();
                     Err(e)
@@ -358,6 +427,12 @@ pub struct LoadReport {
     /// Merged engine counters plus the `engine.admit.*` family and
     /// `wall.load.*` gauges.
     pub metrics: MetricsSnapshot,
+    /// Windowed telemetry snapshots, when
+    /// [`LoadConfig::telemetry_window_us`] is non-zero. Windows are
+    /// keyed by scheduled arrival time, so the sequence of windows and
+    /// their arrival counts are deterministic; everything measured
+    /// lives in each snapshot's `wall` sub-object.
+    pub telemetry: Vec<TelemetrySnapshot>,
 }
 
 impl LoadReport {
@@ -530,6 +605,10 @@ pub fn run_load_with_schedule(cfg: &LoadConfig, schedule: &ArrivalSchedule) -> L
         retry_seq: AtomicU64::new(0),
         in_flight: AtomicU64::new(0),
         n: Tally::default(),
+        prof: mcv_prof::installed(),
+        telemetry: (cfg.telemetry_window_us > 0).then(|| {
+            Mutex::new(TelemetryStream::new(TelemetryConfig { window_us: cfg.telemetry_window_us }))
+        }),
     });
     let pool = mcv_engine::Pool::new(cfg.workers, cfg.queue_cap);
     let arrivals = &schedule.arrivals;
@@ -548,6 +627,7 @@ pub fn run_load_with_schedule(cfg: &LoadConfig, schedule: &ArrivalSchedule) -> L
         + 2_000_000;
 
     let mut ptr = 0usize;
+    let mut telemetry_out: Vec<TelemetrySnapshot> = Vec::new();
     loop {
         let now = shared.now_us();
 
@@ -619,6 +699,22 @@ pub fn run_load_with_schedule(cfg: &LoadConfig, schedule: &ArrivalSchedule) -> L
             ptr += 1;
         }
 
+        // Emit telemetry windows whose virtual span is fully behind us.
+        // After the dispatch loops, so no arrival at or before `now`
+        // can still be heading for a window this drain closes. The
+        // watermark is capped at the schedule's end: while the tail of
+        // the run drains, wall time keeps advancing past the last
+        // scheduled arrival, and uncapped it would mint empty trailing
+        // windows whose count depends on how long the tail took.
+        if let Some(tel) = &shared.telemetry {
+            let ready =
+                tel.lock().expect("telemetry").drain_complete(now.min(cfg.profile.duration_us));
+            if cfg.telemetry_live && !ready.is_empty() {
+                eprint!("{}", mcv_prof::telemetry_jsonl(&ready));
+            }
+            telemetry_out.extend(ready);
+        }
+
         // Termination: every arrival resolved and chaos fully played.
         let retries_pending = !shared.retry_q.lock().expect("retry queue").is_empty();
         let chaos_done = match cfg.crash {
@@ -661,6 +757,13 @@ pub fn run_load_with_schedule(cfg: &LoadConfig, schedule: &ArrivalSchedule) -> L
     pool.join();
     if let Some(h) = recovery_handle {
         h.join().expect("recovery thread");
+    }
+    if let Some(tel) = &shared.telemetry {
+        let rest = tel.lock().expect("telemetry").finish();
+        if cfg.telemetry_live && !rest.is_empty() {
+            eprint!("{}", mcv_prof::telemetry_jsonl(&rest));
+        }
+        telemetry_out.extend(rest);
     }
     let elapsed_ns = shared.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
 
@@ -759,6 +862,7 @@ pub fn run_load_with_schedule(cfg: &LoadConfig, schedule: &ArrivalSchedule) -> L
         recovered_at_us,
         recovery_ms,
         metrics,
+        telemetry: telemetry_out,
     }
 }
 
@@ -772,9 +876,18 @@ fn dispatch(
     attempt: u32,
 ) {
     let arrival = arrivals[idx];
+    if attempt == 0 {
+        // Each arrival is observed exactly once, keyed by its
+        // scheduled (virtual) time — the deterministic part of a
+        // telemetry window.
+        if let Some(tel) = &shared.telemetry {
+            tel.lock().expect("telemetry").observe_arrival(arrival.at_us);
+        }
+    }
     let now = shared.now_us();
     if now >= arrival.at_us + shared.deadline_us {
         shared.n.deadline_missed.fetch_add(1, Ordering::Relaxed);
+        shared.observe_abandoned(&arrival);
         return;
     }
     let slot_idx = shared.own.engine_of(arrival.session);
@@ -786,9 +899,11 @@ fn dispatch(
     if !up {
         shared.n.shed.fetch_add(1, Ordering::Relaxed);
         shared.n.unavailable.fetch_add(1, Ordering::Relaxed);
+        shared.observe_shed(&arrival);
         match shared.policy {
             ShedPolicy::Drop => {
                 shared.n.dropped.fetch_add(1, Ordering::Relaxed);
+                shared.observe_resolved(&arrival);
             }
             ShedPolicy::RetryAfter { .. } => shared.schedule_retry(idx, attempt, arrival),
         }
@@ -796,9 +911,11 @@ fn dispatch(
     }
     shared.in_flight.fetch_add(1, Ordering::Acquire);
     let sh = Arc::clone(shared);
+    let submitted = Instant::now();
     let job = move || {
+        let queue_ns = submitted.elapsed().as_nanos() as u64;
         let result = attempt_txn(&engine, sh.own, sh.workload, arrival.session, arrival.spec_seed);
-        sh.complete(idx, attempt, arrival, slot_idx, gen, result);
+        sh.complete(idx, attempt, arrival, slot_idx, gen, queue_ns, result);
     };
     match pool.try_submit(job) {
         Ok(()) => {
@@ -807,9 +924,11 @@ fn dispatch(
         Err(_) => {
             shared.in_flight.fetch_sub(1, Ordering::Release);
             shared.n.shed.fetch_add(1, Ordering::Relaxed);
+            shared.observe_shed(&arrival);
             match shared.policy {
                 ShedPolicy::Drop => {
                     shared.n.dropped.fetch_add(1, Ordering::Relaxed);
+                    shared.observe_resolved(&arrival);
                 }
                 ShedPolicy::RetryAfter { .. } => shared.schedule_retry(idx, attempt, arrival),
             }

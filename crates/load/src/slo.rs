@@ -216,6 +216,8 @@ pub fn crash_campaign_template() -> LoadConfig {
         p99_target_us: 20_000,
         p99_window_us: 40_000,
         crash: Some(CrashPlan { engine: 1, at_us: 80_000, restart_after_us: 40_000 }),
+        telemetry_window_us: 0,
+        telemetry_live: false,
     }
 }
 

@@ -264,6 +264,29 @@ impl Histogram {
         self.count += other.count;
         self.sum += other.sum;
     }
+
+    /// Clears every sample, keeping the bucket bounds. Afterwards the
+    /// histogram is indistinguishable from a fresh
+    /// [`Histogram::with_bounds`] with the same bounds.
+    pub fn reset(&mut self) {
+        for c in &mut self.counts {
+            *c = 0;
+        }
+        self.count = 0;
+        self.sum = 0;
+        self.min = 0;
+        self.max = 0;
+    }
+
+    /// Takes the current window: returns a clone of the accumulated
+    /// samples and resets `self` in one step, so interval reporters
+    /// (telemetry windows, periodic flushes) never lose samples
+    /// between the read and the clear.
+    pub fn take_window(&mut self) -> Histogram {
+        let window = self.clone();
+        self.reset();
+        window
+    }
 }
 
 /// A frozen copy of a registry: plain sorted maps, ready for serde.
@@ -470,6 +493,72 @@ mod tests {
         assert_eq!(over.percentile(100.0), 9000);
         assert!(over.percentile(50.0) <= 9000);
         assert!(over.percentile(50.0) >= 5000);
+    }
+
+    #[test]
+    fn reset_restores_the_freshly_constructed_state() {
+        let mut h = Histogram::with_bounds(vec![10, 100, 1000]);
+        for v in [1u64, 50, 5000] {
+            h.record(v);
+        }
+        h.reset();
+        assert_eq!(h, Histogram::with_bounds(vec![10, 100, 1000]));
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(99.0), 0);
+        // Recording after a reset behaves exactly like a fresh start:
+        // min/max re-seed from the first new sample.
+        h.record(7);
+        assert_eq!((h.min, h.max, h.count, h.sum), (7, 7, 1, 7));
+    }
+
+    #[test]
+    fn take_window_hands_over_samples_and_clears() {
+        let mut h = Histogram::with_bounds(vec![10, 100]);
+        for v in [5u64, 50, 500] {
+            h.record(v);
+        }
+        let w1 = h.take_window();
+        assert_eq!((w1.count, w1.sum, w1.min, w1.max), (3, 555, 5, 500));
+        assert!(h.is_empty());
+        // Second window only sees samples recorded after the first take.
+        h.record(42);
+        let w2 = h.take_window();
+        assert_eq!((w2.count, w2.min, w2.max), (1, 42, 42));
+        // Merging the windows reconstructs the full-run histogram
+        // exactly: windowing loses nothing.
+        let mut merged = Histogram::with_bounds(vec![10, 100]);
+        merged.merge(&w1);
+        merged.merge(&w2);
+        let mut full = Histogram::with_bounds(vec![10, 100]);
+        for v in [5u64, 50, 500, 42] {
+            full.record(v);
+        }
+        assert_eq!(merged, full);
+    }
+
+    #[test]
+    fn windowed_percentiles_match_an_unwindowed_recorder() {
+        // Percentile stability: a histogram rebuilt by merging K
+        // windows reports the same percentiles as one that never
+        // reset, for every probed q.
+        let mut windows = Vec::new();
+        let mut acc = Histogram::default();
+        let mut whole = Histogram::default();
+        for (i, v) in (0..200u64).map(|i| (i, (i * 37) % 1_500)).collect::<Vec<_>>() {
+            acc.record(v);
+            whole.record(v);
+            if i % 50 == 49 {
+                windows.push(acc.take_window());
+            }
+        }
+        let mut merged = Histogram::default();
+        for w in &windows {
+            merged.merge(w);
+        }
+        assert_eq!(merged, whole);
+        for q in [0.0, 25.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(merged.percentile(q), whole.percentile(q), "q = {q}");
+        }
     }
 
     #[test]

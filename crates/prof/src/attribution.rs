@@ -1,0 +1,320 @@
+//! Aggregation of harvested timelines into a time-attribution table:
+//! per-phase histograms and the fraction of mean / p99 anchor latency
+//! each phase accounts for, with the remainder reported explicitly.
+
+use crate::phase::{Timeline, PHASES};
+use crate::sink::ProfSamples;
+use mcv_obs::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Microsecond-bucket bounds for phase and anchor histograms
+/// (50µs .. 16s, the workspace's driver-latency bounds extended down
+/// to 1µs so sub-lock-granularity phases still resolve).
+pub(crate) fn latency_bounds() -> Vec<u64> {
+    vec![
+        1, 5, 10, 25, 50, 100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 51_200, 102_400,
+        204_800, 409_600, 819_200, 1_638_400, 4_000_000, 16_000_000,
+    ]
+}
+
+/// One phase's aggregate row.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PhaseRow {
+    /// Phase name ([`crate::Phase::name`]).
+    pub phase: String,
+    /// Transactions with a nonzero attribution to this phase.
+    pub txns: u64,
+    /// Total nanoseconds attributed.
+    pub sum_ns: u64,
+    /// Mean nanoseconds per anchored transaction (not per nonzero txn).
+    pub mean_ns: f64,
+    /// p99 of the per-transaction attribution, microseconds.
+    pub p99_us: u64,
+    /// Share of the mean anchor latency, in [0, 1].
+    pub frac_mean: f64,
+    /// Phase p99 relative to the anchor p99, in [0, 1] (clamped).
+    pub frac_p99: f64,
+}
+
+/// The time-attribution table of one profiled run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AttributionTable {
+    /// Per-phase rows in canonical phase order (all 8 phases, always).
+    pub rows: Vec<PhaseRow>,
+    /// Transactions with an anchor latency (`total_ns > 0` after join).
+    pub anchored_txns: u64,
+    /// Phase-only nanoseconds that could not be joined to any anchored
+    /// transaction (anonymous `txn == 0` entries); excluded from the
+    /// fractions, surfaced so nothing disappears silently.
+    pub unanchored_ns: u64,
+    /// Mean anchor latency, nanoseconds.
+    pub total_mean_ns: f64,
+    /// p99 anchor latency, microseconds.
+    pub total_p99_us: u64,
+    /// Σ frac_mean over all phases, in [0, 1] — the headline
+    /// "how much of the latency do we explain" number.
+    pub attributed_frac: f64,
+    /// `1 - attributed_frac` (clamped at 0): the explicit remainder.
+    pub unattributed_frac: f64,
+    /// Samples lost to ring overwrites during recording.
+    pub dropped_samples: u64,
+}
+
+impl AttributionTable {
+    /// Joins `samples` per transaction (anchor = the largest recorded
+    /// total, so an outer driver's span wins over the engine's) and
+    /// aggregates the result.
+    pub fn from_samples(samples: &ProfSamples) -> AttributionTable {
+        let mut joined: BTreeMap<u64, Timeline> = BTreeMap::new();
+        let mut unanchored_ns = 0u64;
+        for t in &samples.timelines {
+            if t.txn == 0 {
+                unanchored_ns += t.attributed_ns();
+                continue;
+            }
+            let e = joined.entry(t.txn).or_insert_with(|| Timeline::new(t.txn));
+            e.total_ns = e.total_ns.max(t.total_ns);
+            for i in 0..8 {
+                e.phase_ns[i] += t.phase_ns[i];
+            }
+        }
+        let anchored: Vec<&Timeline> = joined.values().filter(|t| t.total_ns > 0).collect();
+        for t in joined.values().filter(|t| t.total_ns == 0) {
+            unanchored_ns += t.attributed_ns();
+        }
+
+        let mut total_hist = Histogram::with_bounds(latency_bounds());
+        for t in &anchored {
+            total_hist.record(t.total_ns / 1_000);
+        }
+        let n = anchored.len() as u64;
+        let total_sum_ns: u64 = anchored.iter().map(|t| t.total_ns).sum();
+        let total_mean_ns = if n == 0 { 0.0 } else { total_sum_ns as f64 / n as f64 };
+        let total_p99_us = total_hist.percentile(99.0);
+
+        let mut rows = Vec::with_capacity(PHASES.len());
+        let mut attributed_frac = 0.0;
+        for p in PHASES {
+            let i = p.index();
+            let mut hist = Histogram::with_bounds(latency_bounds());
+            let mut sum_ns = 0u64;
+            let mut txns = 0u64;
+            for t in &anchored {
+                let ns = t.phase_ns[i];
+                sum_ns += ns;
+                if ns > 0 {
+                    txns += 1;
+                    hist.record(ns / 1_000);
+                }
+            }
+            let mean_ns = if n == 0 { 0.0 } else { sum_ns as f64 / n as f64 };
+            let frac_mean =
+                if total_sum_ns == 0 { 0.0 } else { sum_ns as f64 / total_sum_ns as f64 };
+            let p99_us = hist.percentile(99.0);
+            let frac_p99 = if total_p99_us == 0 {
+                0.0
+            } else {
+                (p99_us as f64 / total_p99_us as f64).min(1.0)
+            };
+            attributed_frac += frac_mean;
+            rows.push(PhaseRow {
+                phase: p.name().to_owned(),
+                txns,
+                sum_ns,
+                mean_ns,
+                p99_us,
+                frac_mean,
+                frac_p99,
+            });
+        }
+        AttributionTable {
+            rows,
+            anchored_txns: n,
+            unanchored_ns,
+            total_mean_ns,
+            total_p99_us,
+            attributed_frac,
+            unattributed_frac: (1.0 - attributed_frac).max(0.0),
+            dropped_samples: samples.dropped,
+        }
+    }
+
+    /// Phase names of the top `k` rows by mean-latency share.
+    pub fn top_phases(&self, k: usize) -> Vec<&str> {
+        let mut by_share: Vec<&PhaseRow> = self.rows.iter().collect();
+        by_share.sort_by(|a, b| b.frac_mean.partial_cmp(&a.frac_mean).expect("finite fracs"));
+        by_share.into_iter().take(k).map(|r| r.phase.as_str()).collect()
+    }
+
+    /// The row for `phase` (all 8 are always present).
+    pub fn row(&self, phase: &str) -> Option<&PhaseRow> {
+        self.rows.iter().find(|r| r.phase == phase)
+    }
+
+    /// Renders the table as aligned text (the EXPERIMENTS.md artifact).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>12} {:>10} {:>9} {:>9}",
+            "phase", "txns", "mean_us", "p99_us", "%mean", "%p99"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>12.1} {:>10} {:>8.1}% {:>8.1}%",
+                r.phase,
+                r.txns,
+                r.mean_ns / 1_000.0,
+                r.p99_us,
+                r.frac_mean * 100.0,
+                r.frac_p99 * 100.0
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>12.1} {:>10} {:>8.1}%",
+            "anchor",
+            self.anchored_txns,
+            self.total_mean_ns / 1_000.0,
+            self.total_p99_us,
+            self.attributed_frac * 100.0
+        );
+        let _ = writeln!(out, "unattributed remainder: {:.1}%", self.unattributed_frac * 100.0);
+        if self.unanchored_ns > 0 {
+            let _ =
+                writeln!(out, "unanchored phase time: {:.1}us", self.unanchored_ns as f64 / 1e3);
+        }
+        if self.dropped_samples > 0 {
+            let _ = writeln!(out, "dropped samples: {}", self.dropped_samples);
+        }
+        out
+    }
+
+    /// Deterministic JSON of the table.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("attribution table serializes")
+    }
+
+    /// Zeroes every wall-clock-derived field — all durations, fractions
+    /// and timing-dependent sample counts — leaving the phase structure
+    /// (names, order, row count). Same-seed runs are byte-identical
+    /// after this, mirroring the `RunReport::strip_wall` contract.
+    pub fn strip_wall(&mut self) {
+        for r in &mut self.rows {
+            r.txns = 0;
+            r.sum_ns = 0;
+            r.mean_ns = 0.0;
+            r.p99_us = 0;
+            r.frac_mean = 0.0;
+            r.frac_p99 = 0.0;
+        }
+        self.anchored_txns = 0;
+        self.unanchored_ns = 0;
+        self.total_mean_ns = 0.0;
+        self.total_p99_us = 0;
+        self.attributed_frac = 0.0;
+        self.unattributed_frac = 0.0;
+        self.dropped_samples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    fn sample(txn: u64, total_us: u64, phases: &[(Phase, u64)]) -> Timeline {
+        let mut t = Timeline::new(txn);
+        t.total_ns = total_us * 1_000;
+        for (p, us) in phases {
+            t.add(*p, us * 1_000);
+        }
+        t
+    }
+
+    #[test]
+    fn fractions_sum_and_remainder_is_explicit() {
+        let samples = ProfSamples {
+            timelines: vec![
+                sample(1, 100, &[(Phase::LockWait, 40), (Phase::WalForce, 40)]),
+                sample(2, 100, &[(Phase::LockWait, 60), (Phase::WalForce, 20)]),
+            ],
+            dropped: 0,
+        };
+        let table = AttributionTable::from_samples(&samples);
+        assert_eq!(table.anchored_txns, 2);
+        assert!((table.row("lock_wait").unwrap().frac_mean - 0.5).abs() < 1e-9);
+        assert!((table.row("wal_force").unwrap().frac_mean - 0.3).abs() < 1e-9);
+        assert!((table.attributed_frac - 0.8).abs() < 1e-9);
+        assert!((table.unattributed_frac - 0.2).abs() < 1e-9);
+        assert_eq!(table.top_phases(2), vec!["lock_wait", "wal_force"]);
+    }
+
+    #[test]
+    fn join_takes_largest_anchor_and_sums_phases() {
+        // Engine records its span; the driver later records the full
+        // arrival-to-resolution span plus queue time for the same txn.
+        let samples = ProfSamples {
+            timelines: vec![
+                sample(9, 80, &[(Phase::Execute, 50)]),
+                sample(9, 120, &[(Phase::AdmitQueue, 30)]),
+            ],
+            dropped: 0,
+        };
+        let table = AttributionTable::from_samples(&samples);
+        assert_eq!(table.anchored_txns, 1);
+        assert!((table.total_mean_ns - 120_000.0).abs() < 1e-6);
+        assert!((table.row("execute").unwrap().frac_mean - 50.0 / 120.0).abs() < 1e-9);
+        assert!((table.row("admit_queue").unwrap().frac_mean - 30.0 / 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anonymous_phase_time_is_reported_not_attributed() {
+        let samples = ProfSamples {
+            timelines: vec![
+                sample(1, 100, &[(Phase::Execute, 90)]),
+                sample(0, 0, &[(Phase::TransportRtt, 500)]),
+            ],
+            dropped: 3,
+        };
+        let table = AttributionTable::from_samples(&samples);
+        assert_eq!(table.unanchored_ns, 500_000);
+        assert_eq!(table.row("transport_rtt").unwrap().sum_ns, 0);
+        assert_eq!(table.dropped_samples, 3);
+        let text = table.render();
+        assert!(text.contains("unanchored phase time"), "{text}");
+        assert!(text.contains("dropped samples: 3"), "{text}");
+    }
+
+    #[test]
+    fn strip_wall_leaves_only_structure_and_is_idempotent() {
+        let samples =
+            ProfSamples { timelines: vec![sample(1, 100, &[(Phase::Certify, 25)])], dropped: 1 };
+        let mut a = AttributionTable::from_samples(&samples);
+        let mut b = AttributionTable::from_samples(&ProfSamples {
+            timelines: vec![sample(2, 900, &[(Phase::Certify, 600), (Phase::LockWait, 100)])],
+            dropped: 0,
+        });
+        a.strip_wall();
+        b.strip_wall();
+        assert_eq!(a.to_json(), b.to_json(), "stripped tables are structure-only");
+        let again = {
+            let mut c = a.clone();
+            c.strip_wall();
+            c
+        };
+        assert_eq!(a, again);
+        assert_eq!(a.rows.len(), PHASES.len());
+    }
+
+    #[test]
+    fn empty_samples_produce_a_complete_zero_table() {
+        let table = AttributionTable::from_samples(&ProfSamples::default());
+        assert_eq!(table.rows.len(), 8);
+        assert_eq!(table.anchored_txns, 0);
+        assert_eq!(table.attributed_frac, 0.0);
+        assert!(table.render().contains("unattributed remainder"));
+    }
+}

@@ -1,0 +1,347 @@
+//! Critical-path analysis over `mcv-trace` happens-before DAGs.
+//!
+//! For one committed transaction, the analyzer walks the transaction's
+//! own events in wall-clock order and decomposes every gap between
+//! consecutive events along the backward cause chain of the later
+//! event — the chain of things the transaction actually waited on.
+//! Each chain edge is classified as a [`Phase`]: a `Send → Deliver`
+//! edge is message flight ([`Phase::TransportRtt`]), a
+//! `WalForce → Commit` edge is the post-durability acknowledgement
+//! ([`Phase::CommitAck`]), a `LockRelease → LockAcquire` edge is the
+//! lock hand-off ([`Phase::LockWait`]), and so on. Segments tile the
+//! interval from the transaction's first event to its commit decision
+//! exactly (the weights telescope), so per-phase fractions of the
+//! commit latency are well defined and sum to at most 1 — anything the
+//! classifier cannot name lands in the unattributed remainder instead
+//! of being guessed.
+//!
+//! One deliberate coarsening: the trace records a single `WalForce`
+//! event at device-operation *completion*, so the analyzer folds the
+//! group-commit dwell into [`Phase::WalForce`] (the ring-buffer
+//! profiler, which sits inside the WAL, splits `WalDwell` from
+//! `WalForce`).
+
+use crate::attribution::AttributionTable;
+use crate::phase::{Phase, Timeline};
+use crate::sink::ProfSamples;
+use mcv_trace::{CausalTrace, Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One wall-time segment of a commit critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSegment {
+    /// The phase this segment is attributed to (`None` = unattributed).
+    pub phase: Option<Phase>,
+    /// Segment length in nanoseconds.
+    pub ns: u64,
+    /// Event id the segment ends at.
+    pub to_event: u64,
+    /// Human-readable edge description (for the `critical-path`
+    /// subcommand).
+    pub via: String,
+}
+
+/// The critical path behind one commit decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitPath {
+    /// The transaction.
+    pub txn: u64,
+    /// First-own-event to commit-decision span, nanoseconds.
+    pub total_ns: u64,
+    /// Segments in chronological order; their lengths sum to `total_ns`.
+    pub segments: Vec<PathSegment>,
+}
+
+impl CommitPath {
+    /// The path folded into a per-transaction [`Timeline`] (anchor =
+    /// the full span; unclassified segments contribute to no phase and
+    /// therefore to the unattributed remainder).
+    pub fn timeline(&self) -> Timeline {
+        let mut t = Timeline::new(self.txn);
+        t.total_ns = self.total_ns;
+        for s in &self.segments {
+            if let Some(p) = s.phase {
+                t.add(p, s.ns);
+            }
+        }
+        t
+    }
+
+    /// Renders the path with per-segment attribution.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "critical path of txn {} ({} segments, {:.1}us total):\n",
+            self.txn,
+            self.segments.len(),
+            self.total_ns as f64 / 1e3
+        );
+        for s in &self.segments {
+            let phase = s.phase.map_or("unattributed", Phase::name);
+            let _ = writeln!(out, "  {:>10.1}us  {:<13} {}", s.ns as f64 / 1e3, phase, s.via);
+        }
+        out
+    }
+}
+
+/// Classifies the chain edge `src -> dst` (`dst` cites `src` as cause).
+fn classify_edge(src: &Event, dst: &Event) -> Option<Phase> {
+    match (&src.kind, &dst.kind) {
+        (EventKind::Send { .. }, EventKind::Deliver { .. }) => Some(Phase::TransportRtt),
+        (EventKind::WalForce { .. }, EventKind::Commit { .. }) => Some(Phase::CommitAck),
+        (EventKind::LockRelease { .. }, EventKind::LockAcquire { .. }) => Some(Phase::LockWait),
+        // Local processing after a delivery or between FSM steps.
+        (EventKind::Deliver { .. }, _) => Some(Phase::Execute),
+        (EventKind::State { .. }, _) => Some(Phase::Execute),
+        _ => None,
+    }
+}
+
+/// Classifies the residual time *before* the earliest chain event —
+/// the tail of a gap the cause chain did not reach across.
+fn classify_tail(earliest: &Event) -> Option<Phase> {
+    match &earliest.kind {
+        // Time leading up to a device-force completion: dwell + device.
+        EventKind::WalForce { .. } => Some(Phase::WalForce),
+        // Time leading up to another transaction's release: we were
+        // blocked on the holder.
+        EventKind::LockRelease { .. } => Some(Phase::LockWait),
+        // Time leading up to a delivery whose send fell outside the
+        // gap: the tail of that message's flight.
+        EventKind::Deliver { .. } => Some(Phase::TransportRtt),
+        // Work that culminated in handing a message to the network, a
+        // log append, an FSM step, or the decision itself.
+        EventKind::Send { .. }
+        | EventKind::WalAppend { .. }
+        | EventKind::State { .. }
+        | EventKind::Commit { .. }
+        | EventKind::LockAcquire { .. }
+        | EventKind::SnapshotRead { .. }
+        | EventKind::SnapshotOpen { .. }
+        | EventKind::VersionInstall { .. } => Some(Phase::Execute),
+        _ => None,
+    }
+}
+
+/// Transactions with a commit decision in `trace`, ascending.
+pub fn committed_txns(trace: &CausalTrace) -> Vec<u64> {
+    let mut txns: Vec<u64> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Commit { txn } => Some(txn),
+            _ => None,
+        })
+        .collect();
+    txns.sort_unstable();
+    txns.dedup();
+    txns
+}
+
+/// Extracts the critical path behind `txn`'s commit decision, or
+/// `None` when the transaction never committed or the trace carries no
+/// wall-clock data (e.g. after `strip_wall`).
+pub fn commit_path(trace: &CausalTrace, txn: u64) -> Option<CommitPath> {
+    let by_id: BTreeMap<u64, &Event> = trace.events.iter().map(|e| (e.id, e)).collect();
+    let commit = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Commit { txn: t } if t == txn))
+        .max_by_key(|e| (e.wall_ns, e.id))?;
+    // The transaction's own events up to (and including) the decision,
+    // in wall order.
+    let mut own: Vec<&Event> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind.txn() == Some(txn))
+        .filter(|e| (e.wall_ns, e.id) <= (commit.wall_ns, commit.id))
+        .collect();
+    own.sort_by_key(|e| (e.wall_ns, e.id));
+    let first = own.first()?;
+    if commit.wall_ns == 0 && first.wall_ns == 0 && own.len() > 1 {
+        return None; // wall-stripped trace: nothing to attribute
+    }
+    let total_ns = commit.wall_ns.saturating_sub(first.wall_ns);
+
+    let mut segments = Vec::new();
+    for pair in own.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        decompose_gap(a, b, &by_id, &mut segments);
+    }
+    Some(CommitPath { txn, total_ns, segments })
+}
+
+/// Splits the wall interval `[a, b]` along `b`'s backward cause chain
+/// and appends the resulting segments (chronological order).
+fn decompose_gap(
+    a: &Event,
+    b: &Event,
+    by_id: &BTreeMap<u64, &Event>,
+    segments: &mut Vec<PathSegment>,
+) {
+    if b.wall_ns <= a.wall_ns {
+        return;
+    }
+    // Walk causes back while they stay inside the gap.
+    let mut chain: Vec<&Event> = vec![b];
+    let mut cur = b;
+    while let Some(c) = cur.cause.and_then(|id| by_id.get(&id)) {
+        if c.wall_ns <= a.wall_ns {
+            break;
+        }
+        chain.push(c);
+        cur = c;
+    }
+    // chain = [b, c1, c2, ...] newest-first; emit oldest-first.
+    let earliest = *chain.last().expect("chain holds b");
+    let tail_ns = earliest.wall_ns.saturating_sub(a.wall_ns);
+    if tail_ns > 0 {
+        segments.push(PathSegment {
+            phase: classify_tail(earliest),
+            ns: tail_ns,
+            to_event: earliest.id,
+            via: format!("... -> [{}] {}", earliest.id, earliest.kind),
+        });
+    }
+    for w in chain.windows(2).rev() {
+        let (dst, src) = (w[0], w[1]);
+        let ns = dst.wall_ns.saturating_sub(src.wall_ns);
+        if ns == 0 {
+            continue;
+        }
+        segments.push(PathSegment {
+            phase: classify_edge(src, dst),
+            ns,
+            to_event: dst.id,
+            via: format!("[{}] {} -> [{}] {}", src.id, src.kind, dst.id, dst.kind),
+        });
+    }
+}
+
+/// Critical-path attribution of every committed transaction in
+/// `trace`: the per-transaction paths plus the aggregate
+/// [`AttributionTable`] over their timelines.
+pub fn attribute_commits(trace: &CausalTrace) -> (AttributionTable, Vec<CommitPath>) {
+    let paths: Vec<CommitPath> =
+        committed_txns(trace).into_iter().filter_map(|t| commit_path(trace, t)).collect();
+    let samples =
+        ProfSamples { timelines: paths.iter().map(CommitPath::timeline).collect(), dropped: 0 };
+    (AttributionTable::from_samples(&samples), paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(id: u64, site: usize, wall_us: u64, cause: Option<u64>, kind: EventKind) -> Event {
+        Event { id, site, seq: 0, lamport: id, cause, time: 0, wall_ns: wall_us * 1_000, kind }
+    }
+
+    /// t1 blocks on t2's lock, appends, and is acked after a force.
+    fn engine_trace() -> CausalTrace {
+        CausalTrace {
+            events: vec![
+                ev(
+                    1,
+                    0,
+                    0,
+                    None,
+                    EventKind::LockAcquire { txn: 1, item: "A".into(), exclusive: true },
+                ),
+                ev(2, 1, 40, None, EventKind::LockRelease { txn: 2, item: "B".into() }),
+                ev(
+                    3,
+                    0,
+                    50,
+                    Some(2),
+                    EventKind::LockAcquire { txn: 1, item: "B".into(), exclusive: true },
+                ),
+                ev(
+                    4,
+                    0,
+                    60,
+                    None,
+                    EventKind::WalAppend { txn: 1, lsn: 3, what: "commit".into(), wal: 0 },
+                ),
+                ev(5, 2, 160, None, EventKind::WalForce { upto: 4, wal: 0 }),
+                ev(6, 0, 165, Some(5), EventKind::Commit { txn: 1 }),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn segments_tile_the_commit_span_exactly() {
+        let path = commit_path(&engine_trace(), 1).expect("t1 committed");
+        assert_eq!(path.total_ns, 165_000);
+        let sum: u64 = path.segments.iter().map(|s| s.ns).sum();
+        assert_eq!(sum, path.total_ns, "{:#?}", path.segments);
+    }
+
+    #[test]
+    fn lock_force_and_ack_edges_are_classified() {
+        let path = commit_path(&engine_trace(), 1).expect("t1 committed");
+        let t = path.timeline();
+        // [0,40] blocked until t2's release + [40,50] hand-off = LockWait.
+        assert_eq!(t.phase_ns[Phase::LockWait.index()], 50_000);
+        // [50,60] append = Execute.
+        assert_eq!(t.phase_ns[Phase::Execute.index()], 10_000);
+        // [60,160] dwell+device folded into WalForce.
+        assert_eq!(t.phase_ns[Phase::WalForce.index()], 100_000);
+        // [160,165] durable-to-decision = CommitAck.
+        assert_eq!(t.phase_ns[Phase::CommitAck.index()], 5_000);
+        assert_eq!(t.attributed_ns(), t.total_ns);
+    }
+
+    /// Coordinator FSM waits a round trip: request out, vote back.
+    fn dist_trace() -> CausalTrace {
+        CausalTrace {
+            events: vec![
+                ev(1, 0, 0, None, EventKind::State { txn: 7, state: "q1".into() }),
+                ev(2, 0, 10, None, EventKind::Send { to: 1, label: "CanCommit".into() }),
+                ev(
+                    3,
+                    1,
+                    110,
+                    Some(2),
+                    EventKind::Deliver { from: 0, label: "CanCommit".into(), deliver_seq: 1 },
+                ),
+                ev(4, 1, 130, Some(3), EventKind::Send { to: 0, label: "VoteYes".into() }),
+                ev(
+                    5,
+                    0,
+                    230,
+                    Some(4),
+                    EventKind::Deliver { from: 1, label: "VoteYes".into(), deliver_seq: 1 },
+                ),
+                ev(6, 0, 240, Some(5), EventKind::State { txn: 7, state: "w1".into() }),
+                ev(7, 0, 245, None, EventKind::Commit { txn: 7 }),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn transport_flights_dominate_a_round_trip() {
+        let path = commit_path(&dist_trace(), 7).expect("t7 committed");
+        let t = path.timeline();
+        assert_eq!(path.total_ns, 245_000);
+        // Two 100us flights out of a 245us span.
+        assert_eq!(t.phase_ns[Phase::TransportRtt.index()], 200_000);
+        let sum: u64 = path.segments.iter().map(|s| s.ns).sum();
+        assert_eq!(sum, path.total_ns);
+        let (table, paths) = attribute_commits(&dist_trace());
+        assert_eq!(paths.len(), 1);
+        assert_eq!(table.top_phases(1), vec!["transport_rtt"]);
+        assert!(table.attributed_frac > 0.9, "{}", table.render());
+    }
+
+    #[test]
+    fn uncommitted_or_stripped_traces_yield_none() {
+        assert!(commit_path(&engine_trace(), 42).is_none());
+        let mut stripped = engine_trace();
+        stripped.strip_wall();
+        assert!(commit_path(&stripped, 1).is_none());
+        assert!(committed_txns(&engine_trace()) == vec![1]);
+    }
+}

@@ -1,0 +1,153 @@
+//! The typed phase vocabulary of a transaction's lifetime.
+
+use std::fmt;
+
+/// One segment kind of a transaction's wall-clock lifetime.
+///
+/// Every instrumented layer attributes its waiting and working time to
+/// one of these phases; whatever is left of the anchor latency after
+/// all phases are summed is reported explicitly as *unattributed*
+/// rather than silently folded into a phase.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub enum Phase {
+    /// Admission: accepted by the pool but not yet running (queue dwell).
+    AdmitQueue,
+    /// Blocked acquiring a 2PL lock (includes deadlock-detector waits).
+    LockWait,
+    /// Executing reads/writes and local bookkeeping while locks are held.
+    Execute,
+    /// MVCC commit certification (first-committer-wins / SSI read-set
+    /// validation under the store's commit lock).
+    Certify,
+    /// Commit record appended, waiting for a device force to start
+    /// (the group-commit batching dwell).
+    WalDwell,
+    /// The log device operation itself (modeled force latency).
+    WalForce,
+    /// Message flight time on the distributed transport (send to
+    /// deliver, per hop).
+    TransportRtt,
+    /// Durable-to-done: post-force wakeup, version install, lock
+    /// release, and the final acknowledgement to the caller.
+    CommitAck,
+}
+
+/// All phases, in canonical (serialization and table) order.
+pub const PHASES: [Phase; 8] = [
+    Phase::AdmitQueue,
+    Phase::LockWait,
+    Phase::Execute,
+    Phase::Certify,
+    Phase::WalDwell,
+    Phase::WalForce,
+    Phase::TransportRtt,
+    Phase::CommitAck,
+];
+
+impl Phase {
+    /// Stable snake_case name (used in tables, JSONL, and metric keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::AdmitQueue => "admit_queue",
+            Phase::LockWait => "lock_wait",
+            Phase::Execute => "execute",
+            Phase::Certify => "certify",
+            Phase::WalDwell => "wal_dwell",
+            Phase::WalForce => "wal_force",
+            Phase::TransportRtt => "transport_rtt",
+            Phase::CommitAck => "commit_ack",
+        }
+    }
+
+    /// Index into a `[u64; 8]` phase array (canonical order).
+    pub fn index(self) -> usize {
+        match self {
+            Phase::AdmitQueue => 0,
+            Phase::LockWait => 1,
+            Phase::Execute => 2,
+            Phase::Certify => 3,
+            Phase::WalDwell => 4,
+            Phase::WalForce => 5,
+            Phase::TransportRtt => 6,
+            Phase::CommitAck => 7,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One transaction's recorded lifecycle: an anchor latency plus
+/// per-phase nanosecond attributions.
+///
+/// A layer that measures phases but does not own the anchor (the
+/// engine inside a load run, the transport thread) records with
+/// `total_ns == 0`; the aggregator joins entries per transaction and
+/// takes the *largest* total as the anchor, so an outer driver's
+/// arrival-to-resolution span wins over the engine's begin-to-ack span
+/// for the same transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Timeline {
+    /// Transaction id the entry belongs to (0 = anonymous: phases are
+    /// aggregated but never joined to an anchor).
+    pub txn: u64,
+    /// Anchor latency in nanoseconds (0 when this layer only
+    /// contributes phases).
+    pub total_ns: u64,
+    /// Nanoseconds attributed to each phase, indexed by
+    /// [`Phase::index`] in [`PHASES`] order.
+    pub phase_ns: [u64; 8],
+}
+
+impl Timeline {
+    /// An empty timeline for `txn`.
+    pub fn new(txn: u64) -> Self {
+        Timeline { txn, total_ns: 0, phase_ns: [0; 8] }
+    }
+
+    /// Adds `ns` to `phase`.
+    pub fn add(&mut self, phase: Phase, ns: u64) {
+        self.phase_ns[phase.index()] += ns;
+    }
+
+    /// Sum of all phase attributions.
+    pub fn attributed_ns(&self) -> u64 {
+        self.phase_ns.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_canonical_order() {
+        for (i, p) in PHASES.iter().enumerate() {
+            assert_eq!(p.index(), i, "{p}");
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_snake_case() {
+        let names: std::collections::BTreeSet<&str> = PHASES.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), PHASES.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '_'), "{n}");
+        }
+    }
+
+    #[test]
+    fn timeline_accumulates() {
+        let mut t = Timeline::new(7);
+        t.add(Phase::LockWait, 100);
+        t.add(Phase::LockWait, 50);
+        t.add(Phase::WalForce, 25);
+        assert_eq!(t.phase_ns[Phase::LockWait.index()], 150);
+        assert_eq!(t.attributed_ns(), 175);
+    }
+}

@@ -1,0 +1,374 @@
+//! Live telemetry for long load runs: periodic windowed snapshots
+//! emitted as JSONL while the run is still going.
+//!
+//! Windows are keyed by the *virtual* (scheduled) arrival time of the
+//! open-loop plan, not by wall clock — so the number of windows, their
+//! sequence numbers, and the arrivals counted in each are functions of
+//! the seed alone. Everything measured (completion counts, rates,
+//! windowed percentiles, phase fractions) lives in the snapshot's
+//! [`wall`](TelemetrySnapshot::wall) sub-object, which
+//! [`TelemetrySnapshot::strip_wall`] resets — the same contract the
+//! rest of the workspace uses for wall-clock data, so same-seed runs
+//! produce byte-identical stripped streams.
+
+use crate::attribution::latency_bounds;
+use crate::phase::{Timeline, PHASES};
+use mcv_obs::Histogram;
+use std::collections::BTreeMap;
+
+/// Telemetry stream configuration.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct TelemetryConfig {
+    /// Window length in virtual microseconds.
+    pub window_us: u64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        // One snapshot per virtual second.
+        TelemetryConfig { window_us: 1_000_000 }
+    }
+}
+
+/// Wall-clock-derived contents of one window. Reset wholesale by
+/// [`TelemetrySnapshot::strip_wall`].
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TelemetryWall {
+    /// Transactions that committed among this window's arrivals.
+    pub commits: u64,
+    /// Transactions that aborted among this window's arrivals.
+    pub aborts: u64,
+    /// Arrivals the admission controller shed.
+    pub sheds: u64,
+    /// Committed throughput over the window, per virtual second.
+    pub commit_rate_per_s: f64,
+    /// Windowed median commit latency, microseconds.
+    pub p50_us: u64,
+    /// Windowed tail commit latency, microseconds.
+    pub p99_us: u64,
+    /// Fraction of this window's attributed time per phase
+    /// (phase name -> fraction of summed anchor latency).
+    pub phase_frac: BTreeMap<String, f64>,
+}
+
+/// One telemetry window, serialized as a single JSONL line.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TelemetrySnapshot {
+    /// Window sequence number (window index since virtual time 0).
+    pub seq: u64,
+    /// Window length in virtual microseconds.
+    pub window_us: u64,
+    /// Sessions scheduled to arrive inside this window.
+    pub arrivals: u64,
+    /// Measured (non-deterministic) window contents.
+    pub wall: TelemetryWall,
+}
+
+impl TelemetrySnapshot {
+    /// Resets every wall-clock-derived field, leaving only the
+    /// seed-determined shape (seq, window, arrivals).
+    pub fn strip_wall(&mut self) {
+        self.wall = TelemetryWall::default();
+    }
+}
+
+#[derive(Default)]
+struct WindowAccum {
+    arrivals: u64,
+    commits: u64,
+    aborts: u64,
+    sheds: u64,
+    latency: Option<Histogram>,
+    total_ns: u64,
+    phase_ns: [u64; 8],
+}
+
+/// Accumulates per-window stats from the load driver and releases
+/// completed windows for JSONL emission.
+pub struct TelemetryStream {
+    config: TelemetryConfig,
+    windows: BTreeMap<u64, WindowAccum>,
+    /// Arrivals observed but not yet terminally resolved, keyed by
+    /// their scheduled window. [`drain_complete`] refuses to emit a
+    /// window that still owes a resolution: emitting early would force
+    /// the eventual commit/abort into a later window, making the
+    /// stream shape depend on worker timing instead of the seed.
+    ///
+    /// [`drain_complete`]: TelemetryStream::drain_complete
+    pending: BTreeMap<u64, u64>,
+    /// Next window sequence number to emit (windows are emitted
+    /// contiguously, including empty ones, so the stream shape is
+    /// deterministic).
+    next_seq: u64,
+    emitted_any: bool,
+}
+
+impl TelemetryStream {
+    /// An empty stream.
+    pub fn new(config: TelemetryConfig) -> Self {
+        assert!(config.window_us > 0, "telemetry window must be positive");
+        TelemetryStream {
+            config,
+            windows: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            emitted_any: false,
+        }
+    }
+
+    fn window_of(&self, virtual_us: u64) -> u64 {
+        virtual_us / self.config.window_us
+    }
+
+    /// The accumulator for `virtual_us`, clamped to the oldest window
+    /// not yet emitted: an observation racing a drain (a worker-thread
+    /// completion landing after its window was streamed) folds into the
+    /// next snapshot instead of vanishing into a never-emitted slot.
+    fn slot(&mut self, virtual_us: u64) -> &mut WindowAccum {
+        let seq = self.window_of(virtual_us).max(self.next_seq);
+        self.windows.entry(seq).or_default()
+    }
+
+    /// A session was scheduled to arrive at `virtual_us`. Its window
+    /// is held open until [`observe_resolved`] balances this call (or
+    /// [`finish`] closes the run).
+    ///
+    /// [`observe_resolved`]: TelemetryStream::observe_resolved
+    /// [`finish`]: TelemetryStream::finish
+    pub fn observe_arrival(&mut self, virtual_us: u64) {
+        *self.pending.entry(self.window_of(virtual_us)).or_default() += 1;
+        self.slot(virtual_us).arrivals += 1;
+    }
+
+    /// The session scheduled at `virtual_us` reached a terminal state
+    /// (commit, drop, deadline abandon, crash loss) — its window no
+    /// longer waits on it.
+    pub fn observe_resolved(&mut self, virtual_us: u64) {
+        let w = self.window_of(virtual_us);
+        if let Some(n) = self.pending.get_mut(&w) {
+            *n -= 1;
+            if *n == 0 {
+                self.pending.remove(&w);
+            }
+        }
+    }
+
+    /// The session scheduled at `virtual_us` was shed by admission.
+    pub fn observe_shed(&mut self, virtual_us: u64) {
+        self.slot(virtual_us).sheds += 1;
+    }
+
+    /// The session scheduled at `virtual_us` aborted.
+    pub fn observe_abort(&mut self, virtual_us: u64) {
+        self.slot(virtual_us).aborts += 1;
+    }
+
+    /// The session scheduled at `virtual_us` committed with the given
+    /// arrival-to-resolution latency and (optionally) its phase
+    /// timeline.
+    pub fn observe_commit(
+        &mut self,
+        virtual_us: u64,
+        latency_ns: u64,
+        timeline: Option<&Timeline>,
+    ) {
+        let w = self.slot(virtual_us);
+        w.commits += 1;
+        w.latency
+            .get_or_insert_with(|| Histogram::with_bounds(latency_bounds()))
+            .record(latency_ns / 1_000);
+        if let Some(t) = timeline {
+            w.total_ns += t.total_ns.max(latency_ns);
+            for (i, ns) in t.phase_ns.iter().enumerate() {
+                w.phase_ns[i] += ns;
+            }
+        } else {
+            w.total_ns += latency_ns;
+        }
+    }
+
+    fn snapshot(&mut self, seq: u64) -> TelemetrySnapshot {
+        let w = self.windows.remove(&seq).unwrap_or_default();
+        let mut phase_frac = BTreeMap::new();
+        if w.total_ns > 0 {
+            for (i, p) in PHASES.iter().enumerate() {
+                if w.phase_ns[i] > 0 {
+                    phase_frac
+                        .insert(p.name().to_string(), w.phase_ns[i] as f64 / w.total_ns as f64);
+                }
+            }
+        }
+        let (p50_us, p99_us) = match &w.latency {
+            Some(h) if !h.is_empty() => (h.percentile(50.0), h.percentile(99.0)),
+            _ => (0, 0),
+        };
+        TelemetrySnapshot {
+            seq,
+            window_us: self.config.window_us,
+            arrivals: w.arrivals,
+            wall: TelemetryWall {
+                commits: w.commits,
+                aborts: w.aborts,
+                sheds: w.sheds,
+                commit_rate_per_s: w.commits as f64 * 1e6 / self.config.window_us as f64,
+                p50_us,
+                p99_us,
+                phase_frac,
+            },
+        }
+    }
+
+    /// Releases every window that closed strictly before
+    /// `virtual_now_us` *and* owes no pending resolution, oldest
+    /// first, including empty gap windows (so the emitted sequence is
+    /// contiguous). Call periodically from the pacer loop to stream
+    /// snapshots while the run is live; a window whose sessions are
+    /// still in flight is simply held until they resolve, so the
+    /// emitted shape never depends on how slowly a worker finishes.
+    pub fn drain_complete(&mut self, virtual_now_us: u64) -> Vec<TelemetrySnapshot> {
+        let mut cutoff = self.window_of(virtual_now_us);
+        if let Some(&open) = self.pending.keys().next() {
+            cutoff = cutoff.min(open);
+        }
+        let mut out = Vec::new();
+        while self.next_seq < cutoff {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            // Suppress leading empty windows until the first activity.
+            if !self.emitted_any && !self.windows.contains_key(&seq) {
+                continue;
+            }
+            self.emitted_any = true;
+            out.push(self.snapshot(seq));
+        }
+        out
+    }
+
+    /// Releases every remaining window (end of run). Anything still
+    /// unresolved — only possible when the driver's hard cap fired —
+    /// no longer holds its window open.
+    pub fn finish(&mut self) -> Vec<TelemetrySnapshot> {
+        self.pending.clear();
+        let last = self.windows.keys().next_back().copied();
+        match last {
+            Some(last) => self.drain_complete((last + 1) * self.config.window_us),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Serializes snapshots as JSONL, one window per line.
+pub fn telemetry_jsonl(snapshots: &[TelemetrySnapshot]) -> String {
+    let mut out = String::new();
+    for s in snapshots {
+        out.push_str(&serde_json::to_string(s).expect("telemetry snapshot serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Strips wall-clock data from every snapshot (in place).
+pub fn strip_wall_all(snapshots: &mut [TelemetrySnapshot]) {
+    for s in snapshots {
+        s.strip_wall();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    fn cfg(window_us: u64) -> TelemetryConfig {
+        TelemetryConfig { window_us }
+    }
+
+    #[test]
+    fn windows_are_keyed_by_virtual_time_and_emitted_contiguously() {
+        let mut s = TelemetryStream::new(cfg(100));
+        s.observe_arrival(10);
+        s.observe_arrival(90);
+        s.observe_arrival(250); // window 2; window 1 is an empty gap
+        s.observe_commit(10, 5_000, None);
+        s.observe_resolved(10);
+        s.observe_resolved(90);
+        s.observe_resolved(250);
+        assert!(s.drain_complete(99).is_empty(), "window 0 still open");
+        let first = s.drain_complete(300);
+        assert_eq!(
+            first.iter().map(|w| (w.seq, w.arrivals)).collect::<Vec<_>>(),
+            vec![(0, 2), (1, 0), (2, 1)]
+        );
+        assert_eq!(first[0].wall.commits, 1);
+        assert!(s.finish().is_empty());
+    }
+
+    #[test]
+    fn unresolved_arrivals_hold_their_window_open() {
+        let mut s = TelemetryStream::new(cfg(100));
+        s.observe_arrival(10);
+        s.observe_arrival(150);
+        s.observe_resolved(150);
+        // Virtual time is long past both windows, but window 0 still
+        // owes a resolution — nothing may stream yet, or the eventual
+        // commit would be forced into a window it never belonged to.
+        assert!(s.drain_complete(1_000).is_empty());
+        s.observe_commit(10, 9_000, None);
+        s.observe_resolved(10);
+        let out = s.drain_complete(200);
+        assert_eq!(
+            out.iter().map(|w| (w.seq, w.arrivals)).collect::<Vec<_>>(),
+            vec![(0, 1), (1, 1)]
+        );
+        assert_eq!(out[0].wall.commits, 1, "the late commit stayed in its own window");
+    }
+
+    #[test]
+    fn leading_empty_windows_are_suppressed() {
+        let mut s = TelemetryStream::new(cfg(100));
+        s.observe_arrival(520);
+        let out = s.finish();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq, 5);
+    }
+
+    #[test]
+    fn phase_fractions_and_percentiles_are_windowed() {
+        let mut s = TelemetryStream::new(cfg(1_000));
+        let mut t = Timeline::new(1);
+        t.total_ns = 100_000;
+        t.add(Phase::WalForce, 60_000);
+        t.add(Phase::Execute, 40_000);
+        s.observe_commit(5, 100_000, Some(&t));
+        s.observe_commit(7, 300_000, None);
+        s.observe_shed(9);
+        let out = s.finish();
+        assert_eq!(out.len(), 1);
+        let w = &out[0].wall;
+        assert_eq!(w.commits, 2);
+        assert_eq!(w.sheds, 1);
+        assert_eq!(w.commit_rate_per_s, 2_000.0);
+        assert!(w.p99_us >= w.p50_us && w.p50_us > 0);
+        let wf = w.phase_frac["wal_force"];
+        // 60k of 400k total anchor time.
+        assert!((wf - 0.15).abs() < 1e-9, "{wf}");
+        assert!(!w.phase_frac.contains_key("lock_wait"));
+    }
+
+    #[test]
+    fn strip_wall_leaves_only_the_deterministic_shape() {
+        let mut s = TelemetryStream::new(cfg(100));
+        s.observe_arrival(10);
+        s.observe_commit(10, 123_456, None);
+        s.observe_abort(20);
+        let mut out = s.finish();
+        strip_wall_all(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].arrivals, 1);
+        assert_eq!(out[0].wall, TelemetryWall::default());
+        let line = telemetry_jsonl(&out);
+        assert!(line.contains("\"arrivals\":1"), "{line}");
+        let reparsed: TelemetrySnapshot = serde_json::from_str(line.trim()).expect("round trips");
+        assert_eq!(reparsed, out[0]);
+    }
+}

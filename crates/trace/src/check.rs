@@ -25,7 +25,7 @@ pub struct HbViolation {
     pub event: Option<u64>,
     /// Short rule name (`seq_contiguous`, `lamport_monotone`,
     /// `cause_order`, `deliver_has_send`, `deliver_seq`,
-    /// `force_before_ack`).
+    /// `force_before_ack`, `force_has_append`).
     pub rule: String,
     /// Human-readable description.
     pub detail: String,
@@ -107,6 +107,19 @@ pub fn check_mode(trace: &CausalTrace, mode: CheckMode) -> HbReport {
         })
         .collect();
     let multi_wal = wal_ids.len() > 1;
+    // Highest appended lsn per wal over the WHOLE trace (not just the
+    // prefix before a force): append and force come from different
+    // threads, so an append's trace event may legitimately land after
+    // the force that covered it. A force claiming an lsn no append
+    // anywhere in the trace reaches is corruption — lsns are record
+    // counts, so `forced_records` can never exceed them.
+    let mut max_append: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &trace.events {
+        if let EventKind::WalAppend { lsn, wal, .. } = &e.kind {
+            let m = max_append.entry(*wal).or_insert(0);
+            *m = (*m).max(*lsn);
+        }
+    }
 
     for (pos, e) in trace.events.iter().enumerate() {
         if e.id <= last_id {
@@ -218,6 +231,20 @@ pub fn check_mode(trace: &CausalTrace, mode: CheckMode) -> HbReport {
                 commit_lsn.insert((*wal, *txn), *lsn);
             }
             EventKind::WalForce { upto, wal } => {
+                // Strict traces carry every append, so a force mark
+                // covering records with no matching append is a hole
+                // in the log, not an evicted prefix.
+                let appended = max_append.get(wal).copied().unwrap_or(0);
+                if strict && *upto > appended {
+                    viol(
+                        Some(e.id),
+                        "force_has_append",
+                        format!(
+                            "force covers lsn {upto} on wal{wal} but highest appended lsn is \
+                             {appended}"
+                        ),
+                    );
+                }
                 let f = forced.entry(*wal).or_insert(0);
                 *f = (*f).max(*upto);
             }
@@ -368,6 +395,56 @@ mod tests {
         t.events[1].kind = EventKind::WalForce { upto: 6, wal: 0 };
         let report = check(&t);
         assert!(report.violations.iter().any(|v| v.rule == "force_before_ack"), "{report:?}");
+    }
+
+    #[test]
+    fn rejects_force_without_matching_append() {
+        let ((), t) = record_trace(None, || {
+            emit(0, 0, EventKind::WalAppend { txn: 3, lsn: 7, what: "commit".into(), wal: 0 });
+            emit(1, 0, EventKind::WalForce { upto: 7, wal: 0 });
+            emit(0, 0, EventKind::Commit { txn: 3 });
+        });
+        assert!(check(&t).ok());
+        // Hand-mutate the serialized trace the way a corrupt or
+        // truncated capture would look: the force mark claims lsn 9
+        // durable, but no append in the file ever reaches it.
+        let mutated = t.to_jsonl().replace("\"upto\":7", "\"upto\":9");
+        let t = CausalTrace::from_jsonl(&mutated).expect("mutated trace still parses");
+        let report = check(&t);
+        assert!(!report.ok(), "corrupt force mark accepted");
+        let v = report
+            .violations
+            .iter()
+            .find(|v| v.rule == "force_has_append")
+            .expect("force_has_append violation");
+        assert!(v.detail.contains("lsn 9"), "{v}");
+        assert!(v.detail.contains("highest appended lsn is 7"), "{v}");
+    }
+
+    #[test]
+    fn force_with_no_appends_at_all_is_rejected() {
+        // Dropping every append line entirely is the other corruption
+        // shape: the force cites a log the trace knows nothing about.
+        let ((), t) = record_trace(None, || {
+            emit(0, 0, EventKind::WalAppend { txn: 3, lsn: 2, what: "commit".into(), wal: 0 });
+            emit(1, 0, EventKind::WalForce { upto: 2, wal: 0 });
+        });
+        let mutated: String = t
+            .to_jsonl()
+            .lines()
+            .filter(|l| !l.contains("WalAppend"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let t = CausalTrace::from_jsonl(&mutated).expect("mutated trace still parses");
+        // The append's site evaporated with its only event, so run the
+        // wal rule in Strict explicitly (seq holes are flagged
+        // separately and are not what this test pins).
+        let report = check_mode(&t, CheckMode::Strict);
+        assert!(report.violations.iter().any(|v| v.rule == "force_has_append"), "{report:?}");
+        // Window mode stays tolerant: an evicted prefix legitimately
+        // loses appends that the surviving force covered.
+        let windowed = check_mode(&t, CheckMode::Window);
+        assert!(windowed.violations.iter().all(|v| v.rule != "force_has_append"), "{windowed:?}");
     }
 
     #[test]

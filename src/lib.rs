@@ -40,6 +40,9 @@
 //!   first-committer-wins certification, and low-watermark garbage
 //!   collection, mounted in the engine behind an
 //!   [`engine::IsolationLevel`] knob;
+//! - [`prof`] — profiling: per-transaction phase attribution through
+//!   lock-free ring buffers, critical-path analysis over [`trace`]
+//!   happens-before DAGs, and windowed live telemetry for load runs;
 //! - [`load`] — open-loop traffic: seeded Poisson/flash-crowd/diurnal
 //!   arrival processes over zipfian user sessions, non-blocking
 //!   admission with explicit load shedding and deadline budgets,
@@ -78,6 +81,7 @@ pub use mcv_logic as logic;
 pub use mcv_module as module;
 pub use mcv_mvcc as mvcc;
 pub use mcv_obs as obs;
+pub use mcv_prof as prof;
 pub use mcv_sim as sim;
 pub use mcv_trace as trace;
 pub use mcv_txn as txn;

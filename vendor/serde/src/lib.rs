@@ -351,6 +351,23 @@ impl<T: Serialize> Serialize for [T] {
     }
 }
 
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let seq = value.as_seq().ok_or_else(|| Error::type_mismatch("sequence", value))?;
+        if seq.len() != N {
+            return Err(Error::type_mismatch("sequence of fixed length", value));
+        }
+        let items: Vec<T> = seq.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        items.try_into().map_err(|_| Error::type_mismatch("sequence of fixed length", value))
+    }
+}
+
 impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
     fn serialize(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::serialize).collect())
