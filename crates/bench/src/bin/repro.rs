@@ -17,10 +17,11 @@
 //! are the exception: their `engine.*`/`dist.*` wall metrics depend on
 //! thread scheduling. `exp.tput` additionally writes its RunReport as
 //! `<dir>/BENCH_engine.json`, `exp.dist` as `<dir>/BENCH_dist.json`,
-//! `exp.mvcc` as `<dir>/BENCH_mvcc.json`, `exp.slo` as
-//! `<dir>/BENCH_slo.json`, and `exp.prof` as `<dir>/BENCH_prof.json` —
-//! the canonical benchmark records. `--check-bench` takes one or more
-//! baseline files and dispatches each on its report id.
+//! `exp.pipeline` as `<dir>/BENCH_pipeline.json`, `exp.mvcc` as
+//! `<dir>/BENCH_mvcc.json`, `exp.slo` as `<dir>/BENCH_slo.json`, and
+//! `exp.prof` as `<dir>/BENCH_prof.json` — the canonical benchmark
+//! records. `--check-bench` takes one or more baseline files and
+//! dispatches each on its report id.
 
 use mcv_bench::artifacts;
 use std::path::PathBuf;
@@ -119,6 +120,7 @@ fn main() {
                 let bench_id = match *id {
                     "exp.tput" => Some("BENCH_engine"),
                     "exp.dist" => Some("BENCH_dist"),
+                    "exp.pipeline" => Some("BENCH_pipeline"),
                     "exp.mvcc" => Some("BENCH_mvcc"),
                     "exp.slo" => Some("BENCH_slo"),
                     "exp.prof" => Some("BENCH_prof"),
@@ -145,10 +147,11 @@ fn main() {
 /// report id picks the benchmark and its tolerances: `BENCH_engine`
 /// re-runs `exp.tput` under [`mcv_bench::engine_gate_rules`],
 /// `BENCH_dist` re-runs `exp.dist` under
-/// [`mcv_bench::dist_gate_rules`], `BENCH_slo` re-runs `exp.slo` under
-/// [`mcv_bench::slo_gate_rules`], and `BENCH_prof` re-runs `exp.prof`
-/// under [`mcv_bench::prof_gate_rules`] (all documented in
-/// EXPERIMENTS.md).
+/// [`mcv_bench::dist_gate_rules`], `BENCH_pipeline` re-runs
+/// `exp.pipeline` under [`mcv_bench::pipeline_gate_rules`],
+/// `BENCH_slo` re-runs `exp.slo` under [`mcv_bench::slo_gate_rules`],
+/// and `BENCH_prof` re-runs `exp.prof` under
+/// [`mcv_bench::prof_gate_rules`] (all documented in EXPERIMENTS.md).
 fn run_bench_gate(baseline_path: &std::path::Path) -> bool {
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(text) => match mcv_obs::RunReport::from_json(&text) {
@@ -167,13 +170,17 @@ fn run_bench_gate(baseline_path: &std::path::Path) -> bool {
         match baseline.id.as_str() {
             "BENCH_engine" => ("exp.tput", mcv_bench::exp_tput, mcv_bench::engine_gate_rules()),
             "BENCH_dist" => ("exp.dist", mcv_bench::exp_dist, mcv_bench::dist_gate_rules()),
+            "BENCH_pipeline" => {
+                ("exp.pipeline", mcv_bench::exp_pipeline, mcv_bench::pipeline_gate_rules())
+            }
             "BENCH_mvcc" => ("exp.mvcc", mcv_bench::exp_mvcc, mcv_bench::mvcc_gate_rules()),
             "BENCH_slo" => ("exp.slo", mcv_bench::exp_slo, mcv_bench::slo_gate_rules()),
             "BENCH_prof" => ("exp.prof", mcv_bench::exp_prof, mcv_bench::prof_gate_rules()),
             other => {
                 eprintln!(
                     "--check-bench: unknown baseline id {other:?} in {} \
-                     (expected BENCH_engine, BENCH_dist, BENCH_mvcc, BENCH_slo or BENCH_prof)",
+                     (expected BENCH_engine, BENCH_dist, BENCH_pipeline, BENCH_mvcc, BENCH_slo \
+                     or BENCH_prof)",
                     baseline_path.display()
                 );
                 std::process::exit(2);

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! xtask docsync                                # doc-inventory lint
-//! xtask ci-report <gatelog> [--out <file>] [--flake]
+//! xtask ci-report <gatelog> [--out <file>] [--flake] [--diff <old-report.json>]
 //! ```
 //!
 //! `docsync` fails (exit 1) if any workspace crate is absent from the
@@ -17,9 +17,14 @@
 //! times survive as facts — they are the report's content. With
 //! `--flake`, gates named `<name>@r<round>` are grouped by base name
 //! and any gate whose verdict differs between rounds is reported as
-//! FLAKY. When `baselines/BENCH_prof.json` exists, the summary also
-//! renders its phase-attribution tables — where engine and cross-shard
-//! commit latency went the last time `exp.prof` was baselined.
+//! FLAKY. With `--diff <old-report.json>`, the current gates are
+//! compared against a previous `ci-report.json`: verdict flips, per-
+//! gate wall-time deltas, and any gate slowing down by more than 2x
+//! are called out (informational — the exit code still reflects only
+//! this run's verdicts). When `baselines/BENCH_prof.json` exists, the
+//! summary also renders its phase-attribution tables — where engine
+//! and cross-shard commit latency went the last time `exp.prof` was
+//! baselined.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -31,7 +36,10 @@ fn main() -> ExitCode {
         Some("docsync") => docsync(),
         Some("ci-report") => ci_report(&args[1..]),
         _ => {
-            eprintln!("usage: xtask docsync | xtask ci-report <gatelog> [--out <file>] [--flake]");
+            eprintln!(
+                "usage: xtask docsync | xtask ci-report <gatelog> [--out <file>] [--flake] \
+                 [--diff <old-report.json>]"
+            );
             ExitCode::from(2)
         }
     }
@@ -155,6 +163,70 @@ fn divergent(gates: &[Gate]) -> Vec<String> {
     by_base.iter().filter(|(_, (p, f))| *p && *f).map(|(b, _)| (*b).to_owned()).collect()
 }
 
+/// One gate's outcome in a previous report, parsed back from its
+/// `gate.<name>.status` / `gate.<name>.secs` fact pair.
+fn old_gates(report: &mcv_obs::RunReport) -> BTreeMap<String, (bool, u64)> {
+    let mut out: BTreeMap<String, (bool, u64)> = BTreeMap::new();
+    for (key, value) in &report.facts {
+        let Some(rest) = key.strip_prefix("gate.") else { continue };
+        if let Some(name) = rest.strip_suffix(".status") {
+            out.entry(name.to_owned()).or_insert((true, 0)).0 = value == "pass";
+        } else if let Some(name) = rest.strip_suffix(".secs") {
+            out.entry(name.to_owned()).or_insert((true, 0)).1 = value.parse().unwrap_or(0);
+        }
+    }
+    out
+}
+
+/// Renders the gate-level diff against a previous report: verdict
+/// flips, wall-time deltas, and >2x slowdowns (flagged when the gate
+/// also lost at least 2 s, so one-second rounding jitter on fast gates
+/// never trips it). Added/removed gates are listed; unchanged fast
+/// gates are summarized, not itemized.
+fn diff_summary(old: &BTreeMap<String, (bool, u64)>, gates: &[Gate]) -> String {
+    let mut lines = Vec::new();
+    for g in gates {
+        match old.get(&g.name) {
+            None => lines.push(format!("    {:<40} new gate ({}s)", g.name, g.secs)),
+            Some((old_pass, old_secs)) => {
+                let verdict = |p: bool| if p { "pass" } else { "FAIL" };
+                if *old_pass != g.pass {
+                    lines.push(format!(
+                        "    {:<40} VERDICT FLIP: {} -> {}",
+                        g.name,
+                        verdict(*old_pass),
+                        verdict(g.pass)
+                    ));
+                }
+                let regressed = g.secs > 2 * old_secs && g.secs.saturating_sub(*old_secs) >= 2;
+                if regressed {
+                    lines.push(format!(
+                        "    {:<40} SLOWER >2x: {}s -> {}s",
+                        g.name, old_secs, g.secs
+                    ));
+                } else if g.secs != *old_secs {
+                    lines.push(format!(
+                        "    {:<40} {}s -> {}s ({:+}s)",
+                        g.name,
+                        old_secs,
+                        g.secs,
+                        g.secs as i64 - *old_secs as i64
+                    ));
+                }
+            }
+        }
+    }
+    for name in old.keys() {
+        if !gates.iter().any(|g| &g.name == name) {
+            lines.push(format!("    {name:<40} removed"));
+        }
+    }
+    if lines.is_empty() {
+        lines.push("    no verdict flips, no wall-time changes".to_owned());
+    }
+    lines.join("\n")
+}
+
 /// Renders the baselined `exp.prof` phase attribution (mean-latency
 /// share per phase, engine and cross-shard columns) from
 /// `baselines/BENCH_prof.json`, or `None` when no baseline exists.
@@ -197,6 +269,7 @@ fn phase_attribution_summary(root: &Path) -> Option<String> {
 fn ci_report(args: &[String]) -> ExitCode {
     let mut out_path = PathBuf::from("ci-report.json");
     let mut flake = false;
+    let mut diff_path: Option<PathBuf> = None;
     let mut log_path = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -209,11 +282,20 @@ fn ci_report(args: &[String]) -> ExitCode {
                 }
             },
             "--flake" => flake = true,
+            "--diff" => match it.next() {
+                Some(p) => diff_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("ci-report: --diff requires a previous ci-report.json path");
+                    return ExitCode::from(2);
+                }
+            },
             other => log_path = Some(PathBuf::from(other)),
         }
     }
     let Some(log_path) = log_path else {
-        eprintln!("usage: xtask ci-report <gatelog> [--out <file>] [--flake]");
+        eprintln!(
+            "usage: xtask ci-report <gatelog> [--out <file>] [--flake] [--diff <old-report.json>]"
+        );
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(&log_path) {
@@ -243,6 +325,22 @@ fn ci_report(args: &[String]) -> ExitCode {
     let flaky = if flake { divergent(&gates) } else { Vec::new() };
     for f in &flaky {
         println!("  FLAKY: {f} diverged between rounds");
+    }
+
+    if let Some(diff_path) = &diff_path {
+        let old = std::fs::read_to_string(diff_path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| mcv_obs::RunReport::from_json(&t).map_err(|e| e.to_string()));
+        match old {
+            Ok(old) => {
+                println!("  diff vs {}:", diff_path.display());
+                println!("{}", diff_summary(&old_gates(&old), &gates));
+            }
+            Err(e) => {
+                eprintln!("ci-report: cannot read --diff {}: {e}", diff_path.display());
+                return ExitCode::from(2);
+            }
+        }
     }
 
     if let Some(table) = phase_attribution_summary(&repo_root()) {
@@ -300,6 +398,45 @@ mod tests {
         )
         .expect("parses");
         assert_eq!(divergent(&gates), vec!["dist_smoke".to_owned()]);
+    }
+
+    #[test]
+    fn diff_flags_flips_and_2x_regressions_only() {
+        let old_report = mcv_obs::RunReport::new("ci")
+            .fact("gate.tests.status", "pass")
+            .fact("gate.tests.secs", 10u64)
+            .fact("gate.dist_smoke.status", "pass")
+            .fact("gate.dist_smoke.secs", 3u64)
+            .fact("gate.docsync.status", "fail")
+            .fact("gate.docsync.secs", 1u64)
+            .fact("gate.gone.status", "pass")
+            .fact("gate.gone.secs", 2u64);
+        let old = old_gates(&old_report);
+        assert_eq!(old["tests"], (true, 10));
+        assert_eq!(old["docsync"], (false, 1));
+        let gates = parse_gatelog(
+            "tests fail 11\ndist_smoke pass 9\ndocsync pass 1\npipeline_smoke pass 4\n",
+        )
+        .expect("parses");
+        let diff = diff_summary(&old, &gates);
+        assert!(diff.contains("VERDICT FLIP: pass -> FAIL"), "{diff}");
+        assert!(diff.contains("VERDICT FLIP: FAIL -> pass"), "{diff}");
+        assert!(diff.contains("SLOWER >2x: 3s -> 9s"), "{diff}");
+        assert!(diff.contains("new gate (4s)"), "{diff}");
+        assert!(diff.contains("removed"), "{diff}");
+        // 10s -> 11s is a delta, not a flagged regression.
+        assert!(diff.contains("10s -> 11s (+1s)"), "{diff}");
+        assert!(!diff.contains("SLOWER >2x: 10s"), "{diff}");
+    }
+
+    #[test]
+    fn diff_of_identical_outcomes_is_quiet() {
+        let old_report = mcv_obs::RunReport::new("ci")
+            .fact("gate.fmt.status", "pass")
+            .fact("gate.fmt.secs", 1u64);
+        let gates = parse_gatelog("fmt pass 1\n").expect("parses");
+        let diff = diff_summary(&old_gates(&old_report), &gates);
+        assert!(diff.contains("no verdict flips"), "{diff}");
     }
 
     #[test]

@@ -99,6 +99,42 @@ pub fn dist_gate_rules() -> Vec<GateRule> {
     ]
 }
 
+/// The tolerances for `BENCH_pipeline.json` (the `exp.pipeline`
+/// record):
+///
+/// - `pipeline.txn.total` / `pipeline.txn.committed` are exact — the
+///   experiment streams a fixed transaction count through fault-free
+///   runs and AC2 obliges every one to commit at every shard;
+/// - `pipeline.oracles.green` is exact — all legs (serial reference
+///   and every pipelined sweep point) must pass all eight oracles;
+/// - `pipeline.commit_log.dense` is exact — one coordinator decision
+///   per transaction, indices dense, on every pipelined leg;
+/// - `pipeline.verdict.*` is exact — 0/1 structural verdicts
+///   (pipelined throughput ≥ 10x serial, WAL forces ≤ 0.5 per commit
+///   record), each self-normalized within the run so machine speed
+///   cancels out;
+/// - `wall.pipeline.tput.*` and `wall.pipeline.speedup` get the usual
+///   higher-is-better wall-clock band (≥ 30% of baseline — settle
+///   times carry scheduling noise);
+/// - everything else (`dist.*` tallies, engine counters) is reported,
+///   never gated.
+pub fn pipeline_gate_rules() -> Vec<GateRule> {
+    vec![
+        GateRule::new("pipeline.txn.total", Tolerance::Exact),
+        GateRule::new("pipeline.txn.committed", Tolerance::Exact),
+        GateRule::new("pipeline.oracles.green", Tolerance::Exact),
+        GateRule::new("pipeline.commit_log.dense", Tolerance::Exact),
+        GateRule::new("pipeline.verdict.*", Tolerance::Exact),
+        GateRule::new("wall.pipeline.tput.*", Tolerance::MinRatio(0.3)),
+        GateRule::new("wall.pipeline.speedup", Tolerance::MinRatio(0.3)),
+        GateRule::new("pipeline.*", Tolerance::Ignore),
+        GateRule::new("dist.*", Tolerance::Ignore),
+        GateRule::new("engine.*", Tolerance::Ignore),
+        GateRule::new("wall.*", Tolerance::Ignore),
+        GateRule::new("trace.*", Tolerance::Ignore),
+    ]
+}
+
 /// The tolerances for `BENCH_mvcc.json` (the `exp.mvcc` record):
 ///
 /// - `engine.txn.committed` is exact — the driver admits a fixed quota

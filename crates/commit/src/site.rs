@@ -148,6 +148,11 @@ pub trait LocalStore {
     fn crash(&mut self);
     /// Restarts from stable storage.
     fn recover(&mut self);
+    /// Completes any buffered durability work (batched commit forces).
+    /// Stores that commit synchronously need not override; `mcv-dist`'s
+    /// pipelined engine adapter stages commit records here and forces
+    /// them once per delivery batch.
+    fn flush(&mut self) {}
 }
 
 impl LocalStore for SiteDb {
@@ -374,14 +379,25 @@ impl<S: LocalStore> Site<S> {
 
     fn coord_start(&mut self, ctx: &mut Ctx<Msg>) {
         for plan in self.cfg.plans.clone() {
-            let txn = plan.txn;
-            self.db.begin(txn);
-            self.set_state(ctx, txn, LocalState::Initial);
-            for (cohort, writes) in &plan.writes {
-                ctx.send(*cohort, Msg::StartWork { txn, writes: writes.clone() });
-            }
-            ctx.set_timer(self.timeout(), token(txn, Phase::WorkDone));
+            self.submit_plan(ctx, plan);
         }
+    }
+
+    /// Starts one transaction plan at the coordinator: begin locally,
+    /// dispatch the work to every cohort, arm the work-done timer.
+    ///
+    /// At startup the coordinator drives every configured plan through
+    /// this; the multi-shot dist runtime also pumps plans in while
+    /// earlier transactions are still in flight, keeping a window of
+    /// concurrent transactions moving through the same FSM.
+    pub fn submit_plan(&mut self, ctx: &mut Ctx<Msg>, plan: TxnPlan) {
+        let txn = plan.txn;
+        self.db.begin(txn);
+        self.set_state(ctx, txn, LocalState::Initial);
+        for (cohort, writes) in &plan.writes {
+            ctx.send(*cohort, Msg::StartWork { txn, writes: writes.clone() });
+        }
+        ctx.set_timer(self.timeout(), token(txn, Phase::WorkDone));
     }
 
     fn coord_on_workdone(&mut self, ctx: &mut Ctx<Msg>, from: ProcId, txn: TxnId, ok: bool) {

@@ -3,6 +3,7 @@
 //! runtime.
 
 use crate::artifact::DistArtifact;
+use crate::multishot::{run_pipeline, PipelineConfig};
 use crate::runtime::{run_dist, DistConfig};
 use crate::shrink::shrink;
 use mcv_chaos::{CampaignSummary, FaultPlan, FaultSchedule};
@@ -69,6 +70,46 @@ impl DistCampaign {
             }
             if let Some(v) = out.violated() {
                 mcv_obs::counter("dist.violations", 1);
+                failures.push((seed, v.name.clone()));
+            }
+        }
+        CampaignSummary { runs: n_seeds, passes, fails, failures }
+    }
+
+    /// Sweeps seeds `seed_base..seed_base + n_seeds` over the
+    /// **pipelined** multi-shot runtime: the same generated fault
+    /// schedules and the same eight oracles, but plans streamed by the
+    /// submission pump with batched transport and forces. Violations
+    /// are tallied, not shrunk — the shrinker replays through the
+    /// serial runtime, and a schedule minimized there does not pin
+    /// down a pipelined interleaving.
+    pub fn run_seeds_pipelined(
+        &self,
+        seed_base: u64,
+        n_seeds: u64,
+        max_inflight: usize,
+        batch_window_us: u64,
+    ) -> CampaignSummary {
+        let _span = mcv_obs::Span::enter("dist.campaign.pipeline");
+        let mut passes: BTreeMap<String, u64> = BTreeMap::new();
+        let mut fails: BTreeMap<String, u64> = BTreeMap::new();
+        let mut failures = Vec::new();
+        for seed in seed_base..seed_base + n_seeds {
+            let cfg = PipelineConfig {
+                dist: self.config_for(seed),
+                max_inflight,
+                batch_window_us,
+                arrival_us: None,
+            };
+            let out = run_pipeline(&cfg);
+            mcv_obs::counter("dist.pipeline.runs", 1);
+            for o in &out.oracles {
+                *if o.pass { &mut passes } else { &mut fails }
+                    .entry(o.name.clone())
+                    .or_insert(0) += 1;
+            }
+            if let Some(v) = out.violated() {
+                mcv_obs::counter("dist.pipeline.violations", 1);
                 failures.push((seed, v.name.clone()));
             }
         }

@@ -44,6 +44,8 @@
 
 mod artifact;
 mod campaign;
+mod fabric;
+mod multishot;
 mod node;
 mod oracle;
 mod runtime;
@@ -53,7 +55,11 @@ mod transport;
 
 pub use artifact::DistArtifact;
 pub use campaign::{DistCampaign, DistViolation};
+pub use multishot::{run_pipeline, CommitLogEntry, PipelineConfig, PipelineOutcome};
 pub use oracle::DIST_ORACLE_NAMES;
 pub use runtime::{run_dist, DistConfig, DistOutcome, DistStats, GLOBAL_TXN_BASE};
 pub use shrink::{shrink, DistShrunk, REPRO_ATTEMPTS};
 pub use store::{CoordStore, EngineStore};
+pub use transport::{
+    DeliverItem, NodeEvent, SimTransport, ThreadedTransport, Transport, TransportConfig,
+};

@@ -13,7 +13,7 @@
 
 use crate::runtime::Ledger;
 use crate::transport::{NetMsg, NodeEvent};
-use mcv_commit::{LocalStore, Msg, Site};
+use mcv_commit::{LocalStore, Msg, Site, TxnPlan};
 use mcv_sim::{ProcId, Process, SimTime, TimerToken};
 use mcv_trace::Cause;
 use std::cmp::Reverse;
@@ -21,6 +21,16 @@ use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A send captured during a callback, transmitted only after the
+/// node's store has flushed any staged commit forces — so a shard
+/// never acknowledges a commit whose log record is not yet durable.
+struct PendingSend {
+    to: usize,
+    msg: Msg,
+    label: String,
+    cause: Option<Cause>,
+}
 
 /// Everything a node thread needs besides its `Site`.
 pub(crate) struct NodeSeat {
@@ -45,6 +55,9 @@ struct NodeLoop<S: LocalStore> {
     /// or crashed-away timers are removed here; their heap entries are
     /// skipped lazily.
     live: BTreeMap<u64, (TimerToken, Option<Cause>)>,
+    /// Plans submitted while this node was down: the coordinator's
+    /// durable intake queue, replayed on recovery.
+    queued_submits: Vec<TxnPlan>,
 }
 
 /// Runs one node to completion (shutdown or transport hang-up).
@@ -57,6 +70,7 @@ pub(crate) fn run_node<S: LocalStore>(seat: NodeSeat, site: Site<S>) {
         next_tid: 0,
         heap: BinaryHeap::new(),
         live: BTreeMap::new(),
+        queued_submits: Vec::new(),
     };
     n.run();
 }
@@ -70,28 +84,24 @@ impl<S: LocalStore> NodeLoop<S> {
         mcv_sim::Ctx::external(ProcId(self.seat.id), self.seat.n, SimTime::from_ticks(t))
     }
 
-    /// Applies one callback's effects in the simulator world's order.
-    fn drain(&mut self, mut ctx: mcv_sim::Ctx<Msg>, t: u64) {
+    /// Applies one callback's effects in the simulator world's order,
+    /// except that sends are *captured* (with the ambient cause) and
+    /// returned: the caller transmits them via [`NodeLoop::finish`]
+    /// after the store has flushed any staged commit forces, so an
+    /// acknowledgement never leaves before the durability it claims.
+    fn drain(&mut self, mut ctx: mcv_sim::Ctx<Msg>, t: u64) -> Vec<PendingSend> {
         let fx = ctx.take_effects();
         for note in &fx.notes {
             self.seat.ledger.note(self.seat.id, t, note);
             mcv_trace::emit(self.seat.id, t, mcv_trace::EventKind::Note { text: note.clone() });
         }
         let tracing = mcv_trace::active();
+        let mut pending = Vec::with_capacity(fx.sends.len());
         for (to, msg) in fx.sends {
             mcv_obs::counter("dist.sent", 1);
             let label =
                 if tracing { mcv_trace::label_of(&format!("{msg:?}")) } else { String::new() };
-            // The network thread records the Send (or Drop) event on
-            // our behalf, citing this ambient cause — a lost channel
-            // means the run is shutting down.
-            let _ = self.seat.net.send(NetMsg::Send {
-                from: self.seat.id,
-                to: to.0,
-                msg,
-                label,
-                cause: mcv_trace::context(),
-            });
+            pending.push(PendingSend { to: to.0, msg, label, cause: mcv_trace::context() });
         }
         // Cancels first: they target timers that existed before this
         // callback, so a timer re-armed with the same token survives.
@@ -106,6 +116,27 @@ impl<S: LocalStore> NodeLoop<S> {
         }
         if fx.crash && self.up {
             self.crash(t);
+        }
+        pending
+    }
+
+    /// Flushes the store (one force wave covering every commit staged
+    /// by the callbacks that produced `pending`), then transmits the
+    /// captured sends. Sends survive a self-crash in the same callback
+    /// — they left the site before it died.
+    fn finish(&mut self, pending: Vec<PendingSend>) {
+        self.site.db.flush();
+        for p in pending {
+            // The network thread records the Send (or Drop) event on
+            // our behalf, citing the captured cause — a lost channel
+            // means the run is shutting down.
+            let _ = self.seat.net.send(NetMsg::Send {
+                from: self.seat.id,
+                to: p.to,
+                msg: p.msg,
+                label: p.label,
+                cause: p.cause,
+            });
         }
     }
 
@@ -143,8 +174,9 @@ impl<S: LocalStore> NodeLoop<S> {
             let prev = mcv_trace::set_context(fired);
             let mut ctx = self.ctx(t);
             self.site.on_timer(&mut ctx, token);
-            self.drain(ctx, t);
+            let pending = self.drain(ctx, t);
             mcv_trace::set_context(prev);
+            self.finish(pending);
         }
     }
 
@@ -163,7 +195,8 @@ impl<S: LocalStore> NodeLoop<S> {
         let t0 = self.now_tick();
         let mut ctx = self.ctx(t0);
         self.site.on_start(&mut ctx);
-        self.drain(ctx, t0);
+        let pending = self.drain(ctx, t0);
+        self.finish(pending);
         loop {
             self.fire_due();
             let now_us = self.seat.start.elapsed().as_micros() as u64;
@@ -176,7 +209,21 @@ impl<S: LocalStore> NodeLoop<S> {
                 .min(Duration::from_millis(5))
                 .max(Duration::from_micros(50));
             match self.seat.rx.recv_timeout(wait) {
-                Ok(NodeEvent::Deliver { from, msg, sent }) => self.deliver(from, msg, sent),
+                Ok(NodeEvent::Deliver { from, msg, sent }) => {
+                    let pending = self.deliver(from, msg, sent);
+                    self.finish(pending);
+                }
+                Ok(NodeEvent::DeliverBatch(items)) => {
+                    // Process every message of the batch, then flush
+                    // once: all commits staged by the batch share one
+                    // force wave before any acknowledgement leaves.
+                    let mut pending = Vec::new();
+                    for it in items {
+                        pending.extend(self.deliver(it.from, it.msg, it.sent));
+                    }
+                    self.finish(pending);
+                }
+                Ok(NodeEvent::Submit(plan)) => self.submit(plan),
                 Ok(NodeEvent::Crash) => {
                     let t = self.now_tick();
                     if self.up {
@@ -184,13 +231,23 @@ impl<S: LocalStore> NodeLoop<S> {
                     }
                 }
                 Ok(NodeEvent::Recover) => self.recover(),
-                Ok(NodeEvent::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+                Ok(NodeEvent::Shutdown) | Err(RecvTimeoutError::Disconnected) => {
+                    // Staged-but-unforced commits must reach the device
+                    // before the run snapshots durable state.
+                    self.site.db.flush();
+                    return;
+                }
                 Err(RecvTimeoutError::Timeout) => {}
             }
         }
     }
 
-    fn deliver(&mut self, from: usize, msg: Msg, sent: Option<(Cause, String)>) {
+    fn deliver(
+        &mut self,
+        from: usize,
+        msg: Msg,
+        sent: Option<(Cause, String)>,
+    ) -> Vec<PendingSend> {
         let t = self.now_tick();
         let (cause, label) = sent.map(|(c, l)| (Some(c), l)).unwrap_or_default();
         if !self.up {
@@ -203,7 +260,7 @@ impl<S: LocalStore> NodeLoop<S> {
                 cause,
                 mcv_trace::EventKind::Drop { from, to: self.seat.id, label },
             );
-            return;
+            return Vec::new();
         }
         mcv_obs::counter("dist.delivered", 1);
         self.deliver_seq += 1;
@@ -213,8 +270,25 @@ impl<S: LocalStore> NodeLoop<S> {
         let prev = mcv_trace::set_context(delivered);
         let mut ctx = self.ctx(t);
         self.site.on_message(&mut ctx, ProcId(from), msg);
-        self.drain(ctx, t);
+        let pending = self.drain(ctx, t);
         mcv_trace::set_context(prev);
+        pending
+    }
+
+    /// Starts one pumped transaction plan (multi-shot submission). A
+    /// down coordinator queues the plan — the intake survives the
+    /// crash, like a client retrying — and replays it on recovery.
+    fn submit(&mut self, plan: TxnPlan) {
+        if !self.up {
+            self.queued_submits.push(plan);
+            return;
+        }
+        mcv_obs::counter("dist.submitted", 1);
+        let t = self.now_tick();
+        let mut ctx = self.ctx(t);
+        self.site.submit_plan(&mut ctx, plan);
+        let pending = self.drain(ctx, t);
+        self.finish(pending);
     }
 
     fn recover(&mut self) {
@@ -229,7 +303,11 @@ impl<S: LocalStore> NodeLoop<S> {
         let prev = mcv_trace::set_context(recovered);
         let mut ctx = self.ctx(t);
         self.site.on_recover(&mut ctx);
-        self.drain(ctx, t);
+        let pending = self.drain(ctx, t);
         mcv_trace::set_context(prev);
+        self.finish(pending);
+        for plan in std::mem::take(&mut self.queued_submits) {
+            self.submit(plan);
+        }
     }
 }

@@ -148,6 +148,11 @@ pub(crate) struct LedgerInner {
     pub participated: BTreeSet<(usize, u64)>,
     /// Evidence of a decision flipping after it was made (AC3).
     pub flips: Vec<String>,
+    /// The coordinator's commit log: node 0's first decisions in
+    /// arrival order, `(tick, txn, commit)` — the observable spine of
+    /// the multi-shot protocol (many in-flight transactions, one
+    /// totally-ordered decision sequence).
+    pub decision_log: Vec<(u64, u64, bool)>,
 }
 
 impl Ledger {
@@ -159,6 +164,7 @@ impl Ledger {
                 decided: BTreeMap::new(),
                 participated: BTreeSet::new(),
                 flips: Vec::new(),
+                decision_log: Vec::new(),
             }),
         })
     }
@@ -174,14 +180,21 @@ impl Ledger {
                 if let Some(Ok(txn)) = txn_text.strip_prefix('T').map(str::parse::<u64>) {
                     g.participated.insert((node, txn));
                     let commit = verdict == "commit";
-                    if let Some(prev) = g.decided.insert((node, txn), commit) {
-                        if prev != commit {
-                            g.decided.insert((node, txn), prev);
-                            g.flips.push(format!(
-                                "node {node} flipped T{txn}: {} then {}",
-                                if prev { "commit" } else { "abort" },
-                                verdict
-                            ));
+                    match g.decided.insert((node, txn), commit) {
+                        None => {
+                            if node == 0 {
+                                g.decision_log.push((tick, txn, commit));
+                            }
+                        }
+                        Some(prev) => {
+                            if prev != commit {
+                                g.decided.insert((node, txn), prev);
+                                g.flips.push(format!(
+                                    "node {node} flipped T{txn}: {} then {}",
+                                    if prev { "commit" } else { "abort" },
+                                    verdict
+                                ));
+                            }
                         }
                     }
                 }
@@ -217,6 +230,13 @@ impl Ledger {
     /// probe.
     pub fn notes_len(&self) -> usize {
         self.inner.lock().expect("ledger mutex").notes.len()
+    }
+
+    /// Distinct transactions with a decision anywhere — the multi-shot
+    /// submission pump's window accounting.
+    pub fn decided_txn_count(&self) -> usize {
+        let g = self.inner.lock().expect("ledger mutex");
+        g.decided.keys().map(|(_, txn)| *txn).collect::<BTreeSet<_>>().len()
     }
 
     pub fn snapshot(&self) -> LedgerInner {
@@ -267,7 +287,7 @@ impl DistOutcome {
 }
 
 /// The tick after which no scheduled fault is still pending.
-fn fault_horizon(schedule: &FaultSchedule) -> u64 {
+pub(crate) fn fault_horizon(schedule: &FaultSchedule) -> u64 {
     schedule
         .events
         .iter()
@@ -329,6 +349,9 @@ pub fn run_dist(cfg: &DistConfig) -> DistOutcome {
         start,
         tick_us: cfg.tick_us,
         delay_ticks: cfg.delay_ticks,
+        // Serial path: no transport batching — every message pays its
+        // own sampled hop delay, exactly the pre-multi-shot schedule.
+        batch_window_us: 0,
         seed: cfg.seed,
         rec: Some(Arc::clone(&rec)),
         prof: mcv_prof::installed(),

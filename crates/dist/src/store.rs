@@ -12,7 +12,7 @@
 //! [`Site`]: mcv_commit::Site
 
 use mcv_commit::LocalStore;
-use mcv_engine::{Engine, Txn};
+use mcv_engine::{Engine, StagedCommit, Txn};
 use mcv_txn::{TxnId, Value};
 use std::collections::BTreeMap;
 
@@ -34,12 +34,38 @@ pub struct EngineStore {
     /// Writes the engine refused (deadlock victim): the site must vote
     /// no and the handle must not be committed later.
     poisoned: BTreeMap<TxnId, bool>,
+    /// Pipelined mode: commits are staged (record appended, locks
+    /// held, durability deferred) and forced in one batch at
+    /// [`LocalStore::flush`] — the participant half of the multi-shot
+    /// force amortization.
+    pipelined: bool,
+    staged: Vec<StagedCommit>,
 }
 
 impl EngineStore {
-    /// Wraps a shard engine.
+    /// Wraps a shard engine (serial mode: every commit forces and
+    /// waits inline).
     pub fn new(engine: Engine) -> Self {
-        EngineStore { engine, open: BTreeMap::new(), poisoned: BTreeMap::new() }
+        EngineStore {
+            engine,
+            open: BTreeMap::new(),
+            poisoned: BTreeMap::new(),
+            pipelined: false,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Wraps a shard engine in pipelined mode: commits stage their log
+    /// records and the node loop's per-batch `flush` pays one
+    /// durability wait for all of them.
+    pub fn pipelined(engine: Engine) -> Self {
+        EngineStore {
+            engine,
+            open: BTreeMap::new(),
+            poisoned: BTreeMap::new(),
+            pipelined: true,
+            staged: Vec::new(),
+        }
     }
 
     /// The wrapped engine (cheap clone of the shared handle).
@@ -71,7 +97,13 @@ impl LocalStore for EngineStore {
             return Err(());
         }
         let Some(t) = self.open.remove(&txn) else { return Err(()) };
-        t.commit().map_err(|_| ())
+        if self.pipelined {
+            let staged = t.commit_stage().map_err(|_| ())?;
+            self.staged.push(staged);
+            Ok(())
+        } else {
+            t.commit().map_err(|_| ())
+        }
     }
 
     fn abort(&mut self, txn: TxnId) -> Result<(), ()> {
@@ -86,7 +118,13 @@ impl LocalStore for EngineStore {
         // no-op.
         if let Some(t) = self.open.remove(&txn) {
             if commit && !self.poisoned.contains_key(&txn) {
-                let _ = t.commit();
+                if self.pipelined {
+                    if let Ok(staged) = t.commit_stage() {
+                        self.staged.push(staged);
+                    }
+                } else {
+                    let _ = t.commit();
+                }
             } else {
                 t.abort();
             }
@@ -100,6 +138,12 @@ impl LocalStore for EngineStore {
     }
 
     fn recover(&mut self) {}
+
+    fn flush(&mut self) {
+        if !self.staged.is_empty() {
+            self.engine.finish_commits(std::mem::take(&mut self.staged));
+        }
+    }
 }
 
 /// The coordinator's vacuous local store: node 0 owns no shard.
@@ -169,6 +213,25 @@ mod tests {
         s.abort(t).unwrap();
         assert_eq!(engine.value("Z"), 0);
         assert!(!engine.committed_ids().contains(&t));
+    }
+
+    #[test]
+    fn pipelined_store_defers_durability_until_flush() {
+        let engine = Engine::new(EngineConfig { force_latency_us: 0, ..Default::default() });
+        let mut s = EngineStore::pipelined(engine.clone());
+        for (i, item) in ["A", "B", "C"].iter().enumerate() {
+            let t = TxnId(1_000_010 + i as u64);
+            s.begin(t);
+            s.write(t, item, 5).unwrap();
+            s.commit(t).unwrap();
+        }
+        // Commit records are staged, not yet on the device.
+        let before = mcv_txn::Wal::from_bytes_lossy(&engine.durable_image());
+        assert!(before.committed().is_empty(), "staged commits must not be durable yet");
+        s.flush();
+        let after = mcv_txn::Wal::from_bytes_lossy(&engine.durable_image());
+        assert_eq!(after.committed().len(), 3, "one flush forces the whole batch");
+        assert_eq!(engine.value("A"), 5);
     }
 
     #[test]

@@ -1,13 +1,16 @@
-//! The real threaded transport: per-link delivery with seeded delays,
-//! FIFO clamping, and injectable faults.
+//! The unified transport layer: one [`Transport`] trait over the
+//! shared policy [`Fabric`](crate::fabric::Fabric), with a
+//! deterministic virtual-clock implementation ([`SimTransport`]) and
+//! the real threaded channel implementation ([`ThreadedTransport`] /
+//! the internal network thread).
 //!
-//! One network thread owns every link. Senders hand it
-//! [`NetMsg::Send`] commands; it applies the run's fault windows
-//! (partitions, drop/dup/reorder windows — the same [`FaultEvent`]
-//! vocabulary `mcv-chaos` generates, with simulation ticks mapped onto
-//! real microseconds), samples a seeded delay, clamps FIFO links, and
-//! schedules the delivery. Crash/recover faults become [`NodeEvent`]s
-//! dispatched to the victim node at their scheduled instant.
+//! Every fault decision — partitions, drop/dup/reorder windows (the
+//! same [`FaultEvent`](mcv_chaos::FaultEvent) vocabulary `mcv-chaos`
+//! generates, with simulation ticks mapped onto real microseconds),
+//! seeded delays, FIFO clamping, and per-link delivery batching — is
+//! made by the fabric, so both implementations behave identically
+//! given the same submission times, and the conformance suite
+//! (`tests/transport_conformance.rs`) drives both through this trait.
 //!
 //! Trace discipline mirrors `mcv-sim`'s world loop: one `Send` event
 //! per message (duplicated copies share it as their causal
@@ -15,20 +18,28 @@
 //! flight, and the `(cause, label)` pair riding in the envelope so the
 //! receiver's `Deliver` cites the send.
 
-use mcv_chaos::{CutKind, FaultEvent, FaultSchedule};
-use mcv_commit::Msg;
+use crate::fabric::Fabric;
+use mcv_chaos::FaultSchedule;
+use mcv_commit::{Msg, TxnPlan};
 use mcv_trace::Cause;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// One message of a delivery batch.
+#[derive(Debug)]
+pub struct DeliverItem {
+    /// Sender node.
+    pub from: usize,
+    /// The protocol message.
+    pub msg: Msg,
+    /// The send's trace cause and label, if tracing.
+    pub sent: Option<(Cause, String)>,
+}
+
 /// What a node receives from the transport.
 #[derive(Debug)]
-pub(crate) enum NodeEvent {
+pub enum NodeEvent {
     /// A message arrived.
     Deliver {
         /// Sender node.
@@ -38,6 +49,15 @@ pub(crate) enum NodeEvent {
         /// The send's trace cause and label, if tracing.
         sent: Option<(Cause, String)>,
     },
+    /// Several messages arrived together (one per-link batch): the
+    /// receiver processes them all, then completes its buffered
+    /// durability work once — the force-amortization seam of the
+    /// multi-shot commit path.
+    DeliverBatch(Vec<DeliverItem>),
+    /// The multi-shot runtime submits a new transaction plan to the
+    /// coordinator node while earlier transactions are still in
+    /// flight.
+    Submit(TxnPlan),
     /// The fault schedule crashes this node now.
     Crash,
     /// The fault schedule recovers this node now.
@@ -65,81 +85,101 @@ pub(crate) enum NetMsg {
     Shutdown,
 }
 
-/// A scheduled future dispatch, ordered by due time then FIFO seq.
-struct Scheduled {
-    due_us: u64,
-    seq: u64,
-    to: usize,
-    /// When the message entered the network (microseconds since run
-    /// start; 0 for fault dispatches) — the flight-time base for
-    /// profiling.
-    enq_us: u64,
-    what: Dispatch,
+/// Shared transport knobs (the fabric's policy inputs).
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Real microseconds per simulation tick.
+    pub tick_us: u64,
+    /// Uniform per-hop delay in `1..=delay_ticks` ticks.
+    pub delay_ticks: u64,
+    /// Seed for delay sampling.
+    pub seed: u64,
+    /// Per-link batching window in microseconds; 0 disables batching
+    /// (the serial per-message schedule).
+    pub batch_window_us: u64,
 }
 
-enum Dispatch {
-    Deliver { from: usize, msg: Msg, sent: Option<(Cause, String)> },
-    Crash,
-    Recover,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        (self.due_us, self.seq) == (other.due_us, other.seq)
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.due_us, self.seq).cmp(&(other.due_us, other.seq))
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig { tick_us: 200, delay_ticks: 3, seed: 0, batch_window_us: 0 }
     }
 }
 
-/// A half-open real-time window on a link pattern.
-struct LinkWindow {
-    src: Option<usize>,
-    dst: Option<usize>,
-    from_us: u64,
-    until_us: u64,
+/// One transport implementation: a clocked message fabric between
+/// `n` nodes. Implementations share the policy core, so given the
+/// same submission times they make the same fault/delay/batching
+/// decisions; they differ only in what "time" is (virtual vs wall
+/// clock) and how dispatches reach the nodes (direct return vs
+/// channels off a network thread).
+pub trait Transport {
+    /// Implementation name, for diagnostics.
+    fn name(&self) -> &'static str;
+    /// Hands a protocol message to the fabric.
+    fn send(&mut self, from: usize, to: usize, msg: Msg, label: String);
+    /// Advances time to `until_us` (microseconds since the transport's
+    /// epoch), returning every event dispatched on the way, in
+    /// dispatch order.
+    fn advance(&mut self, until_us: u64) -> Vec<(usize, NodeEvent)>;
 }
 
-impl LinkWindow {
-    fn matches(&self, now_us: u64, from: usize, to: usize) -> bool {
-        self.src.is_none_or(|s| s == from)
-            && self.dst.is_none_or(|d| d == to)
-            && now_us >= self.from_us
-            && now_us < self.until_us
-    }
+/// The deterministic virtual-clock transport: the fabric driven
+/// directly, no threads, no wall clock. Sends are stamped at the
+/// current virtual instant; [`Transport::advance`] steps the clock
+/// through each due time.
+pub struct SimTransport {
+    fabric: Fabric,
+    now_us: u64,
 }
 
-struct PartitionWindow {
-    side: Vec<usize>,
-    cut: CutKind,
-    from_us: u64,
-    until_us: u64,
-}
-
-impl PartitionWindow {
-    fn blocks(&self, now_us: u64, from: usize, to: usize) -> bool {
-        if now_us < self.from_us || now_us >= self.until_us {
-            return false;
-        }
-        let f_in = self.side.contains(&from);
-        let t_in = self.side.contains(&to);
-        match self.cut {
-            CutKind::Both => f_in != t_in,
-            CutKind::Outbound => f_in && !t_in,
-            CutKind::Inbound => !f_in && t_in,
+impl SimTransport {
+    /// A new virtual-clock transport over `schedule`'s faults.
+    pub fn new(cfg: &TransportConfig, schedule: &FaultSchedule) -> Self {
+        SimTransport {
+            fabric: Fabric::new(
+                cfg.tick_us,
+                cfg.delay_ticks,
+                cfg.batch_window_us,
+                cfg.seed,
+                None,
+                None,
+                schedule,
+            ),
+            now_us: 0,
         }
     }
+
+    /// The current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
 }
 
-/// The network thread's state and configuration.
+impl Transport for SimTransport {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn send(&mut self, from: usize, to: usize, msg: Msg, label: String) {
+        self.fabric.submit(self.now_us, from, to, msg, label, None);
+    }
+
+    fn advance(&mut self, until_us: u64) -> Vec<(usize, NodeEvent)> {
+        let mut out = Vec::new();
+        while let Some(due) = self.fabric.next_due() {
+            if due > until_us {
+                break;
+            }
+            self.now_us = self.now_us.max(due);
+            out.extend(self.fabric.pop_due(self.now_us));
+        }
+        self.now_us = self.now_us.max(until_us);
+        out
+    }
+}
+
+/// The network thread's state and configuration: owns every link,
+/// drives the shared fabric with wall-clock time, and dispatches due
+/// events into per-node channels.
 pub(crate) struct Network {
     pub rx: Receiver<NetMsg>,
     pub nodes: Vec<Sender<NodeEvent>>,
@@ -147,11 +187,12 @@ pub(crate) struct Network {
     pub tick_us: u64,
     /// Uniform per-hop delay in `1..=delay_ticks` ticks.
     pub delay_ticks: u64,
+    /// Per-link batching window in microseconds (0 = serial schedule).
+    pub batch_window_us: u64,
     pub seed: u64,
     pub rec: Option<Arc<mcv_trace::Recorder>>,
-    /// Phase profiler captured at `run_dist` entry; each delivery
-    /// records its measured flight time as an anonymous
-    /// `transport_rtt` sample.
+    /// Phase profiler captured at runtime entry; each delivery records
+    /// its measured flight time as an anonymous `transport_rtt` sample.
     pub prof: Option<mcv_prof::Profiler>,
 }
 
@@ -159,170 +200,120 @@ impl Network {
     /// Runs the network loop until shutdown or every sender hangs up.
     /// `schedule` times are simulation ticks, scaled by `tick_us`.
     pub fn run(self, schedule: &FaultSchedule) {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x006e_6574_776f_726b_u64);
-        let mut heap: BinaryHeap<Reverse<Scheduled>> = BinaryHeap::new();
-        let mut seq: u64 = 0;
-        let mut fifo_last: BTreeMap<(usize, usize), u64> = BTreeMap::new();
-        let mut drops: Vec<LinkWindow> = Vec::new();
-        let mut dups: Vec<LinkWindow> = Vec::new();
-        let mut reorders: Vec<LinkWindow> = Vec::new();
-        let mut partitions: Vec<PartitionWindow> = Vec::new();
-        let us = |ticks: u64| ticks.saturating_mul(self.tick_us);
-        for ev in &schedule.events {
-            match ev {
-                FaultEvent::Crash { proc, at } | FaultEvent::TornWrite { proc, at, .. } => {
-                    seq += 1;
-                    heap.push(Reverse(Scheduled {
-                        due_us: us(*at),
-                        seq,
-                        to: *proc,
-                        enq_us: 0,
-                        what: Dispatch::Crash,
-                    }));
-                }
-                FaultEvent::Recover { proc, at } => {
-                    seq += 1;
-                    heap.push(Reverse(Scheduled {
-                        due_us: us(*at),
-                        seq,
-                        to: *proc,
-                        enq_us: 0,
-                        what: Dispatch::Recover,
-                    }));
-                }
-                FaultEvent::Partition { side, cut, from, until } => {
-                    partitions.push(PartitionWindow {
-                        side: side.clone(),
-                        cut: *cut,
-                        from_us: us(*from),
-                        until_us: us(*until),
-                    });
-                }
-                FaultEvent::DropWindow { src, dst, from, until } => {
-                    drops.push(LinkWindow {
-                        src: *src,
-                        dst: *dst,
-                        from_us: us(*from),
-                        until_us: us(*until),
-                    });
-                }
-                FaultEvent::DupWindow { src, dst, from, until } => {
-                    dups.push(LinkWindow {
-                        src: *src,
-                        dst: *dst,
-                        from_us: us(*from),
-                        until_us: us(*until),
-                    });
-                }
-                FaultEvent::ReorderWindow { src, dst, from, until } => {
-                    reorders.push(LinkWindow {
-                        src: *src,
-                        dst: *dst,
-                        from_us: us(*from),
-                        until_us: us(*until),
-                    });
-                }
-            }
-        }
-
+        let mut fabric = Fabric::new(
+            self.tick_us,
+            self.delay_ticks,
+            self.batch_window_us,
+            self.seed,
+            self.rec.clone(),
+            self.prof.clone(),
+            schedule,
+        );
         loop {
             let now_us = self.start.elapsed().as_micros() as u64;
-            // Dispatch everything due.
-            while heap.peek().is_some_and(|Reverse(s)| s.due_us <= now_us) {
-                let Reverse(s) = heap.pop().expect("peeked");
-                let ev = match s.what {
-                    Dispatch::Deliver { from, msg, sent } => {
-                        if let Some(p) = &self.prof {
-                            // Anonymous sample: flight time from network
-                            // entry to dispatch (txn 0 — hops are not
-                            // tied to one transaction here; the
-                            // critical-path analyzer does the per-txn
-                            // transport attribution from the trace).
-                            let mut t = mcv_prof::Timeline::new(0);
-                            t.add(
-                                mcv_prof::Phase::TransportRtt,
-                                now_us.saturating_sub(s.enq_us).saturating_mul(1_000),
-                            );
-                            p.record(&t);
-                        }
-                        NodeEvent::Deliver { from, msg, sent }
-                    }
-                    Dispatch::Crash => NodeEvent::Crash,
-                    Dispatch::Recover => NodeEvent::Recover,
-                };
+            for (to, ev) in fabric.pop_due(now_us) {
                 // A hung-up node (already shut down) just loses traffic.
-                let _ = self.nodes[s.to].send(ev);
+                let _ = self.nodes[to].send(ev);
             }
-            let wait = heap
-                .peek()
-                .map(|Reverse(s)| Duration::from_micros(s.due_us.saturating_sub(now_us)))
+            let wait = fabric
+                .next_due()
+                .map(|due| Duration::from_micros(due.saturating_sub(now_us)))
                 .unwrap_or(Duration::from_millis(5))
                 .min(Duration::from_millis(5))
                 .max(Duration::from_micros(50));
             match self.rx.recv_timeout(wait) {
                 Ok(NetMsg::Send { from, to, msg, label, cause }) => {
                     let now_us = self.start.elapsed().as_micros() as u64;
-                    let tick = now_us / self.tick_us.max(1);
-                    mcv_obs::counter("dist.net.sent", 1);
-                    let lost = partitions.iter().any(|p| p.blocks(now_us, from, to))
-                        || drops.iter().any(|w| w.matches(now_us, from, to));
-                    if lost {
-                        mcv_obs::counter("dist.net.dropped", 1);
-                        if let Some(rec) = &self.rec {
-                            rec.record(
-                                from,
-                                tick,
-                                cause,
-                                mcv_trace::EventKind::Drop { from, to, label },
-                            );
-                        }
-                        continue;
-                    }
-                    let copies = if dups.iter().any(|w| w.matches(now_us, from, to)) {
-                        mcv_obs::counter("dist.net.duplicated", 1);
-                        2
-                    } else {
-                        1
-                    };
-                    let reorder = reorders.iter().any(|w| w.matches(now_us, from, to));
-                    // One Send event per message; dup copies share it.
-                    let sent = self.rec.as_ref().map(|rec| {
-                        let c = rec.record(
-                            from,
-                            tick,
-                            cause,
-                            mcv_trace::EventKind::Send { to, label: label.clone() },
-                        );
-                        (c, label.clone())
-                    });
-                    let bound = self.delay_ticks.max(1);
-                    for _ in 0..copies {
-                        let mut due = now_us + us(rng.gen_range(1..=bound));
-                        if reorder {
-                            // Extra jitter, skipping the FIFO clamp so
-                            // the copy can overtake older traffic.
-                            due += us(rng.gen_range(0..=4 * bound));
-                        } else {
-                            let last = fifo_last.get(&(from, to)).copied().unwrap_or(0);
-                            if due <= last {
-                                due = last + 1;
-                            }
-                            fifo_last.insert((from, to), due);
-                        }
-                        seq += 1;
-                        heap.push(Reverse(Scheduled {
-                            due_us: due,
-                            seq,
-                            to,
-                            enq_us: now_us,
-                            what: Dispatch::Deliver { from, msg: msg.clone(), sent: sent.clone() },
-                        }));
-                    }
+                    fabric.submit(now_us, from, to, msg, label, cause);
                 }
                 Ok(NetMsg::Shutdown) => break,
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }
+        }
+    }
+}
+
+/// The threaded channel transport behind the [`Transport`] trait: a
+/// real network thread (the same one the dist runtime uses) owning the
+/// fabric, reached over channels, with wall-clock time. Built for the
+/// conformance suite; the runtime wires the network thread directly.
+pub struct ThreadedTransport {
+    net: Sender<NetMsg>,
+    rxs: Vec<Receiver<NodeEvent>>,
+    start: Instant,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadedTransport {
+    /// Spawns a network thread over `schedule`'s faults for `n_nodes`
+    /// endpoints.
+    pub fn new(n_nodes: usize, cfg: &TransportConfig, schedule: &FaultSchedule) -> Self {
+        let (net_tx, net_rx) = mpsc::channel::<NetMsg>();
+        let mut node_txs = Vec::with_capacity(n_nodes);
+        let mut rxs = Vec::with_capacity(n_nodes);
+        for _ in 0..n_nodes {
+            let (tx, rx) = mpsc::channel::<NodeEvent>();
+            node_txs.push(tx);
+            rxs.push(rx);
+        }
+        let start = Instant::now();
+        let network = Network {
+            rx: net_rx,
+            nodes: node_txs,
+            start,
+            tick_us: cfg.tick_us,
+            delay_ticks: cfg.delay_ticks,
+            batch_window_us: cfg.batch_window_us,
+            seed: cfg.seed,
+            rec: None,
+            prof: None,
+        };
+        let schedule = schedule.clone();
+        let handle = std::thread::Builder::new()
+            .name("conf-net".into())
+            .spawn(move || network.run(&schedule))
+            .expect("spawn network thread");
+        ThreadedTransport { net: net_tx, rxs, start, handle: Some(handle) }
+    }
+}
+
+impl Transport for ThreadedTransport {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn send(&mut self, from: usize, to: usize, msg: Msg, label: String) {
+        let _ = self.net.send(NetMsg::Send { from, to, msg, label, cause: None });
+    }
+
+    fn advance(&mut self, until_us: u64) -> Vec<(usize, NodeEvent)> {
+        // Wall clock: sleep past the target instant, give the network
+        // thread a beat to dispatch, then drain the node channels.
+        let target = Duration::from_micros(until_us);
+        loop {
+            let e = self.start.elapsed();
+            if e >= target {
+                break;
+            }
+            std::thread::sleep((target - e).min(Duration::from_millis(5)));
+        }
+        std::thread::sleep(Duration::from_millis(5));
+        let mut out = Vec::new();
+        for (node, rx) in self.rxs.iter().enumerate() {
+            while let Ok(ev) = rx.try_recv() {
+                out.push((node, ev));
+            }
+        }
+        out
+    }
+}
+
+impl Drop for ThreadedTransport {
+    fn drop(&mut self) {
+        let _ = self.net.send(NetMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
         }
     }
 }

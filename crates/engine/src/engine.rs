@@ -272,6 +272,47 @@ impl Engine {
         }
     }
 
+    /// Completes a batch of staged commits against this engine: one
+    /// durability wait covering the batch's highest LSN, then per
+    /// transaction the commit acknowledgement (trace event citing the
+    /// covering force), lock release, and counters. The whole batch
+    /// shares a single modeled device force where the serial path pays
+    /// one per transaction.
+    ///
+    /// Every staged commit must come from this engine; staged commits
+    /// from MVCC fallbacks (lsn 0) are already durable and only tally.
+    pub fn finish_commits(&self, batch: Vec<StagedCommit>) {
+        let Some(max_lsn) = batch.iter().map(|s| s.lsn).max() else { return };
+        let wait0 = Instant::now();
+        if max_lsn > 0 {
+            self.inner.wal.wait_durable(max_lsn);
+        }
+        let wait_ns = wait0.elapsed().as_nanos() as u64;
+        for mut s in batch {
+            if s.lsn == 0 {
+                continue; // MVCC fallback: committed in full already.
+            }
+            if let Some(t) = &self.inner.trace {
+                // The ack was enabled by the device force covering our
+                // commit record; the `wal.force` mark is published
+                // before the durable cursor advances, so it is in place
+                // by the time the wait above returns.
+                let cause = t.mark(self.inner.wal.force_mark());
+                t.record(t.lane(), 0, cause, mcv_trace::EventKind::Commit { txn: s.id.0 });
+            }
+            self.release_locks(s.id, &s.touched, s.ever_blocked);
+            self.inner.counters.committed.fetch_add(1, Ordering::Relaxed);
+            if let Some(state) = s.prof.take() {
+                if let Some(profiler) = &self.inner.prof {
+                    let mut tl = state.timeline;
+                    tl.add(Phase::WalForce, wait_ns);
+                    tl.total_ns = state.begin.elapsed().as_nanos() as u64;
+                    profiler.record(&tl);
+                }
+            }
+        }
+    }
+
     /// The committed value of `item` (callers must ensure no writer is
     /// concurrently active on it — intended for quiesced inspection).
     pub fn value(&self, item: &str) -> Value {
@@ -543,6 +584,28 @@ struct ProfState {
     timeline: mcv_prof::Timeline,
 }
 
+/// A commit whose record is appended but not yet durable: the staged
+/// half of a two-step commit ([`Txn::commit_stage`] →
+/// [`Engine::finish_commits`]). Holding one keeps the transaction's
+/// locks; dropping it without finishing leaks nothing but the locks
+/// stay held until finished, so callers must always hand staged
+/// commits to [`Engine::finish_commits`].
+#[derive(Debug)]
+pub struct StagedCommit {
+    id: TxnId,
+    lsn: usize,
+    touched: BTreeSet<usize>,
+    ever_blocked: bool,
+    prof: Option<ProfState>,
+}
+
+impl StagedCommit {
+    /// The staged transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+}
+
 impl Txn {
     /// This transaction's id.
     pub fn id(&self) -> TxnId {
@@ -676,6 +739,44 @@ impl Txn {
         self.prof_flush();
         self.active = false;
         Ok(())
+    }
+
+    /// Stages a commit without waiting for durability: appends the
+    /// commit record and returns a [`StagedCommit`] that still holds
+    /// the transaction's locks. A batch of staged commits then pays
+    /// **one** durability wait in [`Engine::finish_commits`] — the
+    /// participant-side force batching of the multi-shot commit path
+    /// (`mcv-dist`), where one modeled device force amortizes over
+    /// every transaction delivered in the same transport batch.
+    ///
+    /// Only meaningful under 2PL; the MVCC levels have their own
+    /// commit critical section and fall back to a full [`Txn::commit`]
+    /// (the returned stage is already finished and waits on nothing).
+    pub fn commit_stage(mut self) -> Result<StagedCommit, EngineError> {
+        self.check_active()?;
+        if self.engine.inner.cfg.isolation.is_mvcc() {
+            let id = self.id;
+            self.mvcc_commit()?;
+            return Ok(StagedCommit {
+                id,
+                lsn: 0,
+                touched: BTreeSet::new(),
+                ever_blocked: false,
+                prof: None,
+            });
+        }
+        let lsn = self.engine.inner.wal.append_commit(self.id);
+        let staged = StagedCommit {
+            id: self.id,
+            lsn,
+            touched: std::mem::take(&mut self.touched),
+            ever_blocked: self.ever_blocked,
+            prof: self.prof.take(),
+        };
+        // The commit record is in the log: the transaction is decided,
+        // so the drop guard must not roll it back.
+        self.active = false;
+        Ok(staged)
     }
 
     /// The MVCC commit critical section: certify under the store's

@@ -155,6 +155,58 @@ impl GroupWal {
         lsn
     }
 
+    /// Appends `txn`'s commit record *without* waiting for durability
+    /// and returns its log sequence number. Pairs with
+    /// [`GroupWal::wait_durable`]: a staged-commit batch appends every
+    /// record first, then pays one durability wait covering the highest
+    /// LSN — the group-commit dwell lifted up to the caller.
+    pub(crate) fn append_commit(&self, txn: TxnId) -> usize {
+        let mut g = self.inner.lock().expect("wal mutex");
+        let lsn = g.log.append(LogRecord::Commit { txn });
+        g.commits += 1;
+        drop(g);
+        self.trace_append(&LogRecord::Commit { txn }, lsn);
+        lsn
+    }
+
+    /// Blocks until every record up to `upto` is durable. In group mode
+    /// one force request covers the whole staged tail; in per-commit
+    /// mode the caller pays device operations until the cursor catches
+    /// up (typically one covering everything staged so far).
+    pub(crate) fn wait_durable(&self, upto: usize) {
+        let mut g = self.inner.lock().expect("wal mutex");
+        if self.group {
+            g.requested = g.requested.max(upto);
+            self.work.notify_one();
+            while g.durable < upto && !g.shutdown {
+                g = self.forced.wait(g).expect("wal mutex");
+            }
+        } else {
+            loop {
+                if g.durable >= upto || g.shutdown {
+                    return;
+                }
+                if g.forcing {
+                    g = self.forced.wait(g).expect("wal mutex");
+                    continue;
+                }
+                g.forcing = true;
+                g.log.force();
+                let target = g.log.forced_records();
+                g.forces += 1;
+                drop(g);
+                self.sleep_device();
+                // Recorded before the durable cursor moves, so the
+                // force always precedes the acks it enables.
+                self.trace_force(target);
+                g = self.inner.lock().expect("wal mutex");
+                g.durable = g.durable.max(target);
+                g.forcing = false;
+                self.forced.notify_all();
+            }
+        }
+    }
+
     /// Appends `txn`'s commit record and blocks until it is durable.
     pub(crate) fn append_commit_and_wait(&self, txn: TxnId) {
         self.commit_and_wait(txn, false);

@@ -51,7 +51,7 @@ mod pool;
 mod shard;
 mod workload;
 
-pub use engine::{latency_histogram, Engine, EngineConfig, EngineError, Txn};
+pub use engine::{latency_histogram, Engine, EngineConfig, EngineError, StagedCommit, Txn};
 pub use mcv_mvcc::IsolationLevel;
 pub use pool::{Pool, Shed};
 pub use workload::{

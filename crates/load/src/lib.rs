@@ -59,7 +59,10 @@ mod sim;
 mod slo;
 
 pub use arrivals::{Arrival, ArrivalProcess, ArrivalSchedule, LoadProfile, Ownership};
-pub use dist_waves::{run_dist_waves, DistWavesConfig, DistWavesReport};
+pub use dist_waves::{
+    run_dist_stream, run_dist_waves, DistStreamConfig, DistStreamReport, DistWavesConfig,
+    DistWavesReport,
+};
 pub use driver::{
     backoff_us, load_latency_histogram, p99_curve, p99_exact, run_load, run_load_with_schedule,
     CrashPlan, LoadConfig, LoadReport, LoadWorkload, ShedPolicy, BANK_INITIAL_BALANCE,

@@ -152,6 +152,13 @@ impl AttributionTable {
         self.rows.iter().find(|r| r.phase == phase)
     }
 
+    /// `phase`'s share of mean anchor latency (0.0 for an unknown or
+    /// never-sampled phase) — the one-number form consumers compare
+    /// across runs, e.g. transport_rtt's share serial vs pipelined.
+    pub fn phase_frac(&self, phase: &str) -> f64 {
+        self.row(phase).map_or(0.0, |r| r.frac_mean)
+    }
+
     /// Renders the table as aligned text (the EXPERIMENTS.md artifact).
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -250,6 +257,8 @@ mod tests {
         assert!((table.attributed_frac - 0.8).abs() < 1e-9);
         assert!((table.unattributed_frac - 0.2).abs() < 1e-9);
         assert_eq!(table.top_phases(2), vec!["lock_wait", "wal_force"]);
+        assert!((table.phase_frac("lock_wait") - 0.5).abs() < 1e-9);
+        assert_eq!(table.phase_frac("no_such_phase"), 0.0);
     }
 
     #[test]

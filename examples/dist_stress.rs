@@ -16,10 +16,16 @@
 //!   stay red for the naive variant. Exits non-zero otherwise.
 //! - `-- --campaign N [--seed-base B]` — sweep N seeds of tolerated
 //!   faults (the acceptance run uses N >= 300).
+//! - `-- --pipeline-smoke [--seed-base B]` — the pipelined CI gate:
+//!   fixed-seed tolerated faults through the multi-shot runtime plus a
+//!   fault-free throughput sanity check (pipelined must beat serial).
+//! - `-- --pipeline-campaign N [--seed-base B]` — sweep N seeds of
+//!   tolerated faults over the pipelined runtime (acceptance: N >= 300
+//!   all green alongside the serial campaign).
 //! - `-- --replay <artifact.json>` — re-execute a written artifact
 //!   and report whether it still violates its oracle.
 
-use mcv::dist::{run_dist, DistArtifact, DistCampaign, DistConfig};
+use mcv::dist::{run_dist, run_pipeline, DistArtifact, DistCampaign, DistConfig, PipelineConfig};
 use std::process::ExitCode;
 
 fn hardened_campaign() -> DistCampaign {
@@ -156,6 +162,58 @@ fn smoke(seed_base: u64) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn pipeline_campaign(n: u64, seed_base: u64) -> ExitCode {
+    println!("=== pipelined campaign: {n} seeds (base {seed_base}) of tolerated faults ===\n");
+    let summary = hardened_campaign().run_seeds_pipelined(seed_base, n, 8, 600);
+    println!("{}", summary.to_report("dist.pipeline.campaign").summary());
+    if summary.all_green() {
+        println!("all green");
+        ExitCode::SUCCESS
+    } else {
+        println!("failures: {:?}", summary.failures);
+        ExitCode::FAILURE
+    }
+}
+
+fn pipeline_smoke(seed_base: u64) -> ExitCode {
+    // Fixed seeds through the multi-shot runtime: the same fault
+    // schedules and oracles as the serial smoke.
+    let green = hardened_campaign().run_seeds_pipelined(seed_base, 12, 8, 600);
+    if !green.all_green() {
+        println!("pipeline smoke: pipelined runtime regressed: {:?}", green.failures);
+        return ExitCode::FAILURE;
+    }
+    // Fault-free throughput sanity: the pipelined path must decisively
+    // beat the serial path on the same workload (the full measurement
+    // lives in exp.pipeline; this is the cheap canary).
+    let dist = DistConfig { n_shards: 3, n_txns: 24, seed: seed_base, ..DistConfig::default() };
+    let serial = run_dist(&DistConfig { n_txns: 4, ..dist.clone() });
+    let pipe = run_pipeline(&PipelineConfig {
+        dist: dist.clone(),
+        max_inflight: 12,
+        batch_window_us: 600,
+        arrival_us: None,
+    });
+    if pipe.violated().is_some() || pipe.stats.committed != dist.n_txns as u64 {
+        println!("pipeline smoke: fault-free pipelined run failed: {:?}", pipe.violated());
+        return ExitCode::FAILURE;
+    }
+    let serial_tput = serial.stats.committed as f64 / serial.stats.wall_ms.max(1) as f64;
+    let pipe_tput = pipe.stats.committed as f64 / pipe.stats.wall_ms.max(1) as f64;
+    if pipe_tput < serial_tput * 2.0 {
+        println!(
+            "pipeline smoke: pipelined tput ({:.1}/ms) did not clear 2x serial ({:.1}/ms)",
+            pipe_tput, serial_tput
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "pipeline smoke OK: 12/12 green (base {seed_base}), tput {:.1}/ms vs serial {:.1}/ms",
+        pipe_tput, serial_tput
+    );
+    ExitCode::SUCCESS
+}
+
 fn seed_base(args: &[String]) -> u64 {
     args.iter()
         .position(|a| a == "--seed-base")
@@ -176,6 +234,14 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("--pipeline-smoke") => pipeline_smoke(seed_base(&args)),
+        Some("--pipeline-campaign") => match args.get(1).and_then(|s| s.parse().ok()) {
+            Some(n) => pipeline_campaign(n, seed_base(&args)),
+            None => {
+                eprintln!("usage: dist_stress -- --pipeline-campaign <n> [--seed-base <b>]");
+                ExitCode::FAILURE
+            }
+        },
         Some("--replay") => match args.get(1) {
             Some(path) => replay(path),
             None => {
@@ -185,7 +251,7 @@ fn main() -> ExitCode {
         },
         Some(other) => {
             eprintln!(
-                "unknown argument {other}; usage: dist_stress [--smoke | --campaign <n> | --replay <file>] [--seed-base <b>]"
+                "unknown argument {other}; usage: dist_stress [--smoke | --campaign <n> | --pipeline-smoke | --pipeline-campaign <n> | --replay <file>] [--seed-base <b>]"
             );
             ExitCode::FAILURE
         }
